@@ -1,0 +1,170 @@
+// Command complx places a design with the ComPLx flow (or one of the
+// baseline placers) and reports HPWL, scaled HPWL and runtimes.
+//
+// Input is either an ISPD Bookshelf benchmark (-aux design.aux) or a named
+// synthetic ISPD-analog benchmark (-bench adaptec1, optionally scaled with
+// -scale). The final placement can be written as a Bookshelf .pl file.
+//
+// Examples:
+//
+//	complx -bench adaptec1
+//	complx -bench newblue7 -scale 0.25 -algo simpl
+//	complx -aux ./ibm01.aux -target 0.8 -pl out.pl -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"complx"
+)
+
+func main() {
+	var (
+		aux       = flag.String("aux", "", "Bookshelf .aux file to place")
+		bench     = flag.String("bench", "", "named synthetic benchmark (e.g. adaptec1, newblue7)")
+		scale     = flag.Float64("scale", 1.0, "cell-count scale factor for -bench")
+		algo      = flag.String("algo", "complx", "placer: complx, simpl, fastplace-cs, nlp")
+		target    = flag.Float64("target", 0, "target density gamma in (0,1]; 0 uses the benchmark default")
+		finest    = flag.Bool("finest", false, "use the finest projection grid on all iterations")
+		projDP    = flag.Bool("projection-dp", false, "post-process every projection with legalization+DP (Table 1 ablation)")
+		useLSE    = flag.Bool("lse", false, "use the log-sum-exp interconnect model")
+		skipLegal = flag.Bool("skip-legalize", false, "stop after global placement")
+		skipDP    = flag.Bool("skip-detailed", false, "stop after legalization")
+		maxIter   = flag.Int("max-iterations", 0, "global placement iteration cap (0 = default)")
+		plOut     = flag.String("pl", "", "write the final placement to this .pl file")
+		outDir    = flag.String("write-bookshelf", "", "write the full placed benchmark to this directory")
+		verbose   = flag.Bool("v", false, "print per-iteration statistics")
+		plot      = flag.Bool("plot", false, "print ASCII density/macro/congestion maps of the result")
+		clustered = flag.Bool("cluster", false, "multilevel placement: cluster, place coarse, expand, refine")
+		abacus    = flag.Bool("abacus", false, "use the Abacus legalizer instead of Tetris")
+		routab    = flag.Bool("routability", false, "congestion-driven cell inflation (SimPLR-style)")
+	)
+	flag.Parse()
+	if err := run(runCfg{
+		aux: *aux, bench: *bench, scale: *scale, algo: *algo, target: *target,
+		finest: *finest, projDP: *projDP, useLSE: *useLSE,
+		skipLegal: *skipLegal, skipDP: *skipDP, maxIter: *maxIter,
+		plOut: *plOut, outDir: *outDir, verbose: *verbose, plot: *plot,
+		clustered: *clustered, abacus: *abacus, routability: *routab,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "complx:", err)
+		os.Exit(1)
+	}
+}
+
+// runCfg carries the parsed command-line configuration.
+type runCfg struct {
+	aux, bench, algo, plOut, outDir               string
+	scale, target                                 float64
+	finest, projDP, useLSE, skipLegal, skipDP     bool
+	verbose, plot, clustered, abacus, routability bool
+	maxIter                                       int
+}
+
+func run(cfg runCfg) error {
+	aux, bench, algo := cfg.aux, cfg.bench, cfg.algo
+	scale, target := cfg.scale, cfg.target
+	var nl *complx.Netlist
+	var err error
+	switch {
+	case aux != "" && bench != "":
+		return fmt.Errorf("use either -aux or -bench, not both")
+	case aux != "":
+		var density float64
+		nl, density, err = complx.ReadBookshelf(aux)
+		if err != nil {
+			return err
+		}
+		if target == 0 {
+			target = density
+		}
+	case bench != "":
+		spec, ok := complx.BenchmarkByName(bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", bench)
+		}
+		if scale != 1.0 {
+			spec = complx.ScaleBenchmark(spec, scale)
+		}
+		if target == 0 {
+			target = spec.TargetDensity
+		}
+		nl, err = complx.Generate(spec)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("specify -aux or -bench (see -help)")
+	}
+
+	alg, err := complx.ParseAlgorithm(algo)
+	if err != nil {
+		return err
+	}
+	st := nl.Stats()
+	fmt.Printf("design %s: %s\n", nl.Name, st)
+
+	opt := complx.Options{
+		Algorithm:       alg,
+		TargetDensity:   target,
+		MaxIterations:   cfg.maxIter,
+		FinestGrid:      cfg.finest,
+		ProjectionDP:    cfg.projDP,
+		UseLSE:          cfg.useLSE,
+		SkipLegalize:    cfg.skipLegal,
+		SkipDetailed:    cfg.skipDP,
+		Clustered:       cfg.clustered,
+		AbacusLegalizer: cfg.abacus,
+		Routability:     cfg.routability,
+	}
+	if cfg.verbose {
+		opt.OnIteration = func(it complx.IterStats) {
+			fmt.Printf("  iter %3d  lambda=%-9.4f Phi=%-12.0f Pi=%-12.0f gap=%.3f grid=%d\n",
+				it.Iter, it.Lambda, it.Phi, it.Pi, (it.PhiUpper-it.Phi)/it.PhiUpper, it.GridNX)
+		}
+	}
+	res, err := complx.Place(nl, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm:        %s\n", alg)
+	fmt.Printf("HPWL:             %.0f\n", res.HPWL)
+	fmt.Printf("scaled HPWL:      %.0f  (overflow penalty %.2f%%)\n", res.ScaledHPWL, res.OverflowPercent)
+	fmt.Printf("GP iterations:    %d (converged=%v, final lambda=%.4f, gap=%.3f)\n",
+		res.GlobalIterations, res.Converged, res.FinalLambda, res.DualityGap)
+	if res.Legalized {
+		fmt.Printf("legal violations: %d\n", res.LegalViolations)
+	}
+	fmt.Printf("runtime:          total=%v (global=%v legalize=%v detailed=%v)\n",
+		res.Total.Round(1e6), res.GlobalTime.Round(1e6), res.LegalTime.Round(1e6), res.DetailedTime.Round(1e6))
+
+	if cfg.plot {
+		complx.PrintDensityMap(os.Stdout, nl, 64, 28, target)
+		complx.PrintMacroMap(os.Stdout, nl, 64, 28)
+		complx.PrintCongestionMap(os.Stdout, nl, 64, 28, 0)
+	}
+	if plOut := cfg.plOut; plOut != "" {
+		f, err := os.Create(plOut)
+		if err != nil {
+			return err
+		}
+		if err := complx.WritePlacement(f, nl); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", plOut)
+	}
+	if outDir := cfg.outDir; outDir != "" {
+		if err := complx.WriteBookshelf(outDir, nl, target); err != nil {
+			return err
+		}
+		fmt.Printf("wrote benchmark to %s\n", outDir)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"complx"
+)
+
+func TestRunBench(t *testing.T) {
+	dir := t.TempDir()
+	pl := filepath.Join(dir, "out.pl")
+	err := run(runCfg{bench: "adaptec1", scale: 0.05, algo: "complx", maxIter: 20, plOut: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "UCLA pl 1.0") {
+		t.Error("placement file malformed")
+	}
+}
+
+func TestRunAuxRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Emit a benchmark, then place it from the .aux file.
+	spec, _ := complx.BenchmarkByName("newblue1")
+	nl, err := complx.Generate(complx.ScaleBenchmark(spec, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := complx.WriteBookshelf(dir, nl, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "placed")
+	err = run(runCfg{aux: filepath.Join(dir, "newblue1.aux"), scale: 1, algo: "simpl", maxIter: 20, outDir: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "newblue1.aux")); err != nil {
+		t.Error("placed benchmark not written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no input", func() error {
+			return run(runCfg{scale: 1, algo: "complx"})
+		}},
+		{"both inputs", func() error {
+			return run(runCfg{aux: "x.aux", bench: "adaptec1", scale: 1, algo: "complx"})
+		}},
+		{"unknown bench", func() error {
+			return run(runCfg{bench: "nope", scale: 1, algo: "complx"})
+		}},
+		{"unknown algo", func() error {
+			return run(runCfg{bench: "adaptec1", scale: 0.05, algo: "magic"})
+		}},
+		{"missing aux", func() error {
+			return run(runCfg{aux: "/does/not/exist.aux", scale: 1, algo: "complx"})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.fn() == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

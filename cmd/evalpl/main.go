@@ -1,0 +1,63 @@
+// Command evalpl evaluates a placement file against a Bookshelf benchmark:
+// it loads the design, overlays the .pl locations, and reports HPWL,
+// MST/Steiner wirelength estimates, the ISPD-2006 scaled HPWL, and legality
+// — the contest-style scoring utility.
+//
+// Example:
+//
+//	evalpl -aux design.aux -pl placed.pl -target 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"complx"
+)
+
+func main() {
+	var (
+		aux    = flag.String("aux", "", "Bookshelf .aux benchmark")
+		pl     = flag.String("pl", "", "placement file to evaluate (defaults to the benchmark's own .pl)")
+		target = flag.Float64("target", 0, "target density gamma; 0 uses the benchmark default")
+	)
+	flag.Parse()
+	if err := run(*aux, *pl, *target); err != nil {
+		fmt.Fprintln(os.Stderr, "evalpl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(aux, pl string, target float64) error {
+	if aux == "" {
+		return fmt.Errorf("specify -aux (see -help)")
+	}
+	nl, density, err := complx.ReadBookshelf(aux)
+	if err != nil {
+		return err
+	}
+	if target == 0 {
+		target = density
+	}
+	if pl != "" {
+		if err := complx.ApplyPlacement(nl, pl); err != nil {
+			return err
+		}
+	}
+	hpwl := complx.HPWL(nl)
+	scaled, penalty := complx.ScaledHPWL(nl, target)
+	fmt.Printf("design:        %s\n", nl.Stats())
+	fmt.Printf("HPWL:          %.1f\n", hpwl)
+	fmt.Printf("weighted HPWL: %.1f\n", complx.WeightedHPWL(nl))
+	fmt.Printf("MST estimate:  %.1f\n", complx.MSTWirelength(nl))
+	fmt.Printf("Steiner est.:  %.1f\n", complx.SteinerWirelength(nl))
+	fmt.Printf("scaled HPWL:   %.1f (overflow penalty %.2f%% at target %.2f)\n", scaled, penalty, target)
+	v := complx.CheckLegal(nl)
+	if len(v) == 0 {
+		fmt.Println("legality:      OK")
+	} else {
+		fmt.Printf("legality:      %d violations (first: %s)\n", len(v), v[0])
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"complx"
+)
+
+func TestEvalPl(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := complx.BenchmarkByName("adaptec1")
+	nl, err := complx.Generate(complx.ScaleBenchmark(spec, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := complx.WriteBookshelf(dir, nl, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(dir, "adaptec1.aux"), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate an explicit .pl too.
+	if err := run(filepath.Join(dir, "adaptec1.aux"), filepath.Join(dir, "adaptec1.pl"), 0.9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalPlErrors(t *testing.T) {
+	if err := run("", "", 0); err == nil {
+		t.Error("expected error without -aux")
+	}
+	if err := run("/does/not/exist.aux", "", 0); err == nil {
+		t.Error("expected error for missing aux")
+	}
+}

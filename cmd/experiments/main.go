@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic ISPD-analog suites (see DESIGN.md §4 for the experiment index).
+//
+// Examples:
+//
+//	experiments -run all
+//	experiments -run table1 -scale 0.5
+//	experiments -run figure3 -max 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"complx/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id ("+strings.Join(experiments.All(), ", ")+") or 'all'")
+		scale = flag.Float64("scale", 1.0, "benchmark cell-count scale factor")
+		max   = flag.Int("max", 0, "limit the number of benchmarks per suite (0 = all)")
+	)
+	flag.Parse()
+	if err := runAll(*run, os.Stdout, experiments.Config{Scale: *scale, MaxBenchmarks: *max}); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// runAll dispatches one experiment id, or every experiment for "all".
+func runAll(id string, w io.Writer, cfg experiments.Config) error {
+	ids := []string{id}
+	if id == "all" {
+		ids = experiments.All()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := experiments.Run(id, w, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

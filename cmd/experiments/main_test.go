@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"complx/internal/experiments"
+)
+
+func TestRunAllSingle(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := experiments.Config{Scale: 0.05, MaxBenchmarks: 1}
+	if err := runAll("figure1", &buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("missing output")
+	}
+}
+
+func TestRunAllUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAll("nope", &buf, experiments.Config{Scale: 0.05}); err == nil {
+		t.Error("expected error")
+	}
+}

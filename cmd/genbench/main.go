@@ -1,0 +1,77 @@
+// Command genbench emits synthetic ISPD-analog benchmarks in Bookshelf
+// format: either one custom design from flags, or a whole suite.
+//
+// Examples:
+//
+//	genbench -name mydesign -cells 5000 -macros 8 -macro-frac 0.25 -out ./bench
+//	genbench -suite 2006 -scale 0.5 -out ./bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"complx"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "synth", "design name")
+		cells     = flag.Int("cells", 4000, "number of movable standard cells")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		macros    = flag.Int("macros", 0, "number of macro blocks")
+		macroFrac = flag.Float64("macro-frac", 0.25, "fraction of total area in macros")
+		movable   = flag.Bool("movable-macros", false, "make macros movable (ISPD 2006 style)")
+		pads      = flag.Int("pads", 0, "number of fixed I/O pads (0 = auto)")
+		util      = flag.Float64("util", 0.7, "movable-area utilization of the free core")
+		target    = flag.Float64("target", 1.0, "target density gamma recorded in the benchmark")
+		suite     = flag.String("suite", "", "emit a whole suite instead: 2005 or 2006")
+		scale     = flag.Float64("scale", 1.0, "cell-count scale factor")
+		out       = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := run(*name, *cells, *seed, *macros, *macroFrac, *movable, *pads,
+		*util, *target, *suite, *scale, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, cells int, seed int64, macros int, macroFrac float64,
+	movable bool, pads int, util, target float64, suite string, scale float64, out string) error {
+	var specs []complx.BenchSpec
+	switch suite {
+	case "":
+		specs = []complx.BenchSpec{{
+			Name: name, NumCells: cells, Seed: seed,
+			NumMacros: macros, MacroAreaFrac: macroFrac, MovableMacros: movable,
+			NumPads: pads, Utilization: util, TargetDensity: target,
+		}}
+	case "2005":
+		specs = complx.Benchmarks2005()
+	case "2006":
+		specs = complx.Benchmarks2006()
+	default:
+		return fmt.Errorf("unknown suite %q (want 2005 or 2006)", suite)
+	}
+	for _, spec := range specs {
+		if scale != 1.0 {
+			spec = complx.ScaleBenchmark(spec, scale)
+		}
+		nl, err := complx.Generate(spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		dir := out
+		if len(specs) > 1 {
+			dir = filepath.Join(out, spec.Name)
+		}
+		if err := complx.WriteBookshelf(dir, nl, spec.TargetDensity); err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		fmt.Printf("%s: %s -> %s\n", spec.Name, nl.Stats(), filepath.Join(dir, spec.Name+".aux"))
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"complx"
+)
+
+func TestRunSingleDesign(t *testing.T) {
+	dir := t.TempDir()
+	err := run("mydesign", 300, 1, 2, 0.2, true, 10, 0.7, 0.9, "", 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, density, err := complx.ReadBookshelf(filepath.Join(dir, "mydesign.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if density != 0.9 {
+		t.Errorf("density = %v", density)
+	}
+	st := nl.Stats()
+	if st.Movable != 302 { // 300 std + 2 movable macros
+		t.Errorf("movable = %d", st.Movable)
+	}
+	if st.Macros != 2 {
+		t.Errorf("macros = %d", st.Macros)
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("x", 0, 0, 0, 0, false, 0, 0, 0, "2005", 0.03, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"adaptec1", "bigblue4"} {
+		aux := filepath.Join(dir, name, name+".aux")
+		if _, err := os.Stat(aux); err != nil {
+			t.Errorf("%s not written: %v", aux, err)
+		}
+	}
+}
+
+func TestRunUnknownSuite(t *testing.T) {
+	if err := run("x", 0, 0, 0, 0, false, 0, 0, 0, "1999", 1, t.TempDir()); err == nil {
+		t.Error("expected error")
+	}
+}

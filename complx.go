@@ -1,0 +1,510 @@
+// Package complx is a from-scratch implementation of ComPLx — the
+// projected-subgradient primal-dual Lagrange optimization for global
+// placement of Kim and Markov (DAC 2012) — together with every substrate a
+// complete placement flow needs: netlist modeling, Bookshelf (ISPD
+// 2005/2006) I/O, Bound2Bound and log-sum-exp interconnect models, sparse
+// preconditioned CG, SimPL-style look-ahead legalization as the feasibility
+// projection, macro shredding, region constraints, a Tetris legalizer, a
+// FastPlace-DP-style detailed placer, an STA-lite timing analyzer, baseline
+// placers (SimPL, FastPlace-CS, NLP) and a synthetic ISPD-analog benchmark
+// generator.
+//
+// The simplest entry point:
+//
+//	nl, _, err := complx.ReadBookshelf("design.aux")
+//	if err != nil { ... }
+//	res, err := complx.Place(nl, complx.Options{})
+//	fmt.Println(res.HPWL)
+//
+// Netlists can also be built programmatically with NewBuilder or generated
+// synthetically with Generate. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper reproduction results.
+package complx
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"complx/internal/baseline"
+	"complx/internal/bookshelf"
+	"complx/internal/cluster"
+	"complx/internal/core"
+	"complx/internal/density"
+	"complx/internal/detailed"
+	"complx/internal/gen"
+	"complx/internal/geom"
+	"complx/internal/legalize"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+	"complx/internal/timing"
+	"complx/internal/viz"
+)
+
+// Re-exported data-model types: these aliases make the internal packages'
+// types part of the public API without duplicating them.
+type (
+	// Netlist is the circuit data model (cells, nets, pins, rows, regions).
+	Netlist = netlist.Netlist
+	// Builder assembles netlists programmatically.
+	Builder = netlist.Builder
+	// PinSpec names one pin when adding a net to a Builder.
+	PinSpec = netlist.PinSpec
+	// Cell is one placeable or fixed object.
+	Cell = netlist.Cell
+	// Net is a weighted multi-pin net.
+	Net = netlist.Net
+	// Row is a standard-cell placement row.
+	Row = netlist.Row
+	// RegionConstraint is a named rectangular placement constraint.
+	RegionConstraint = netlist.Region
+	// Point is a planar location.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// IterStats records one global placement iteration.
+	IterStats = core.IterStats
+	// SelfConsistency aggregates the Formula 11 projection check.
+	SelfConsistency = core.SelfConsistency
+	// BenchSpec describes a synthetic benchmark.
+	BenchSpec = gen.Spec
+	// NetModel selects the quadratic net decomposition.
+	NetModel = netmodel.Model
+	// TimingReport holds STA results.
+	TimingReport = timing.Report
+	// DetailedStats reports the detailed-placement refinement.
+	DetailedStats = detailed.Stats
+)
+
+// Cell kinds.
+const (
+	Std       = netlist.Std
+	MacroCell = netlist.Macro
+	Terminal  = netlist.Terminal
+)
+
+// Net decompositions for the quadratic interconnect model (paper §2, §S1).
+const (
+	// ModelB2B is the Bound2Bound model (default): exact HPWL at the
+	// linearization point.
+	ModelB2B = netmodel.B2B
+	// ModelClique connects all pin pairs.
+	ModelClique = netmodel.Clique
+	// ModelStar uses auxiliary net-center variables.
+	ModelStar = netmodel.Star
+	// ModelHybrid uses cliques for small nets and B2B otherwise.
+	ModelHybrid = netmodel.Hybrid
+)
+
+// NewBuilder returns a netlist builder for a design with the given name.
+func NewBuilder(name string) *Builder { return netlist.NewBuilder(name) }
+
+// ReadBookshelf reads an ISPD Bookshelf .aux benchmark; it returns the
+// netlist and the design's target density (1.0 when none is specified).
+func ReadBookshelf(auxPath string) (*Netlist, float64, error) {
+	return bookshelf.ReadNetlist(auxPath)
+}
+
+// WriteBookshelf writes nl as a Bookshelf benchmark under dir.
+func WriteBookshelf(dir string, nl *Netlist, targetDensity float64) error {
+	return bookshelf.WriteNetlist(dir, nl, targetDensity)
+}
+
+// WritePlacement writes only the .pl placement file for nl.
+var WritePlacement = bookshelf.WritePl
+
+// ApplyPlacement overlays a Bookshelf .pl file's positions onto nl.
+func ApplyPlacement(nl *Netlist, plPath string) error {
+	return bookshelf.ApplyPl(plPath, nl)
+}
+
+// MSTWirelength returns the summed rectilinear minimum-spanning-tree length
+// over all nets — a tighter multi-pin wirelength estimate than HPWL.
+func MSTWirelength(nl *Netlist) float64 { return netmodel.MST(nl) }
+
+// SteinerWirelength returns the summed rectilinear Steiner-tree estimate
+// (exact HPWL for nets of degree <= 3; 0.87x MST above).
+func SteinerWirelength(nl *Netlist) float64 { return netmodel.TotalSteinerEstimate(nl) }
+
+// Generate builds a deterministic synthetic benchmark (see BenchSpec).
+func Generate(spec BenchSpec) (*Netlist, error) { return gen.Generate(spec) }
+
+// Benchmarks2005 and Benchmarks2006 return the ISPD-analog suites used by
+// the paper reproduction.
+func Benchmarks2005() []BenchSpec { return gen.Suite2005() }
+
+// Benchmarks2006 returns the ISPD 2006 analog suite (movable macros and
+// per-design density targets).
+func Benchmarks2006() []BenchSpec { return gen.Suite2006() }
+
+// BenchmarkByName finds a suite spec by benchmark name.
+func BenchmarkByName(name string) (BenchSpec, bool) { return gen.ByName(name) }
+
+// ScaleBenchmark shrinks or grows a spec's cell count by factor f.
+func ScaleBenchmark(s BenchSpec, f float64) BenchSpec { return gen.Scaled(s, f) }
+
+// Algorithm selects the global placement engine.
+type Algorithm int
+
+const (
+	// AlgComPLx is the paper's algorithm (default).
+	AlgComPLx Algorithm = iota
+	// AlgSimPL is the SimPL special case (linear λ schedule).
+	AlgSimPL
+	// AlgFastPlaceCS is the FastPlace-style cell-shifting baseline.
+	AlgFastPlaceCS
+	// AlgNLP is the nonlinear log-sum-exp penalty-method baseline.
+	AlgNLP
+	// AlgRQL is the RQL-style baseline: quadratic placement with local
+	// diffusion spreading and relaxed (thresholded) anchor forces.
+	AlgRQL
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgComPLx:
+		return "complx"
+	case AlgSimPL:
+		return "simpl"
+	case AlgFastPlaceCS:
+		return "fastplace-cs"
+	case AlgNLP:
+		return "nlp"
+	case AlgRQL:
+		return "rql"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a name ("complx", "simpl", "fastplace-cs",
+// "nlp") into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "complx":
+		return AlgComPLx, nil
+	case "simpl":
+		return AlgSimPL, nil
+	case "fastplace-cs", "fastplace":
+		return AlgFastPlaceCS, nil
+	case "nlp":
+		return AlgNLP, nil
+	case "rql":
+		return AlgRQL, nil
+	}
+	return 0, fmt.Errorf("complx: unknown algorithm %q", s)
+}
+
+// Options configures a full placement run (global placement, legalization,
+// detailed placement).
+type Options struct {
+	// Algorithm selects the global placement engine (default AlgComPLx).
+	Algorithm Algorithm
+	// TargetDensity is the utilization limit γ in (0, 1]; default 1.
+	TargetDensity float64
+	// MaxIterations bounds global placement iterations (0 → engine default).
+	MaxIterations int
+
+	// FinestGrid disables the coarse-to-fine projection grid schedule
+	// (Table 1 "Finest Grid" configuration).
+	FinestGrid bool
+	// ProjectionDP post-processes every feasibility projection with
+	// legalization + detailed placement (Table 1 "P_C += FastPlace-DP").
+	ProjectionDP bool
+	// UseLSE switches ComPLx/SimPL to the log-sum-exp interconnect model;
+	// UsePNorm to the p,β-regularization of §S1. At most one may be set.
+	UseLSE   bool
+	UsePNorm bool
+	// Model selects the quadratic net decomposition for ComPLx/SimPL
+	// (default ModelB2B).
+	Model NetModel
+
+	// SkipLegalize and SkipDetailed end the flow after global placement or
+	// legalization respectively. Designs without rows skip both
+	// automatically.
+	SkipLegalize bool
+	SkipDetailed bool
+	// AbacusLegalizer replaces the Tetris greedy with the Abacus-style
+	// optimal within-row legalizer (lower displacement, more runtime).
+	AbacusLegalizer bool
+	// DetailedPasses bounds detailed placement sweeps (0 → default 3).
+	DetailedPasses int
+
+	// Routability enables SimPLR-style congestion-driven cell inflation in
+	// the feasibility projection; RoutabilityAlpha scales the effect.
+	Routability      bool
+	RoutabilityAlpha float64
+
+	// Clustered runs multilevel placement for ComPLx/SimPL: heavy-edge
+	// clustering halves the design, the coarse netlist is placed, the
+	// placement is expanded and refined on the full design. Faster on
+	// large designs at a small quality cost.
+	Clustered bool
+
+	// CellPenalty weighs the Lagrangian penalty per movable cell
+	// (timing/power criticalities γ⃗ of Formula 13).
+	CellPenalty []float64
+
+	// OnIteration observes global placement iterations.
+	OnIteration func(IterStats)
+}
+
+// Result reports a full placement run.
+type Result struct {
+	// HPWL and WHPWL are the final (legal, when legalization ran)
+	// half-perimeter wirelengths.
+	HPWL, WHPWL float64
+	// ScaledHPWL is HPWL × (1 + overflow penalty) per the ISPD 2006
+	// contest metric; OverflowPercent is the penalty in percent.
+	ScaledHPWL      float64
+	OverflowPercent float64
+
+	// Global placement diagnostics.
+	GlobalIterations int
+	Converged        bool
+	FinalLambda      float64
+	DualityGap       float64
+	History          []IterStats
+	SelfConsistency  SelfConsistency
+
+	// Flow stages actually run and their wall-clock durations.
+	Legalized, Detailed   bool
+	GlobalTime, LegalTime time.Duration
+	DetailedTime, Total   time.Duration
+	DetailedRefine        DetailedStats
+	// LegalViolations counts remaining legality violations (0 after a
+	// successful legalization).
+	LegalViolations int
+}
+
+// Place runs the full flow on nl in place and reports final metrics.
+func Place(nl *Netlist, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.TargetDensity <= 0 || opt.TargetDensity > 1 {
+		opt.TargetDensity = 1
+	}
+	res := &Result{}
+
+	gpStart := time.Now()
+	coreOpt := core.Options{
+		Model:            opt.Model,
+		TargetDensity:    opt.TargetDensity,
+		MaxIterations:    opt.MaxIterations,
+		FinestGrid:       opt.FinestGrid,
+		UseLSE:           opt.UseLSE,
+		UsePNorm:         opt.UsePNorm,
+		Routability:      opt.Routability,
+		RoutabilityAlpha: opt.RoutabilityAlpha,
+		CellPenalty:      opt.CellPenalty,
+		OnIteration:      opt.OnIteration,
+	}
+	if opt.ProjectionDP {
+		coreOpt.ProjectionRefine = func(n *Netlist) error {
+			// Best-effort: a projection that cannot be legalized this early
+			// is simply used as-is.
+			if err := legalize.Legalize(n, legalize.Options{}); err != nil {
+				return nil
+			}
+			_, err := detailed.Refine(n, detailed.Options{Passes: 1})
+			_ = err
+			return nil
+		}
+	}
+	var err error
+	if opt.Clustered && (opt.Algorithm == AlgComPLx || opt.Algorithm == AlgSimPL) {
+		// Coarse level: place the clustered design with the full iteration
+		// budget, then expand and refine on the fine design.
+		cl, cerr := cluster.Cluster(nl, 1.0)
+		if cerr != nil {
+			return nil, cerr
+		}
+		coarseOpt := coreOpt
+		coarseOpt.CellPenalty = nil // indices differ on the coarse design
+		if opt.Algorithm == AlgSimPL {
+			coarseOpt.Schedule = core.ScheduleSimPL
+		}
+		if _, cerr := core.Place(cl.Coarse, coarseOpt); cerr != nil {
+			return nil, cerr
+		}
+		cl.Expand()
+		coreOpt.InitialSolves = 1
+		if coreOpt.MaxIterations == 0 || coreOpt.MaxIterations > 25 {
+			coreOpt.MaxIterations = 25
+		}
+	}
+	switch opt.Algorithm {
+	case AlgComPLx:
+		var r *core.Result
+		r, err = core.Place(nl, coreOpt)
+		if r != nil {
+			res.GlobalIterations = r.Iterations
+			res.Converged = r.Converged
+			res.FinalLambda = r.FinalLambda
+			res.DualityGap = r.GapFinal
+			res.History = r.History
+			res.SelfConsistency = r.SelfCons
+		}
+	case AlgSimPL:
+		var r *core.Result
+		r, err = baseline.SimPL(nl, coreOpt)
+		if r != nil {
+			res.GlobalIterations = r.Iterations
+			res.Converged = r.Converged
+			res.FinalLambda = r.FinalLambda
+			res.DualityGap = r.GapFinal
+			res.History = r.History
+			res.SelfConsistency = r.SelfCons
+		}
+	case AlgFastPlaceCS:
+		var r *baseline.FPResult
+		r, err = baseline.FastPlaceCS(nl, baseline.FPOptions{
+			TargetDensity: opt.TargetDensity,
+			MaxIterations: opt.MaxIterations,
+		})
+		if r != nil {
+			res.GlobalIterations = r.Iterations
+			res.Converged = r.Converged
+		}
+	case AlgNLP:
+		var r *baseline.NLPResult
+		r, err = baseline.NLP(nl, baseline.NLPOptions{
+			TargetDensity: opt.TargetDensity,
+			MaxIterations: opt.MaxIterations,
+		})
+		if r != nil {
+			res.GlobalIterations = r.Iterations
+			res.Converged = r.Converged
+		}
+	case AlgRQL:
+		var r *baseline.RQLResult
+		r, err = baseline.RQL(nl, baseline.RQLOptions{
+			TargetDensity: opt.TargetDensity,
+			MaxIterations: opt.MaxIterations,
+		})
+		if r != nil {
+			res.GlobalIterations = r.Iterations
+			res.Converged = r.Converged
+		}
+	default:
+		return nil, fmt.Errorf("complx: unknown algorithm %v", opt.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.GlobalTime = time.Since(gpStart)
+
+	if !opt.SkipLegalize && len(nl.Rows) > 0 {
+		lgStart := time.Now()
+		lg := legalize.Legalize
+		if opt.AbacusLegalizer {
+			lg = legalize.LegalizeAbacus
+		}
+		if err := lg(nl, legalize.Options{}); err != nil {
+			return nil, fmt.Errorf("complx: legalization: %w", err)
+		}
+		res.LegalTime = time.Since(lgStart)
+		res.Legalized = true
+		res.LegalViolations = len(legalize.Check(nl, 1e-6))
+
+		if !opt.SkipDetailed {
+			dpStart := time.Now()
+			st, err := detailed.Refine(nl, detailed.Options{Passes: opt.DetailedPasses})
+			if err != nil {
+				return nil, fmt.Errorf("complx: detailed placement: %w", err)
+			}
+			res.DetailedRefine = st
+			res.DetailedTime = time.Since(dpStart)
+			res.Detailed = true
+		}
+	}
+
+	res.HPWL = netmodel.HPWL(nl)
+	res.WHPWL = netmodel.WeightedHPWL(nl)
+	res.ScaledHPWL, res.OverflowPercent = ScaledHPWL(nl, opt.TargetDensity)
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// HPWL returns the unweighted half-perimeter wirelength of nl.
+func HPWL(nl *Netlist) float64 { return netmodel.HPWL(nl) }
+
+// WeightedHPWL returns the net-weight-scaled HPWL of nl.
+func WeightedHPWL(nl *Netlist) float64 { return netmodel.WeightedHPWL(nl) }
+
+// ScaledHPWL evaluates the ISPD 2006 contest metric at the given target
+// density: scaled HPWL and the overflow penalty in percent.
+func ScaledHPWL(nl *Netlist, targetDensity float64) (scaled, penaltyPercent float64) {
+	if targetDensity <= 0 || targetDensity > 1 {
+		targetDensity = 1
+	}
+	g := density.ContestGrid(nl, targetDensity)
+	g.AccumulateMovable(nl)
+	return g.ScaledHPWL(netmodel.HPWL(nl)), g.PenaltyPercent()
+}
+
+// CheckLegal verifies row/site alignment and overlap-freedom; it returns a
+// human-readable description per violation (empty when legal).
+func CheckLegal(nl *Netlist) []string {
+	var out []string
+	for _, v := range legalize.Check(nl, 1e-6) {
+		out = append(out, fmt.Sprintf("%s: %s: %s", v.Kind, v.Cell, v.Msg))
+	}
+	return out
+}
+
+// AnalyzeTiming runs the STA-lite analyzer with the given delay model
+// (zeros select defaults) and returns the report.
+func AnalyzeTiming(nl *Netlist, wireDelay, cellDelay float64) *TimingReport {
+	return timing.New(nl, timing.Options{WireDelay: wireDelay, CellDelay: cellDelay}).Analyze()
+}
+
+// CriticalPaths returns up to k most critical paths (cell index sequences
+// with their nets and delays).
+func CriticalPaths(nl *Netlist, k int) []timing.Path {
+	return timing.New(nl, timing.Options{}).CriticalPaths(k)
+}
+
+// TimingCriticalities converts a timing report into the per-movable penalty
+// weights of Formula 13 (1 + boost·criticality).
+func TimingCriticalities(nl *Netlist, r *TimingReport, boost float64) []float64 {
+	return timing.CellCriticalities(nl, r, boost)
+}
+
+// PrintDensityMap writes an ASCII movable-density heat map of nl to w.
+func PrintDensityMap(w io.Writer, nl *Netlist, cols, rows int, target float64) {
+	viz.DensityMap(w, nl, cols, rows, target)
+}
+
+// PrintMacroMap writes an ASCII map of macro and fixed-object outlines.
+func PrintMacroMap(w io.Writer, nl *Netlist, cols, rows int) {
+	viz.MacroMap(w, nl, cols, rows)
+}
+
+// PrintCongestionMap writes an ASCII RUDY congestion map; capacity <= 0
+// self-calibrates to the design's average demand.
+func PrintCongestionMap(w io.Writer, nl *Netlist, cols, rows int, capacity float64) {
+	viz.CongestionMap(w, nl, cols, rows, capacity)
+}
+
+// BoostNetWeights multiplies the weights of the given nets (timing-driven
+// net weighting, §S6); the returned slice restores them via
+// RestoreNetWeights.
+func BoostNetWeights(nl *Netlist, nets []int, factor float64) []float64 {
+	return timing.BoostNetWeights(nl, nets, factor)
+}
+
+// RestoreNetWeights assigns absolute weights to the listed nets.
+func RestoreNetWeights(nl *Netlist, nets []int, weights []float64) {
+	timing.SetNetWeights(nl, nets, weights)
+}
+
+// ActivityNetWeights applies power-driven net weighting: each net's weight
+// is scaled by 1 + alpha·activity(driver cell). activity is indexed by cell
+// and clamped to [0, 1]. The previous weights of all nets are returned;
+// restore them with RestoreNetWeights(nl, AllNets(nl), old).
+func ActivityNetWeights(nl *Netlist, activity []float64, alpha float64) []float64 {
+	return timing.ActivityNetWeights(nl, activity, alpha)
+}
+
+// AllNets returns every net index of nl.
+func AllNets(nl *Netlist) []int { return timing.AllNets(nl) }

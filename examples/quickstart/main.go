@@ -1,0 +1,64 @@
+// Quickstart: build a small netlist with the public API, place it with
+// ComPLx, and print the resulting metrics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"complx"
+)
+
+func main() {
+	// A 9-cell design: a 3x3 logic mesh between west and east I/O pads.
+	b := complx.NewBuilder("quickstart")
+	b.SetCore(complx.Rect{XMax: 30, YMax: 30})
+	b.AddUniformRows(30, 1, 1)
+
+	var mesh [3][3]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			mesh[i][j] = b.AddCell(fmt.Sprintf("u%d%d", i, j), 2, 1)
+		}
+	}
+	west := b.AddFixed("pad_w", 0, 14, 1, 1)
+	east := b.AddFixed("pad_e", 29, 14, 1, 1)
+
+	// Rows of the mesh are chained west to east.
+	for i := 0; i < 3; i++ {
+		b.AddNet(fmt.Sprintf("in%d", i), 1, []complx.PinSpec{{Cell: west}, {Cell: mesh[i][0]}})
+		for j := 0; j+1 < 3; j++ {
+			b.AddNet(fmt.Sprintf("h%d%d", i, j), 1, []complx.PinSpec{
+				{Cell: mesh[i][j], DX: 1}, {Cell: mesh[i][j+1], DX: -1},
+			})
+		}
+		b.AddNet(fmt.Sprintf("out%d", i), 1, []complx.PinSpec{{Cell: mesh[i][2]}, {Cell: east}})
+	}
+	// One vertical net ties the middle column together.
+	b.AddNet("tie", 2, []complx.PinSpec{
+		{Cell: mesh[0][1]}, {Cell: mesh[1][1]}, {Cell: mesh[2][1]},
+	})
+
+	nl, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("design:", nl.Stats())
+
+	res, err := complx.Place(nl, complx.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HPWL:          %.1f\n", res.HPWL)
+	fmt.Printf("GP iterations: %d (converged=%v)\n", res.GlobalIterations, res.Converged)
+	fmt.Printf("legal:         %v (%d violations)\n", res.Legalized, res.LegalViolations)
+	fmt.Println("final cell positions:")
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Movable() {
+			fmt.Printf("  %-4s at (%4.1f, %4.1f)\n", c.Name, c.X, c.Y)
+		}
+	}
+}

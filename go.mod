@@ -1,0 +1,3 @@
+module complx
+
+go 1.22

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"complx/internal/density"
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+	"complx/internal/qp"
+)
+
+// RQLOptions tunes the RQL-style baseline.
+type RQLOptions struct {
+	// TargetDensity is the utilization limit γ (default 1).
+	TargetDensity float64
+	// MaxIterations bounds the solve/spread loop (default 120).
+	MaxIterations int
+	// StopOverflow ends the loop below this overflow ratio (default 0.08).
+	StopOverflow float64
+	// ForcePercentile is the fraction of strongest anchor forces that are
+	// relaxed (capped) each iteration — RQL's hallmark force modulation
+	// (default 0.02, i.e. the top 2%).
+	ForcePercentile float64
+	// DiffusionSweeps per iteration (default 3).
+	DiffusionSweeps int
+	// GridMax caps the spreading grid dimension (default 128).
+	GridMax int
+}
+
+func (o *RQLOptions) fill() {
+	if o.TargetDensity <= 0 || o.TargetDensity > 1 {
+		o.TargetDensity = 1
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 120
+	}
+	if o.StopOverflow <= 0 {
+		o.StopOverflow = 0.08
+	}
+	if o.ForcePercentile <= 0 {
+		o.ForcePercentile = 0.02
+	}
+	if o.DiffusionSweeps <= 0 {
+		o.DiffusionSweeps = 10
+	}
+	if o.GridMax <= 0 {
+		o.GridMax = 128
+	}
+}
+
+// RQLResult reports an RQL run.
+type RQLResult struct {
+	Iterations int
+	Converged  bool
+	HPWL       float64
+	Overflow   float64
+}
+
+// RQL places nl in the style of Viswanathan et al.'s RQL (DAC 2007):
+// iterative B2B quadratic solves, local diffusion-based spreading of
+// overfilled bins, and hold anchors whose strongest forces are relaxed
+// (capped) rather than applied in full — the "ad hoc thresholding" force
+// modulation the ComPLx paper contrasts itself against.
+func RQL(nl *netlist.Netlist, opt RQLOptions) (*RQLResult, error) {
+	opt.fill()
+	mov := nl.Movables()
+	for i := 0; i < 5; i++ {
+		if _, err := qp.Solve(nl, nil, qp.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	nx, ny := density.AutoResolution(len(mov), 4, opt.GridMax)
+	res := &RQLResult{}
+	hold := 0.0
+	holdStep := 0.0
+	for k := 1; k <= opt.MaxIterations; k++ {
+		grid := density.NewGridForNetlist(nl, nx, ny, opt.TargetDensity)
+		grid.AccumulateMovable(nl)
+		res.Overflow = grid.OverflowRatio()
+		res.Iterations = k
+		if res.Overflow < opt.StopOverflow {
+			res.Converged = true
+			break
+		}
+		prev := nl.Positions()
+		for s := 0; s < opt.DiffusionSweeps; s++ {
+			diffuseOverflow(nl, opt.TargetDensity, nx, ny)
+		}
+		anchors := nl.Positions()
+		if holdStep == 0 {
+			holdStep = netmodel.WeightedHPWL(nl) / (50 * float64(len(mov)) * math.Max(1, nl.RowHeight()))
+		}
+		hold += holdStep
+		// Force modulation: the per-cell anchor force is λ·|displacement|
+		// after linearization; relax (cap) the strongest ForcePercentile of
+		// displacements to the percentile value.
+		lambdas := relaxedLambdas(prev, anchors, hold, opt.ForcePercentile)
+		if _, err := qp.Solve(nl, &qp.Anchors{Pos: anchors, Lambda: lambdas}, qp.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	res.HPWL = netmodel.HPWL(nl)
+	return res, nil
+}
+
+// relaxedLambdas assigns the hold weight per cell but scales down the cells
+// whose spreading displacement is in the top percentile, capping their
+// effective force at the percentile displacement.
+func relaxedLambdas(prev, anchors []geom.Point, hold, percentile float64) []float64 {
+	n := len(prev)
+	disp := make([]float64, n)
+	order := make([]int, n)
+	for i := range prev {
+		disp[i] = prev[i].L1(anchors[i])
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return disp[order[a]] > disp[order[b]] })
+	kTop := int(percentile * float64(n))
+	if kTop < 1 {
+		kTop = 1
+	}
+	if kTop >= n {
+		kTop = n - 1
+	}
+	cap := disp[order[kTop]]
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = hold
+		if disp[i] > cap && disp[i] > 0 {
+			// Equivalent force to a displacement of cap: scale λ down.
+			out[i] = hold * cap / disp[i]
+		}
+	}
+	return out
+}
+
+// diffuseOverflow performs one local spreading sweep: every overfilled bin
+// moves just its excess area — the cells closest to the chosen boundary —
+// one bin pitch toward its least-filled 4-neighbor.
+func diffuseOverflow(nl *netlist.Netlist, target float64, nx, ny int) {
+	grid := density.NewGridForNetlist(nl, nx, ny, target)
+	grid.AccumulateMovable(nl)
+	// Bucket movable cells by the bin holding their center.
+	buckets := make([][]int, nx*ny)
+	for _, i := range nl.Movables() {
+		ix, iy := grid.BinOf(nl.Cells[i].Center())
+		buckets[iy*nx+ix] = append(buckets[iy*nx+ix], i)
+	}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			cap := grid.Capacity(ix, iy)
+			use := grid.Usage(ix, iy)
+			if use <= cap || use <= 0 {
+				continue
+			}
+			// Least-filled neighbor direction (must have capacity).
+			bestFill := math.Inf(1)
+			bdx, bdy := 0, 0
+			for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				jx, jy := ix+d[0], iy+d[1]
+				if jx < 0 || jy < 0 || jx >= nx || jy >= ny {
+					continue
+				}
+				c := grid.Capacity(jx, jy)
+				if c <= 0 {
+					continue
+				}
+				fill := grid.Usage(jx, jy) / c
+				if fill < bestFill {
+					bestFill, bdx, bdy = fill, d[0], d[1]
+				}
+			}
+			if bdx == 0 && bdy == 0 {
+				continue
+			}
+			// Move the cells nearest the target boundary until the excess
+			// area has left the bin.
+			cells := buckets[iy*nx+ix]
+			toward := func(i int) float64 {
+				c := nl.Cells[i].Center()
+				return float64(bdx)*c.X + float64(bdy)*c.Y
+			}
+			sort.Slice(cells, func(a, b int) bool { return toward(cells[a]) > toward(cells[b]) })
+			need := use - cap
+			for _, i := range cells {
+				if need <= 0 {
+					break
+				}
+				c := &nl.Cells[i]
+				p := c.Center()
+				p.X = geom.Clamp(p.X+float64(bdx)*grid.BinW, nl.Core.XMin+c.W/2, nl.Core.XMax-c.W/2)
+				p.Y = geom.Clamp(p.Y+float64(bdy)*grid.BinH, nl.Core.YMin+c.H/2, nl.Core.YMax-c.H/2)
+				c.SetCenter(p)
+				need -= c.Area()
+			}
+		}
+	}
+}

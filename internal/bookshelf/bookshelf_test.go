@@ -1,0 +1,315 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"complx/internal/gen"
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// writeFixture writes a small hand-authored benchmark into dir and returns
+// the .aux path.
+func writeFixture(t *testing.T, dir string) string {
+	t.Helper()
+	files := map[string]string{
+		"tiny.aux": "# TargetDensity : 0.8\nRowBasedPlacement : tiny.nodes tiny.nets tiny.wts tiny.pl tiny.scl\n",
+		"tiny.nodes": `UCLA nodes 1.0
+# comment line
+NumNodes : 4
+NumTerminals : 1
+   a  2  1
+   b  3  1
+   mac 8 4
+   pad 1 1 terminal
+`,
+		"tiny.nets": `UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+NetDegree : 3  n1
+   a I : 0.5 0.0
+   b O : -1.0 0.25
+   pad I
+NetDegree : 2
+   b I
+   mac O : 2 -1
+`,
+		"tiny.wts": `UCLA wts 1.0
+n1 2.5
+net1 1.0
+`,
+		"tiny.pl": `UCLA pl 1.0
+a 10 20 : N
+b 30 40 : N
+mac 5 5 : N
+pad 0 50 : N /FIXED
+`,
+		"tiny.scl": `UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0
+  Height : 1
+  Sitewidth : 1
+  Sitespacing : 1
+  Siteorient : 1
+  Sitesymmetry : 1
+  SubrowOrigin : 0  NumSites : 100
+End
+CoreRow Horizontal
+  Coordinate : 1
+  Height : 1
+  Sitewidth : 1
+  Sitespacing : 1
+  Siteorient : 1
+  Sitesymmetry : 1
+  SubrowOrigin : 0  NumSites : 100
+End
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "tiny.aux")
+}
+
+func TestReadAux(t *testing.T) {
+	dir := t.TempDir()
+	d, err := ReadAux(writeFixture(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "tiny" {
+		t.Errorf("Name = %q", d.Name)
+	}
+	if d.TargetDensity != 0.8 {
+		t.Errorf("TargetDensity = %v", d.TargetDensity)
+	}
+	if len(d.Nodes) != 4 || len(d.Nets) != 2 || len(d.Rows) != 2 {
+		t.Fatalf("counts: %d nodes, %d nets, %d rows", len(d.Nodes), len(d.Nets), len(d.Rows))
+	}
+	if !d.Nodes[3].Terminal || d.Nodes[3].Name != "pad" {
+		t.Errorf("terminal node wrong: %+v", d.Nodes[3])
+	}
+	if !d.Nodes[3].Fixed {
+		t.Error("pad should be /FIXED")
+	}
+	if d.Nodes[0].X != 10 || d.Nodes[0].Y != 20 {
+		t.Errorf("placement of a = (%v, %v)", d.Nodes[0].X, d.Nodes[0].Y)
+	}
+	if d.Nets[0].Weight != 2.5 {
+		t.Errorf("n1 weight = %v", d.Nets[0].Weight)
+	}
+	if d.Nets[1].Name != "net1" || d.Nets[1].Weight != 1 {
+		t.Errorf("unnamed net: %+v", d.Nets[1])
+	}
+	if len(d.Nets[0].Pins) != 3 {
+		t.Fatalf("n1 pins = %d", len(d.Nets[0].Pins))
+	}
+	p := d.Nets[0].Pins[1]
+	if p.Node != "b" || p.DX != -1 || p.DY != 0.25 || p.Dir != "O" {
+		t.Errorf("pin = %+v", p)
+	}
+	if d.Rows[1].Y != 1 || d.Rows[1].XMax != 100 {
+		t.Errorf("row 1 = %+v", d.Rows[1])
+	}
+}
+
+func TestToNetlist(t *testing.T) {
+	dir := t.TempDir()
+	d, err := ReadAux(writeFixture(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := d.ToNetlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// mac (8x4, rows are height 1) must be classified as a macro.
+	mi := nl.CellByName("mac")
+	if nl.Cells[mi].Kind != netlist.Macro {
+		t.Errorf("mac kind = %v", nl.Cells[mi].Kind)
+	}
+	if nl.Cells[nl.CellByName("a")].Kind != netlist.Std {
+		t.Error("a should be std")
+	}
+	pi := nl.CellByName("pad")
+	if !nl.Cells[pi].Fixed() {
+		t.Error("pad should be fixed")
+	}
+	// Core is the union of rows: [0,100]x[0,2].
+	want := geom.Rect{XMin: 0, YMin: 0, XMax: 100, YMax: 2}
+	if nl.Core != want {
+		t.Errorf("core = %v, want %v", nl.Core, want)
+	}
+	// Movable placement carried over from .pl.
+	if nl.Cells[0].X != 10 || nl.Cells[0].Y != 20 {
+		t.Errorf("a at (%v, %v)", nl.Cells[0].X, nl.Cells[0].Y)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	nl1, density, err := ReadNetlist(writeFixture(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if density != 0.8 {
+		t.Errorf("density = %v", density)
+	}
+	out := filepath.Join(dir, "out")
+	if err := WriteNetlist(out, nl1, density); err != nil {
+		t.Fatal(err)
+	}
+	nl2, density2, err := ReadNetlist(filepath.Join(out, "tiny.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if density2 != 0.8 {
+		t.Errorf("round-trip density = %v", density2)
+	}
+	if nl2.NumCells() != nl1.NumCells() || nl2.NumNets() != nl1.NumNets() || nl2.NumPins() != nl1.NumPins() {
+		t.Fatalf("counts changed: %v vs %v", nl2.Stats(), nl1.Stats())
+	}
+	for i := range nl1.Cells {
+		c1, c2 := &nl1.Cells[i], &nl2.Cells[i]
+		if c1.Name != c2.Name || c1.W != c2.W || c1.H != c2.H || c1.Kind != c2.Kind {
+			t.Errorf("cell %d: %+v vs %+v", i, c1, c2)
+		}
+		if math.Abs(c1.X-c2.X) > 1e-9 || math.Abs(c1.Y-c2.Y) > 1e-9 {
+			t.Errorf("cell %d moved: (%v,%v) vs (%v,%v)", i, c1.X, c1.Y, c2.X, c2.Y)
+		}
+	}
+	for i := range nl1.Nets {
+		if nl1.Nets[i].Weight != nl2.Nets[i].Weight || len(nl1.Nets[i].Pins) != len(nl2.Nets[i].Pins) {
+			t.Errorf("net %d changed", i)
+		}
+	}
+	for i := range nl1.Pins {
+		if nl1.Pins[i].DX != nl2.Pins[i].DX || nl1.Pins[i].DY != nl2.Pins[i].DY {
+			t.Errorf("pin %d offsets changed", i)
+		}
+	}
+	if len(nl2.Rows) != len(nl1.Rows) {
+		t.Errorf("rows = %d vs %d", len(nl2.Rows), len(nl1.Rows))
+	}
+}
+
+func TestReadAuxMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	aux := filepath.Join(dir, "x.aux")
+	os.WriteFile(aux, []byte("RowBasedPlacement : x.nodes\n"), 0o644)
+	if _, err := ReadAux(aux); err == nil {
+		t.Error("expected error for missing .nodes")
+	}
+}
+
+func TestReadAuxEmpty(t *testing.T) {
+	dir := t.TempDir()
+	aux := filepath.Join(dir, "x.aux")
+	os.WriteFile(aux, []byte("# nothing\n"), 0o644)
+	if _, err := ReadAux(aux); err == nil || !strings.Contains(err.Error(), "no files") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNetWithUnknownNode(t *testing.T) {
+	d := &Design{
+		Name:  "bad",
+		Nodes: []Node{{Name: "a", W: 1, H: 1}},
+		Nets:  []NetDecl{{Name: "n", Weight: 1, Pins: []PinDecl{{Node: "ghost"}}}},
+	}
+	if _, err := d.ToNetlist(); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMalformedNodeLine(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"b.aux":   "RowBasedPlacement : b.nodes\n",
+		"b.nodes": "UCLA nodes 1.0\nbadline\n",
+	}
+	for n, c := range files {
+		os.WriteFile(filepath.Join(dir, n), []byte(c), 0o644)
+	}
+	if _, err := ReadAux(filepath.Join(dir, "b.aux")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+// TestRandomDesignRoundTripProperty: generated designs survive a full
+// write/read cycle bit-exactly in all structural fields.
+func TestRandomDesignRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := gen.Spec{
+			Name:      "rt",
+			NumCells:  150,
+			Seed:      seed,
+			NumMacros: int(seed % 4), MacroAreaFrac: 0.2,
+			MovableMacros: seed%2 == 0,
+		}
+		nl, err := gen.Generate(spec)
+		if err != nil {
+			return false
+		}
+		dir := t.TempDir()
+		if err := WriteNetlist(dir, nl, 0.85); err != nil {
+			return false
+		}
+		nl2, density, err := ReadNetlist(filepath.Join(dir, "rt.aux"))
+		if err != nil || density != 0.85 {
+			return false
+		}
+		if nl2.NumCells() != nl.NumCells() || nl2.NumNets() != nl.NumNets() || nl2.NumPins() != nl.NumPins() {
+			return false
+		}
+		for i := range nl.Cells {
+			a, b := &nl.Cells[i], &nl2.Cells[i]
+			if a.Name != b.Name || a.W != b.W || a.H != b.H || a.Kind != b.Kind ||
+				math.Abs(a.X-b.X) > 1e-9 || math.Abs(a.Y-b.Y) > 1e-9 {
+				return false
+			}
+		}
+		for i := range nl.Pins {
+			if nl.Pins[i] != nl2.Pins[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPl(t *testing.T) {
+	dir := t.TempDir()
+	nl, _, err := ReadNetlist(writeFixture(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plPath := filepath.Join(dir, "override.pl")
+	os.WriteFile(plPath, []byte("UCLA pl 1.0\na 77 88 : N\n"), 0o644)
+	if err := ApplyPl(plPath, nl); err != nil {
+		t.Fatal(err)
+	}
+	a := nl.Cells[nl.CellByName("a")]
+	if a.X != 77 || a.Y != 88 {
+		t.Errorf("a at (%v, %v)", a.X, a.Y)
+	}
+	// Unknown node errors out.
+	os.WriteFile(plPath, []byte("UCLA pl 1.0\nghost 1 2 : N\n"), 0o644)
+	if err := ApplyPl(plPath, nl); err == nil {
+		t.Error("expected error for unknown node")
+	}
+}

@@ -1,0 +1,505 @@
+// Package bookshelf reads and writes the UCLA/ISPD Bookshelf placement
+// format used by the ISPD 2005 and 2006 contests: .aux, .nodes, .nets, .pl,
+// .scl and .wts files.
+//
+// Conventions implemented here follow the contest definitions: node
+// positions are lower-left corners, pin offsets are measured from the node
+// center, nodes marked "terminal" (or "terminal_NI") are fixed, and movable
+// nodes taller than the row height are classified as movable macros.
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// Design holds the raw contents of a Bookshelf benchmark before conversion
+// to a netlist.
+type Design struct {
+	Name string
+	// Nodes in file order.
+	Nodes []Node
+	Nets  []NetDecl
+	Rows  []netlist.Row
+	// TargetDensity is the contest utilization target (1.0 when absent).
+	TargetDensity float64
+}
+
+// Node is one .nodes entry plus its .pl placement.
+type Node struct {
+	Name     string
+	W, H     float64
+	Terminal bool
+	X, Y     float64
+	Fixed    bool // from .pl "/FIXED"
+}
+
+// NetDecl is one .nets entry.
+type NetDecl struct {
+	Name   string
+	Weight float64
+	Pins   []PinDecl
+}
+
+// PinDecl is one pin line of a net: node name, direction and center offsets.
+type PinDecl struct {
+	Node   string
+	Dir    string
+	DX, DY float64
+}
+
+// ReadAux reads a .aux file and all files it references, returning the raw
+// design. The target density is parsed from an optional "TargetDensity : v"
+// comment line in the .aux or .scl file; it defaults to 1.0.
+func ReadAux(path string) (*Design, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	d := &Design{
+		Name:          strings.TrimSuffix(filepath.Base(path), ".aux"),
+		TargetDensity: 1.0,
+	}
+	var files []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseDensityComment(line, d)
+			continue
+		}
+		// "RowBasedPlacement : f1 f2 ..."
+		if i := strings.Index(line, ":"); i >= 0 {
+			line = line[i+1:]
+		}
+		files = append(files, strings.Fields(line)...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("bookshelf: %s lists no files", path)
+	}
+	for _, f := range files {
+		full := filepath.Join(dir, f)
+		var err error
+		switch filepath.Ext(f) {
+		case ".nodes":
+			err = withFile(full, d.readNodes)
+		case ".nets":
+			err = withFile(full, d.readNets)
+		case ".wts":
+			err = withFile(full, d.readWts)
+		case ".pl":
+			err = withFile(full, d.readPl)
+		case ".scl":
+			err = withFile(full, d.readScl)
+		default:
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bookshelf: %s: %w", f, err)
+		}
+	}
+	return d, nil
+}
+
+func parseDensityComment(line string, d *Design) {
+	// e.g. "# TargetDensity : 0.8"
+	l := strings.ToLower(line)
+	if !strings.Contains(l, "targetdensity") {
+		return
+	}
+	if i := strings.LastIndex(line, ":"); i >= 0 {
+		if v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64); err == nil && v > 0 && v <= 1 {
+			d.TargetDensity = v
+		}
+	}
+}
+
+func withFile(path string, fn func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(bufio.NewReader(f))
+}
+
+// lineScanner iterates over non-empty, non-comment lines, stripping
+// comments and the "UCLA <type> 1.0" header.
+type lineScanner struct {
+	s    *bufio.Scanner
+	line string
+	num  int
+	d    *Design
+}
+
+func newLineScanner(r io.Reader, d *Design) *lineScanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &lineScanner{s: s, d: d}
+}
+
+// next advances to the next meaningful line, returning false at EOF.
+func (ls *lineScanner) next() bool {
+	for ls.s.Scan() {
+		ls.num++
+		line := ls.s.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			if ls.d != nil {
+				parseDensityComment(line, ls.d)
+			}
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "UCLA ") {
+			continue
+		}
+		ls.line = line
+		return true
+	}
+	return false
+}
+
+func (ls *lineScanner) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", ls.num, fmt.Sprintf(format, args...))
+}
+
+// keyVal parses "Key : value" lines, returning ok=false otherwise.
+func keyVal(line string) (key, val string, ok bool) {
+	i := strings.Index(line, ":")
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+}
+
+func (d *Design) readNodes(r io.Reader) error {
+	ls := newLineScanner(r, d)
+	for ls.next() {
+		if k, _, ok := keyVal(ls.line); ok && (k == "NumNodes" || k == "NumTerminals") {
+			continue
+		}
+		f := strings.Fields(ls.line)
+		if len(f) < 3 {
+			return ls.errf("malformed node line %q", ls.line)
+		}
+		w, err1 := strconv.ParseFloat(f[1], 64)
+		h, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			return ls.errf("bad node size in %q", ls.line)
+		}
+		n := Node{Name: f[0], W: w, H: h}
+		if len(f) > 3 {
+			t := strings.ToLower(f[3])
+			if t == "terminal" || t == "terminal_ni" {
+				n.Terminal = true
+			}
+		}
+		d.Nodes = append(d.Nodes, n)
+	}
+	return ls.s.Err()
+}
+
+func (d *Design) readNets(r io.Reader) error {
+	ls := newLineScanner(r, d)
+	var cur *NetDecl
+	netCount := 0
+	for ls.next() {
+		if k, v, ok := keyVal(ls.line); ok {
+			switch k {
+			case "NumNets", "NumPins":
+				continue
+			default:
+				if strings.HasPrefix(k, "NetDegree") {
+					// "NetDegree : 3  name" (name optional)
+					fields := strings.Fields(v)
+					name := fmt.Sprintf("net%d", netCount)
+					if len(fields) >= 2 {
+						name = fields[1]
+					}
+					netCount++
+					d.Nets = append(d.Nets, NetDecl{Name: name, Weight: 1})
+					cur = &d.Nets[len(d.Nets)-1]
+					continue
+				}
+			}
+		}
+		// Pin line: "nodename I : dx dy" or "nodename O" (offsets optional).
+		if cur == nil {
+			return ls.errf("pin line before NetDegree: %q", ls.line)
+		}
+		line := ls.line
+		var dx, dy float64
+		if i := strings.Index(line, ":"); i >= 0 {
+			offs := strings.Fields(line[i+1:])
+			if len(offs) >= 2 {
+				var err1, err2 error
+				dx, err1 = strconv.ParseFloat(offs[0], 64)
+				dy, err2 = strconv.ParseFloat(offs[1], 64)
+				if err1 != nil || err2 != nil {
+					return ls.errf("bad pin offsets in %q", ls.line)
+				}
+			}
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			return ls.errf("malformed pin line %q", ls.line)
+		}
+		pin := PinDecl{Node: f[0], DX: dx, DY: dy}
+		if len(f) > 1 {
+			pin.Dir = f[1]
+		}
+		cur.Pins = append(cur.Pins, pin)
+	}
+	return ls.s.Err()
+}
+
+func (d *Design) readWts(r io.Reader) error {
+	ls := newLineScanner(r, d)
+	weights := make(map[string]float64)
+	for ls.next() {
+		f := strings.Fields(ls.line)
+		if len(f) < 2 {
+			continue
+		}
+		w, err := strconv.ParseFloat(f[1], 64)
+		if err != nil || w <= 0 {
+			continue
+		}
+		weights[f[0]] = w
+	}
+	if err := ls.s.Err(); err != nil {
+		return err
+	}
+	for i := range d.Nets {
+		if w, ok := weights[d.Nets[i].Name]; ok {
+			d.Nets[i].Weight = w
+		}
+	}
+	return nil
+}
+
+func (d *Design) readPl(r io.Reader) error {
+	pos := make(map[string]int, len(d.Nodes))
+	for i := range d.Nodes {
+		pos[d.Nodes[i].Name] = i
+	}
+	ls := newLineScanner(r, d)
+	for ls.next() {
+		line := ls.line
+		fixed := false
+		if i := strings.Index(line, "/FIXED"); i >= 0 {
+			fixed = true
+			line = line[:i]
+		}
+		if i := strings.Index(line, ":"); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		x, err1 := strconv.ParseFloat(f[1], 64)
+		y, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			return ls.errf("bad placement in %q", ls.line)
+		}
+		i, ok := pos[f[0]]
+		if !ok {
+			return ls.errf("placement for unknown node %q", f[0])
+		}
+		d.Nodes[i].X, d.Nodes[i].Y = x, y
+		if fixed {
+			d.Nodes[i].Fixed = true
+		}
+	}
+	return ls.s.Err()
+}
+
+func (d *Design) readScl(r io.Reader) error {
+	ls := newLineScanner(r, d)
+	var row *netlist.Row
+	var numSites float64
+	for ls.next() {
+		switch {
+		case strings.HasPrefix(ls.line, "CoreRow"):
+			d.Rows = append(d.Rows, netlist.Row{SiteWidth: 1})
+			row = &d.Rows[len(d.Rows)-1]
+			numSites = 0
+		case ls.line == "End":
+			if row != nil {
+				row.XMax = row.XMin + numSites*row.SiteWidth
+				row = nil
+			}
+		default:
+			if row == nil {
+				continue // NumRows header etc.
+			}
+			// Lines may carry two key:value pairs ("SubrowOrigin : x NumSites : n").
+			parts := strings.Split(ls.line, ":")
+			if len(parts) == 3 {
+				k1 := strings.TrimSpace(parts[0])
+				mid := strings.Fields(strings.TrimSpace(parts[1]))
+				if len(mid) >= 2 && strings.EqualFold(k1, "SubrowOrigin") {
+					v1, err1 := strconv.ParseFloat(mid[0], 64)
+					v2, err2 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+					if err1 != nil || err2 != nil {
+						return ls.errf("bad subrow line %q", ls.line)
+					}
+					row.XMin = v1
+					numSites = v2
+					continue
+				}
+			}
+			k, v, ok := keyVal(ls.line)
+			if !ok {
+				continue
+			}
+			val, err := strconv.ParseFloat(strings.Fields(v)[0], 64)
+			if err != nil {
+				continue
+			}
+			switch k {
+			case "Coordinate":
+				row.Y = val
+			case "Height":
+				row.Height = val
+			case "Sitewidth":
+				row.SiteWidth = val
+			}
+		}
+	}
+	return ls.s.Err()
+}
+
+// ToNetlist converts the raw design into a validated netlist. Movable nodes
+// taller than the row height are classified as macros. The core area is the
+// bounding box of all rows, or of all nodes when no rows are given.
+func (d *Design) ToNetlist() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder(d.Name)
+	rowH := 0.0
+	core := geom.Rect{XMin: 1e300, YMin: 1e300, XMax: -1e300, YMax: -1e300}
+	if len(d.Rows) > 0 {
+		rowH = d.Rows[0].Height
+		for _, r := range d.Rows {
+			core = core.Union(geom.Rect{XMin: r.XMin, YMin: r.Y, XMax: r.XMax, YMax: r.Y + r.Height})
+		}
+	} else {
+		for _, n := range d.Nodes {
+			core = core.Union(geom.RectWH(n.X, n.Y, n.W, n.H))
+		}
+	}
+	b.SetCore(core)
+	ids := make(map[string]int, len(d.Nodes))
+	for _, n := range d.Nodes {
+		var id int
+		switch {
+		case n.Terminal || n.Fixed:
+			id = b.AddFixed(n.Name, n.X, n.Y, n.W, n.H)
+		case rowH > 0 && n.H > rowH*1.5:
+			id = b.AddMacro(n.Name, n.W, n.H)
+		default:
+			id = b.AddCell(n.Name, n.W, n.H)
+		}
+		if id >= 0 {
+			ids[n.Name] = id
+		}
+	}
+	for _, nd := range d.Nets {
+		pins := make([]netlist.PinSpec, 0, len(nd.Pins))
+		for _, p := range nd.Pins {
+			id, ok := ids[p.Node]
+			if !ok {
+				return nil, fmt.Errorf("bookshelf: net %q references unknown node %q", nd.Name, p.Node)
+			}
+			pins = append(pins, netlist.PinSpec{Cell: id, DX: p.DX, DY: p.DY})
+		}
+		if len(pins) == 0 {
+			continue
+		}
+		b.AddNet(nd.Name, nd.Weight, pins)
+	}
+	for _, r := range d.Rows {
+		b.AddRow(r)
+	}
+	nl, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Apply initial placement to movable nodes too (the .pl may carry one).
+	for _, n := range d.Nodes {
+		id := ids[n.Name]
+		if nl.Cells[id].Movable() {
+			nl.Cells[id].X, nl.Cells[id].Y = n.X, n.Y
+		}
+	}
+	return nl, nil
+}
+
+// ReadNetlist reads a .aux benchmark and converts it to a netlist.
+func ReadNetlist(path string) (*netlist.Netlist, float64, error) {
+	d, err := ReadAux(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	nl, err := d.ToNetlist()
+	if err != nil {
+		return nil, 0, err
+	}
+	return nl, d.TargetDensity, nil
+}
+
+// ApplyPl overlays the placement in a .pl file onto an existing netlist:
+// every named node's position is updated (fixed cells included, matching
+// the Bookshelf convention that the .pl is authoritative).
+func ApplyPl(path string, nl *netlist.Netlist) error {
+	idx := make(map[string]int, len(nl.Cells))
+	for i := range nl.Cells {
+		idx[nl.Cells[i].Name] = i
+	}
+	err := withFile(path, func(r io.Reader) error {
+		ls := newLineScanner(r, nil)
+		for ls.next() {
+			line := ls.line
+			if i := strings.Index(line, "/FIXED"); i >= 0 {
+				line = line[:i]
+			}
+			if i := strings.Index(line, ":"); i >= 0 {
+				line = line[:i]
+			}
+			f := strings.Fields(line)
+			if len(f) < 3 {
+				continue
+			}
+			x, err1 := strconv.ParseFloat(f[1], 64)
+			y, err2 := strconv.ParseFloat(f[2], 64)
+			if err1 != nil || err2 != nil {
+				return ls.errf("bad placement in %q", ls.line)
+			}
+			i, ok := idx[f[0]]
+			if !ok {
+				return ls.errf("placement for unknown node %q", f[0])
+			}
+			nl.Cells[i].X, nl.Cells[i].Y = x, y
+		}
+		return ls.s.Err()
+	})
+	if err != nil {
+		return fmt.Errorf("bookshelf: %s: %w", path, err)
+	}
+	return nil
+}

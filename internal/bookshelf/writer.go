@@ -1,0 +1,150 @@
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"complx/internal/netlist"
+)
+
+// WriteNetlist writes nl as a complete Bookshelf benchmark (aux, nodes,
+// nets, wts, pl, scl) under dir using the design name as the file stem.
+// targetDensity is recorded as a comment in the .aux file.
+func WriteNetlist(dir string, nl *netlist.Netlist, targetDensity float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := nl.Name
+	write := func(ext string, fn func(w io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name+ext))
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		if err := fn(bw); err != nil {
+			f.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(".aux", func(w io.Writer) error {
+		if targetDensity > 0 && targetDensity < 1 {
+			fmt.Fprintf(w, "# TargetDensity : %g\n", targetDensity)
+		}
+		_, err := fmt.Fprintf(w, "RowBasedPlacement : %s.nodes %s.nets %s.wts %s.pl %s.scl\n",
+			name, name, name, name, name)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := write(".nodes", func(w io.Writer) error { return writeNodes(w, nl) }); err != nil {
+		return err
+	}
+	if err := write(".nets", func(w io.Writer) error { return writeNets(w, nl) }); err != nil {
+		return err
+	}
+	if err := write(".wts", func(w io.Writer) error { return writeWts(w, nl) }); err != nil {
+		return err
+	}
+	if err := write(".pl", func(w io.Writer) error { return WritePl(w, nl) }); err != nil {
+		return err
+	}
+	return write(".scl", func(w io.Writer) error { return writeScl(w, nl) })
+}
+
+func writeNodes(w io.Writer, nl *netlist.Netlist) error {
+	fmt.Fprintln(w, "UCLA nodes 1.0")
+	terms := 0
+	for i := range nl.Cells {
+		if nl.Cells[i].Fixed() {
+			terms++
+		}
+	}
+	fmt.Fprintf(w, "NumNodes : %d\n", len(nl.Cells))
+	fmt.Fprintf(w, "NumTerminals : %d\n", terms)
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		suffix := ""
+		if c.Fixed() {
+			suffix = " terminal"
+		}
+		if _, err := fmt.Fprintf(w, "\t%s\t%g\t%g%s\n", c.Name, c.W, c.H, suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeNets(w io.Writer, nl *netlist.Netlist) error {
+	fmt.Fprintln(w, "UCLA nets 1.0")
+	fmt.Fprintf(w, "NumNets : %d\n", len(nl.Nets))
+	fmt.Fprintf(w, "NumPins : %d\n", len(nl.Pins))
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		fmt.Fprintf(w, "NetDegree : %d  %s\n", len(n.Pins), n.Name)
+		for _, p := range n.Pins {
+			pin := &nl.Pins[p]
+			if _, err := fmt.Fprintf(w, "\t%s I : %g %g\n",
+				nl.Cells[pin.Cell].Name, pin.DX, pin.DY); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeWts(w io.Writer, nl *netlist.Netlist) error {
+	fmt.Fprintln(w, "UCLA wts 1.0")
+	for i := range nl.Nets {
+		if _, err := fmt.Fprintf(w, "%s %g\n", nl.Nets[i].Name, nl.Nets[i].Weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePl writes only the .pl placement body for nl to w.
+func WritePl(w io.Writer, nl *netlist.Netlist) error {
+	fmt.Fprintln(w, "UCLA pl 1.0")
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		suffix := ""
+		if c.Fixed() {
+			suffix = " /FIXED"
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%g\t%g\t: N%s\n", c.Name, c.X, c.Y, suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeScl(w io.Writer, nl *netlist.Netlist) error {
+	fmt.Fprintln(w, "UCLA scl 1.0")
+	fmt.Fprintf(w, "NumRows : %d\n", len(nl.Rows))
+	for _, r := range nl.Rows {
+		sw := r.SiteWidth
+		if sw <= 0 {
+			sw = 1
+		}
+		numSites := int((r.XMax - r.XMin) / sw)
+		fmt.Fprintln(w, "CoreRow Horizontal")
+		fmt.Fprintf(w, "  Coordinate : %g\n", r.Y)
+		fmt.Fprintf(w, "  Height : %g\n", r.Height)
+		fmt.Fprintf(w, "  Sitewidth : %g\n", sw)
+		fmt.Fprintf(w, "  Sitespacing : %g\n", sw)
+		fmt.Fprintf(w, "  Siteorient : 1\n")
+		fmt.Fprintf(w, "  Sitesymmetry : 1\n")
+		if _, err := fmt.Fprintf(w, "  SubrowOrigin : %g  NumSites : %d\nEnd\n", r.XMin, numSites); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package cluster implements heavy-edge netlist clustering, the coarsening
+// substrate multilevel placers (FastPlace 3.0, mPL6) build on. Pairs of
+// highly-connected movable standard cells are merged into cluster cells; the
+// coarse design places faster, and Expand maps the coarse placement back to
+// the original cells for fine-grained refinement.
+//
+// Connectivity between two cells is scored as Σ w_e/(|e|−1) over shared
+// nets — the standard clique-weighting used by first-choice clustering.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// Clustering maps a fine netlist to its coarsened version.
+type Clustering struct {
+	Fine, Coarse *netlist.Netlist
+	// coarseOf[fineCell] is the coarse cell index for every fine cell.
+	coarseOf []int
+	// members[coarseCell] lists the fine cells merged into it.
+	members [][]int
+}
+
+// Cluster coarsens nl by greedy heavy-edge matching of movable standard
+// cells. Macros, fixed cells and region-constrained cells are never
+// clustered. The result contains roughly (1−ratio/2)·n movable cells for a
+// full matching; ratio in (0, 1] bounds the fraction of cells considered
+// for matching (1 = all).
+func Cluster(nl *netlist.Netlist, ratio float64) (*Clustering, error) {
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	n := len(nl.Cells)
+	// Connectivity scoring between pairs sharing small nets.
+	type edgeKey struct{ a, b int }
+	conn := make(map[edgeKey]float64)
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		d := len(net.Pins)
+		if d < 2 || d > 8 {
+			continue // large nets contribute negligible clique weight
+		}
+		w := net.Weight / float64(d-1)
+		for i := 0; i < d; i++ {
+			ci := nl.Pins[net.Pins[i]].Cell
+			if !clusterable(nl, ci) {
+				continue
+			}
+			for j := i + 1; j < d; j++ {
+				cj := nl.Pins[net.Pins[j]].Cell
+				if ci == cj || !clusterable(nl, cj) {
+					continue
+				}
+				a, b := ci, cj
+				if a > b {
+					a, b = b, a
+				}
+				conn[edgeKey{a, b}] += w
+			}
+		}
+	}
+	type scored struct {
+		a, b int
+		w    float64
+	}
+	edges := make([]scored, 0, len(conn))
+	for k, w := range conn {
+		edges = append(edges, scored{k.a, k.b, w})
+	}
+	sort.Slice(edges, func(x, y int) bool {
+		if edges[x].w != edges[y].w {
+			return edges[x].w > edges[y].w
+		}
+		if edges[x].a != edges[y].a {
+			return edges[x].a < edges[y].a
+		}
+		return edges[x].b < edges[y].b
+	})
+
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	budget := int(ratio * float64(nl.NumMovable()) / 2)
+	matched := 0
+	for _, e := range edges {
+		if matched >= budget {
+			break
+		}
+		if mate[e.a] >= 0 || mate[e.b] >= 0 {
+			continue
+		}
+		mate[e.a], mate[e.b] = e.b, e.a
+		matched++
+	}
+
+	// Build the coarse netlist.
+	b := netlist.NewBuilder(nl.Name + "-coarse")
+	b.SetCore(nl.Core)
+	for _, r := range nl.Rows {
+		b.AddRow(r)
+	}
+	for _, r := range nl.Regions {
+		b.AddRegion(r.Name, r.Rect)
+	}
+	c := &Clustering{Fine: nl, coarseOf: make([]int, n)}
+	for i := range c.coarseOf {
+		c.coarseOf[i] = -1
+	}
+	addCoarse := func(name string, w, h float64, kind netlist.Kind, x, y float64) int {
+		switch kind {
+		case netlist.Terminal:
+			return b.AddFixed(name, x, y, w, h)
+		case netlist.Macro:
+			return b.AddMacro(name, w, h)
+		default:
+			return b.AddCell(name, w, h)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c.coarseOf[i] >= 0 {
+			continue
+		}
+		cell := &nl.Cells[i]
+		if mate[i] < 0 {
+			id := addCoarse(cell.Name, cell.W, cell.H, cell.Kind, cell.X, cell.Y)
+			if id < 0 {
+				break
+			}
+			c.coarseOf[i] = id
+			c.members = append(c.members, []int{i})
+			continue
+		}
+		j := mate[i]
+		other := &nl.Cells[j]
+		// Cluster cell: widths add, height is the row height (std cells
+		// only are clusterable).
+		id := addCoarse(cell.Name+"+"+other.Name, cell.W+other.W, cell.H, netlist.Std, 0, 0)
+		if id < 0 {
+			break
+		}
+		c.coarseOf[i] = id
+		c.coarseOf[j] = id
+		c.members = append(c.members, []int{i, j})
+	}
+	// Nets: remap pins to coarse cells, dropping nets collapsed inside one
+	// cluster and duplicate pins on the same coarse cell.
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		seen := map[int]bool{}
+		var pins []netlist.PinSpec
+		for _, p := range net.Pins {
+			cc := c.coarseOf[nl.Pins[p].Cell]
+			if seen[cc] {
+				continue
+			}
+			seen[cc] = true
+			pins = append(pins, netlist.PinSpec{Cell: cc, DX: nl.Pins[p].DX, DY: nl.Pins[p].DY})
+		}
+		if len(pins) < 2 {
+			continue
+		}
+		b.AddNet(net.Name, net.Weight, pins)
+	}
+	coarse, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c.Coarse = coarse
+	// Region constraints carry over to cluster cells (only unclustered
+	// cells can be constrained, so the mapping is 1:1).
+	for i := 0; i < n; i++ {
+		if nl.Cells[i].Region >= 0 {
+			coarse.Cells[c.coarseOf[i]].Region = nl.Cells[i].Region
+		}
+	}
+	// Initial coarse placement from the fine one.
+	for ci, mem := range c.members {
+		var p geom.Point
+		for _, i := range mem {
+			p = p.Add(nl.Cells[i].Center())
+		}
+		idx := c.coarseIndexOfGroup(ci)
+		coarse.Cells[idx].SetCenter(p.Scale(1 / float64(len(mem))))
+	}
+	return c, nil
+}
+
+// clusterable reports whether a cell may participate in matching.
+func clusterable(nl *netlist.Netlist, i int) bool {
+	cell := &nl.Cells[i]
+	return cell.Kind == netlist.Std && cell.Region < 0
+}
+
+// coarseIndexOfGroup returns the coarse cell index of member group g (the
+// groups were appended in coarse-cell creation order).
+func (c *Clustering) coarseIndexOfGroup(g int) int {
+	return c.coarseOf[c.members[g][0]]
+}
+
+// Ratio returns coarse cell count over fine cell count.
+func (c *Clustering) Ratio() float64 {
+	return float64(len(c.Coarse.Cells)) / float64(len(c.Fine.Cells))
+}
+
+// Expand writes the coarse placement back onto the fine netlist: cluster
+// members are placed side by side around the cluster center.
+func (c *Clustering) Expand() {
+	for g, mem := range c.members {
+		cc := c.Coarse.Cells[c.coarseIndexOfGroup(g)]
+		if cc.Fixed() {
+			continue
+		}
+		ctr := cc.Center()
+		if len(mem) == 1 {
+			c.Fine.Cells[mem[0]].SetCenter(ctr)
+			continue
+		}
+		// Two members: split the cluster width left/right.
+		a, b := &c.Fine.Cells[mem[0]], &c.Fine.Cells[mem[1]]
+		total := a.W + b.W
+		a.SetCenter(geom.Point{X: ctr.X - total/2 + a.W/2, Y: ctr.Y})
+		b.SetCenter(geom.Point{X: ctr.X + total/2 - b.W/2, Y: ctr.Y})
+	}
+}

@@ -1,0 +1,184 @@
+// Package congest estimates routing congestion and supports the
+// routability-driven extension of ComPLx (paper §5: SimPLR inflates movable
+// objects before the feasibility projection P_C; Ripple scales congested
+// regions). Congestion is estimated with the standard RUDY model (Rectangle
+// Uniform wire DensitY): every net smears a wire demand of
+//
+//	demand = w·(bbox width + bbox height) / bbox area
+//
+// uniformly over its bounding box, and per-bin congestion is demand divided
+// by the bin's routing capacity.
+package congest
+
+import (
+	"math"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// Map is a congestion grid over the core.
+type Map struct {
+	Core       geom.Rect
+	NX, NY     int
+	BinW, BinH float64
+	// Capacity is the routing supply per unit area (tracks per unit
+	// length in both directions combined).
+	Capacity float64
+	demand   []float64
+}
+
+// NewMap allocates a congestion map. capacity <= 0 selects 1.
+func NewMap(core geom.Rect, nx, ny int, capacity float64) *Map {
+	if nx < 1 || ny < 1 {
+		panic("congest: grid resolution must be positive")
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Map{
+		Core: core, NX: nx, NY: ny,
+		BinW: core.Width() / float64(nx), BinH: core.Height() / float64(ny),
+		Capacity: capacity,
+		demand:   make([]float64, nx*ny),
+	}
+}
+
+// Reset zeroes the demand map.
+func (m *Map) Reset() {
+	for i := range m.demand {
+		m.demand[i] = 0
+	}
+}
+
+// AddNetlist accumulates RUDY demand for every net of nl at its current
+// placement.
+func (m *Map) AddNetlist(nl *netlist.Netlist) {
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		xmin, xmax := math.Inf(1), math.Inf(-1)
+		ymin, ymax := math.Inf(1), math.Inf(-1)
+		for _, p := range net.Pins {
+			pt := nl.PinPosition(p)
+			xmin = math.Min(xmin, pt.X)
+			xmax = math.Max(xmax, pt.X)
+			ymin = math.Min(ymin, pt.Y)
+			ymax = math.Max(ymax, pt.Y)
+		}
+		// Degenerate boxes get a half-bin extent so demand stays finite.
+		if xmax-xmin < m.BinW/2 {
+			c := (xmin + xmax) / 2
+			xmin, xmax = c-m.BinW/4, c+m.BinW/4
+		}
+		if ymax-ymin < m.BinH/2 {
+			c := (ymin + ymax) / 2
+			ymin, ymax = c-m.BinH/4, c+m.BinH/4
+		}
+		box := geom.Rect{XMin: xmin, YMin: ymin, XMax: xmax, YMax: ymax}
+		wire := net.Weight * (box.Width() + box.Height())
+		density := wire / box.Area()
+		m.addRect(box, density)
+	}
+}
+
+// addRect adds demand·overlapArea to each bin the rect overlaps.
+func (m *Map) addRect(r geom.Rect, density float64) {
+	r = r.Intersect(m.Core)
+	if r.Empty() {
+		return
+	}
+	x0 := int(math.Floor((r.XMin - m.Core.XMin) / m.BinW))
+	y0 := int(math.Floor((r.YMin - m.Core.YMin) / m.BinH))
+	x1 := int(math.Ceil((r.XMax - m.Core.XMin) / m.BinW))
+	y1 := int(math.Ceil((r.YMax - m.Core.YMin) / m.BinH))
+	x0, y0 = clampInt(x0, 0, m.NX-1), clampInt(y0, 0, m.NY-1)
+	x1, y1 = clampInt(x1, 1, m.NX), clampInt(y1, 1, m.NY)
+	for iy := y0; iy < y1; iy++ {
+		for ix := x0; ix < x1; ix++ {
+			bin := geom.Rect{
+				XMin: m.Core.XMin + float64(ix)*m.BinW,
+				YMin: m.Core.YMin + float64(iy)*m.BinH,
+				XMax: m.Core.XMin + float64(ix+1)*m.BinW,
+				YMax: m.Core.YMin + float64(iy+1)*m.BinH,
+			}
+			m.demand[iy*m.NX+ix] += density * bin.OverlapArea(r)
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CongestionAt returns demand/capacity of the bin containing p.
+func (m *Map) CongestionAt(p geom.Point) float64 {
+	ix := clampInt(int((p.X-m.Core.XMin)/m.BinW), 0, m.NX-1)
+	iy := clampInt(int((p.Y-m.Core.YMin)/m.BinH), 0, m.NY-1)
+	return m.demand[iy*m.NX+ix] / (m.Capacity * m.BinW * m.BinH)
+}
+
+// Congestion returns demand/capacity for bin (ix, iy).
+func (m *Map) Congestion(ix, iy int) float64 {
+	return m.demand[iy*m.NX+ix] / (m.Capacity * m.BinW * m.BinH)
+}
+
+// Stats summarizes the map: maximum and average bin congestion, and the
+// fraction of bins above 1.0 (overflowed).
+type Stats struct {
+	Max, Avg, OverflowFrac float64
+}
+
+// Stats computes summary statistics.
+func (m *Map) Stats() Stats {
+	var st Stats
+	over := 0
+	binCap := m.Capacity * m.BinW * m.BinH
+	for _, d := range m.demand {
+		c := d / binCap
+		st.Avg += c
+		if c > st.Max {
+			st.Max = c
+		}
+		if c > 1 {
+			over++
+		}
+	}
+	n := float64(len(m.demand))
+	st.Avg /= n
+	st.OverflowFrac = float64(over) / n
+	return st
+}
+
+// InflationFactors returns a per-movable multiplicative inflation factor
+// (>= 1) from the congestion under each cell — SimPLR's preprocessing of
+// P_C: cells in congested bins are temporarily enlarged so the projection
+// separates them further. alpha scales the effect; factors are capped at
+// maxFactor.
+func (m *Map) InflationFactors(nl *netlist.Netlist, alpha, maxFactor float64) []float64 {
+	if maxFactor < 1 {
+		maxFactor = 2
+	}
+	mov := nl.Movables()
+	out := make([]float64, len(mov))
+	for k, i := range mov {
+		c := m.CongestionAt(nl.Cells[i].Center())
+		f := 1.0
+		if c > 1 {
+			f = 1 + alpha*(c-1)
+		}
+		if f > maxFactor {
+			f = maxFactor
+		}
+		out[k] = f
+	}
+	return out
+}

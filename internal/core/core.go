@@ -1,0 +1,509 @@
+// Package core implements the ComPLx global placement algorithm: a
+// projected-subgradient primal-dual Lagrange optimization (paper §3–§5).
+//
+// Each iteration alternates
+//
+//  1. a dual step — the feasibility projection P_C (package spread, with
+//     macro shredding from package shred and region snapping from package
+//     region) producing C-feasible anchor locations (x°, y°);
+//  2. a primal step — minimization of the simplified Lagrangian
+//     L°(x, y, λ) = Φ(x, y) + λ‖(x, y) − (x°, y°)‖₁ via one anchored
+//     quadratic solve (package qp) or a nonlinear log-sum-exp solve
+//     (package lse);
+//  3. the multiplier update of Formula 12 with λ₁ = Φ/(100·Π).
+//
+// Convergence is declared on the relative duality gap
+// ΔΦ = Φ(x°, y°) − Φ(x, y) (Formula 8) or when the penalty Π nearly
+// vanishes. Per-macro multipliers are scaled by macro area (paper §5) and
+// the penalty term can be weighted by per-cell criticalities (Formula 13).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"complx/internal/congest"
+	"complx/internal/density"
+	"complx/internal/geom"
+	"complx/internal/lse"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+	"complx/internal/qp"
+	"complx/internal/region"
+	"complx/internal/shred"
+	"complx/internal/sparse"
+	"complx/internal/spread"
+)
+
+// Schedule selects the multiplier update rule.
+type Schedule int
+
+const (
+	// ScheduleComPLx uses Formula 12: λ_{k+1} = min(2λ_k, λ_k + (Π_{k+1}/Π_k)·h).
+	ScheduleComPLx Schedule = iota
+	// ScheduleSimPL grows λ by a fixed increment per iteration — the
+	// pseudonet-weight schedule of the SimPL special case.
+	ScheduleSimPL
+)
+
+func (s Schedule) String() string {
+	if s == ScheduleSimPL {
+		return "simpl"
+	}
+	return "complx"
+}
+
+// Options configures a placement run.
+type Options struct {
+	// Model selects the quadratic net decomposition (default B2B).
+	Model netmodel.Model
+	// UseLSE switches the primal step to the nonlinear log-sum-exp
+	// instantiation; UsePNorm to the p,β-regularization (paper §S1). At
+	// most one may be set.
+	UseLSE   bool
+	UsePNorm bool
+	// LSEGamma is the LSE smoothing parameter (0 → 1% of core width);
+	// PNormP the p exponent (0 → 8).
+	LSEGamma float64
+	PNormP   float64
+
+	// TargetDensity is the utilization limit γ in (0, 1]; default 1.
+	TargetDensity float64
+	// MaxIterations bounds global placement iterations (default 80).
+	MaxIterations int
+	// InitialSolves is the number of unconstrained interconnect solves
+	// before the first projection (default 5).
+	InitialSolves int
+	// GapTol is the relative duality-gap convergence threshold (default 0.08).
+	GapTol float64
+	// PiTol stops when Π falls below PiTol·Π₁ (default 0.02).
+	PiTol float64
+	// MinIterations before convergence may be declared (default 8).
+	MinIterations int
+
+	// Schedule selects the λ update rule.
+	Schedule Schedule
+	// FinestGrid disables grid coarsening (Table 1 ablation).
+	FinestGrid bool
+	// OptimalLeafSpreading uses the exact 1-D PAV spreading in projection
+	// leaves (§S2's convex subproblem) instead of uniform spreading.
+	OptimalLeafSpreading bool
+	// GridMax caps the bin grid dimension (0 → 192).
+	GridMax int
+	// ProjectionRefine, when set, post-processes each projection: it is
+	// called with the netlist positioned at the anchors and may improve
+	// them in place (the "P_C += FastPlace-DP" ablation of Table 1).
+	ProjectionRefine func(nl *netlist.Netlist) error
+
+	// Routability enables the SimPLR-style routability extension (paper
+	// §5): cells in RUDY-congested bins are temporarily inflated before
+	// each feasibility projection so P_C separates them further.
+	Routability bool
+	// RoutingCapacity is the routing supply per unit area for the RUDY
+	// map; 0 self-calibrates so the initial average congestion is ~0.7.
+	RoutingCapacity float64
+	// RoutabilityAlpha scales the congestion-driven inflation (default 1).
+	RoutabilityAlpha float64
+
+	// CellPenalty weighs the penalty term per movable cell (Formula 13);
+	// nil means uniform 1.
+	CellPenalty []float64
+	// NoMacroLambdaScale disables the per-macro λ scaling of §5.
+	NoMacroLambdaScale bool
+
+	// Eps is the linearization floor (0 → 1.5× row height).
+	Eps float64
+	// CG configures the linear solver.
+	CG sparse.CGOptions
+	// OnIteration, when set, observes per-iteration statistics.
+	OnIteration func(IterStats)
+}
+
+func (o *Options) fill() {
+	if o.TargetDensity <= 0 || o.TargetDensity > 1 {
+		o.TargetDensity = 1
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 80
+	}
+	if o.InitialSolves <= 0 {
+		o.InitialSolves = 5
+	}
+	if o.GapTol <= 0 {
+		o.GapTol = 0.08
+	}
+	if o.PiTol <= 0 {
+		o.PiTol = 0.02
+	}
+	if o.MinIterations <= 0 {
+		o.MinIterations = 8
+	}
+	if o.GridMax <= 0 {
+		o.GridMax = 192
+	}
+}
+
+// IterStats records one global placement iteration (Figure 1 data).
+type IterStats struct {
+	Iter   int
+	Lambda float64
+	// Phi is the interconnect cost Φ (weighted HPWL) of the lower-bound
+	// placement; PhiUpper of the anchor (C-feasible) placement.
+	Phi, PhiUpper float64
+	// Pi is the L1 distance to the projection, L the Lagrangian Φ + λΠ.
+	Pi, L float64
+	// Overflow is the density overflow ratio of the lower-bound placement.
+	Overflow float64
+	// GridNX is the projection grid resolution used.
+	GridNX int
+}
+
+// SelfConsistency aggregates the Formula 11 check (paper §S2).
+type SelfConsistency struct {
+	// Total checks performed (one per iteration after the first).
+	Total int
+	// Consistent: premise and conclusion both held.
+	Consistent int
+	// Inconsistent: premise held, conclusion failed.
+	Inconsistent int
+	// PremiseFailed: the sufficient condition was not satisfied.
+	PremiseFailed int
+}
+
+// ConsistentFrac returns the fraction of checks that were self-consistent.
+func (s SelfConsistency) ConsistentFrac() float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	return float64(s.Consistent) / float64(s.Total)
+}
+
+// Result summarizes a placement run.
+type Result struct {
+	Iterations  int
+	Converged   bool
+	FinalLambda float64
+	// HPWL is the unweighted HPWL of the final placement; WHPWL the
+	// net-weighted value.
+	HPWL, WHPWL float64
+	// GapFinal is the last relative duality gap; BestUpper the lowest
+	// anchor-placement Φ seen during the run.
+	GapFinal, BestUpper float64
+	History             []IterStats
+	SelfCons            SelfConsistency
+}
+
+// Place runs ComPLx global placement on nl in place. The final placement is
+// the best C-feasible (anchor) placement found; it is nearly overlap-free
+// and intended to be finished by legalization and detailed placement.
+func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
+	opt.fill()
+	mov := nl.Movables()
+	if len(mov) == 0 {
+		return nil, fmt.Errorf("core: netlist %q has no movable cells", nl.Name)
+	}
+	if opt.CellPenalty != nil && len(opt.CellPenalty) != len(mov) {
+		return nil, fmt.Errorf("core: CellPenalty has %d entries for %d movables",
+			len(opt.CellPenalty), len(mov))
+	}
+
+	// Per-cell λ scale: macro area ratio (paper §5) times criticality.
+	scale := make([]float64, len(mov))
+	avgStd := avgStdArea(nl)
+	for k, i := range mov {
+		s := 1.0
+		c := &nl.Cells[i]
+		if !opt.NoMacroLambdaScale && c.Kind == netlist.Macro && avgStd > 0 {
+			s = math.Max(1, c.Area()/avgStd)
+		}
+		if opt.CellPenalty != nil {
+			s *= opt.CellPenalty[k]
+		}
+		scale[k] = s
+	}
+
+	if opt.UseLSE && opt.UsePNorm {
+		return nil, fmt.Errorf("core: UseLSE and UsePNorm are mutually exclusive")
+	}
+	solveWL := func(anchors []geom.Point, lambdas []float64) error {
+		switch {
+		case opt.UseLSE:
+			o := lse.NewObjective(nl, opt.LSEGamma)
+			o.Anchors = anchors
+			o.Lambda = lambdas
+			lse.Solve(o, lse.MinimizeOptions{MaxIter: 60})
+			return nil
+		case opt.UsePNorm:
+			o := lse.NewPNorm(nl, opt.PNormP)
+			o.Anchors = anchors
+			o.Lambda = lambdas
+			lse.SolveWith(nl, o, lse.MinimizeOptions{MaxIter: 60})
+			return nil
+		}
+		var qa *qp.Anchors
+		if anchors != nil {
+			qa = &qp.Anchors{Pos: anchors, Lambda: lambdas}
+		}
+		_, err := qp.Solve(nl, qa, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG})
+		return err
+	}
+
+	// Initial interconnect-only iterations.
+	for i := 0; i < opt.InitialSolves; i++ {
+		if err := solveWL(nil, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	shredder := shred.New(nl, opt.TargetDensity)
+	finestNX, _ := density.AutoResolution(shredder.NumItems(), 2.5, opt.GridMax)
+
+	res := &Result{}
+	var lambda, h, piFirst, piPrev float64
+	bestUpper := math.Inf(1)
+	// bestFine tracks the lowest-Φ anchor placement among finest-grid
+	// iterations: the projection there measures feasibility at full
+	// accuracy, so that iterate is the best C-feasible result of the run
+	// (the paper's refined convergence criterion reads the result from the
+	// best upper bound).
+	bestFine := math.Inf(1)
+	var bestFineAnchors []geom.Point
+	var prevPos, prevAnchors []geom.Point
+
+	for k := 1; k <= opt.MaxIterations; k++ {
+		nx := gridDim(k, finestNX, opt.FinestGrid)
+		grid := density.NewGridForNetlist(nl, nx, nx, opt.TargetDensity)
+		proj := spread.NewProjector(grid, spread.Options{OptimalLeaf: opt.OptimalLeafSpreading})
+		items := shredder.Items()
+		if opt.Routability {
+			inflateItems(nl, shredder, items, nx, &opt)
+		}
+		anchors := shredder.Interpolate(proj.Project(items))
+		region.SnapAnchors(nl, anchors)
+		if opt.ProjectionRefine != nil {
+			if err := refineAnchors(nl, anchors, opt.ProjectionRefine); err != nil {
+				return nil, err
+			}
+		}
+
+		curPos := nl.Positions()
+		pi := spread.L1Distance(curPos, anchors)
+		phi := netmodel.WeightedHPWL(nl)
+		phiUpper := evalAt(nl, anchors)
+
+		// Multiplier schedule.
+		switch {
+		case k == 1:
+			if pi <= 1e-12 {
+				// Already feasible: done before any penalized solve.
+				res.Converged = true
+				res.Iterations = 0
+				finalize(nl, res, curPos, anchors)
+				return res, nil
+			}
+			lambda = phi / (100 * pi)
+			// h is the additive scale of Formula 12. Setting it to Φ/Π (=
+			// 100·λ₁) makes the 2× cap govern the early iterations and the
+			// Π-proportional term self-regulate the later ones.
+			h = 100 * lambda
+			piFirst = pi
+		case opt.Schedule == ScheduleSimPL:
+			// SimPL's pseudonet weights ramp linearly with the iteration
+			// number; h/12 reproduces that gentler, non-adaptive growth at
+			// the ~40-60 iteration convergence range SimPL reports.
+			lambda += h / 12
+		default: // Formula 12
+			ratio := 1.0
+			if piPrev > 0 {
+				ratio = pi / piPrev
+			}
+			// The paper suggests capping λ growth at, e.g., 100% per
+			// iteration; 50% converges to slightly better wirelength on the
+			// synthetic suites at the same iteration counts.
+			lambda = math.Min(1.5*lambda, lambda+ratio*h)
+		}
+		piPrev = pi
+
+		// Self-consistency check (Formula 11) against the previous iterate.
+		if prevPos != nil {
+			res.SelfCons.Total++
+			premise := spread.L1Distance(prevPos, prevAnchors) > spread.L1Distance(curPos, prevAnchors)
+			if !premise {
+				res.SelfCons.PremiseFailed++
+			} else if spread.L1Distance(prevPos, anchors) > spread.L1Distance(curPos, anchors) {
+				res.SelfCons.Consistent++
+			} else {
+				res.SelfCons.Inconsistent++
+			}
+		}
+		prevPos, prevAnchors = curPos, anchors
+
+		grid.AccumulateMovable(nl)
+		st := IterStats{
+			Iter: k, Lambda: lambda,
+			Phi: phi, PhiUpper: phiUpper,
+			Pi: pi, L: phi + lambda*pi,
+			Overflow: grid.OverflowRatio(),
+			GridNX:   nx,
+		}
+		res.History = append(res.History, st)
+		if opt.OnIteration != nil {
+			opt.OnIteration(st)
+		}
+
+		if phiUpper < bestUpper {
+			bestUpper = phiUpper
+		}
+		if nx == finestNX {
+			// Rank finest-grid iterates by their ISPD-style scaled cost:
+			// anchor wirelength inflated by the anchors' own residual
+			// overflow (the approximate projection may leave some).
+			score := phiUpper * (1 + anchorOverflow(nl, grid, anchors))
+			if score < bestFine {
+				bestFine = score
+				bestFineAnchors = anchors
+			}
+		}
+		gap := 0.0
+		if phiUpper > 0 {
+			gap = (phiUpper - phi) / phiUpper
+		}
+		res.GapFinal = gap
+		res.Iterations = k
+		res.FinalLambda = lambda
+		if k >= opt.MinIterations && (gap < opt.GapTol || pi < opt.PiTol*piFirst) {
+			res.Converged = true
+			break
+		}
+
+		// Primal step: anchored interconnect solve.
+		lambdas := make([]float64, len(mov))
+		for i := range lambdas {
+			lambdas[i] = lambda * scale[i]
+		}
+		if err := solveWL(anchors, lambdas); err != nil {
+			return nil, err
+		}
+	}
+
+	// The result is read from the best C-feasible iterate measured at the
+	// finest projection grid (paper §4's refined criterion); earlier
+	// coarse-grid upper bounds under-measure infeasibility and are tracked
+	// only for statistics. Runs that never reach the finest grid fall back
+	// to the last anchors.
+	final := bestFineAnchors
+	if final == nil {
+		final = prevAnchors
+	}
+	if final == nil {
+		final = nl.Positions()
+	}
+	res.BestUpper = bestUpper
+	finalize(nl, res, nl.Positions(), final)
+	return res, nil
+}
+
+// finalize applies the chosen anchor placement and fills the result metrics.
+func finalize(nl *netlist.Netlist, res *Result, _, anchors []geom.Point) {
+	nl.SetPositions(anchors)
+	region.SnapPlacement(nl)
+	res.HPWL = netmodel.HPWL(nl)
+	res.WHPWL = netmodel.WeightedHPWL(nl)
+}
+
+// inflateItems applies SimPLR-style congestion-driven inflation: item
+// dimensions are scaled by sqrt of the per-cell inflation factor, so item
+// area grows by the factor. The routing capacity self-calibrates on first
+// use so the initial average congestion is ~0.7.
+func inflateItems(nl *netlist.Netlist, sh *shred.Shredder, items []spread.Item, nx int, opt *Options) {
+	if opt.RoutingCapacity <= 0 {
+		// Calibrate against a unit-capacity map: congestion there equals raw
+		// demand density, so capacity = avg/0.7 yields ~0.7 average
+		// congestion.
+		probe := congest.NewMap(nl.Core, nx, nx, 1)
+		probe.AddNetlist(nl)
+		opt.RoutingCapacity = math.Max(probe.Stats().Avg/0.7, 1e-12)
+	}
+	cm := congest.NewMap(nl.Core, nx, nx, opt.RoutingCapacity)
+	cm.AddNetlist(nl)
+	alpha := opt.RoutabilityAlpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	factors := cm.InflationFactors(nl, alpha, 2)
+	for i := range items {
+		f := math.Sqrt(factors[sh.Owner(i)])
+		items[i].W *= f
+		items[i].H *= f
+	}
+}
+
+// anchorOverflow measures the density overflow ratio of an anchor
+// placement on the given grid.
+func anchorOverflow(nl *netlist.Netlist, grid *density.Grid, anchors []geom.Point) float64 {
+	saved := nl.Positions()
+	nl.SetPositions(anchors)
+	grid.AccumulateMovable(nl)
+	ov := grid.OverflowRatio()
+	nl.SetPositions(saved)
+	return ov
+}
+
+// evalAt returns the weighted HPWL with movable centers temporarily set to
+// the given positions.
+func evalAt(nl *netlist.Netlist, pos []geom.Point) float64 {
+	saved := nl.Positions()
+	nl.SetPositions(pos)
+	v := netmodel.WeightedHPWL(nl)
+	nl.SetPositions(saved)
+	return v
+}
+
+// refineAnchors runs the user hook on the netlist positioned at the anchors
+// and reads the refined locations back, restoring the working placement.
+func refineAnchors(nl *netlist.Netlist, anchors []geom.Point, hook func(*netlist.Netlist) error) error {
+	saved := nl.Positions()
+	nl.SetPositions(anchors)
+	err := hook(nl)
+	if err == nil {
+		copy(anchors, nl.Positions())
+	}
+	nl.SetPositions(saved)
+	return err
+}
+
+// gridDim implements the coarse-to-fine grid schedule: the projection grid
+// starts at 1/8 of the finest resolution and doubles every six iterations
+// (SimPL's accuracy ramp); FinestGrid pins it to the finest resolution.
+func gridDim(iter, finest int, finestOnly bool) int {
+	if finestOnly {
+		return finest
+	}
+	shift := 3 - (iter-1)/6
+	if shift < 0 {
+		shift = 0
+	}
+	nx := finest >> uint(shift)
+	if nx < 8 {
+		nx = 8
+	}
+	if nx > finest {
+		nx = finest
+	}
+	return nx
+}
+
+func avgStdArea(nl *netlist.Netlist) float64 {
+	var a float64
+	n := 0
+	for _, i := range nl.Movables() {
+		if nl.Cells[i].Kind == netlist.Std {
+			a += nl.Cells[i].Area()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return a / float64(n)
+}

@@ -1,0 +1,563 @@
+// Package detailed refines a legal placement while preserving legality —
+// the role FastPlace-DP plays in the paper's flow. Three classic passes are
+// implemented:
+//
+//   - global moves: relocate a cell into free space inside its optimal
+//     region (the median interval of its incident nets' bounding boxes);
+//   - global swaps: exchange two equal-width cells when that lowers HPWL
+//     (vertical swaps between adjacent rows are the special case);
+//   - local reordering: exhaustively permute small windows of consecutive
+//     cells within a row.
+//
+// All moves are greedy and accepted only when the summed HPWL of the
+// affected nets strictly improves, so the refined HPWL is monotonically
+// non-increasing.
+package detailed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+)
+
+// Options tunes the refinement.
+type Options struct {
+	// Passes is the number of full sweeps (default 3).
+	Passes int
+	// Window is the local-reordering window size (default 3, max 4).
+	Window int
+	// DisableMoves/DisableSwaps/DisableReorder turn off individual passes
+	// (used by ablation benches).
+	DisableMoves   bool
+	DisableSwaps   bool
+	DisableReorder bool
+}
+
+// Stats reports what the refinement did.
+type Stats struct {
+	Passes     int
+	Moves      int
+	Swaps      int
+	Reorders   int
+	HPWLBefore float64
+	HPWLAfter  float64
+}
+
+type engine struct {
+	nl    *netlist.Netlist
+	rows  []netlist.Row
+	rowOf []int   // cell -> row index, -1 if not row-bound
+	inRow [][]int // row -> cells sorted by X
+	// blocked holds per-row x-intervals covered by fixed cells and movable
+	// macros; no standard cell may be moved into them.
+	blocked [][]geom.Interval
+
+	moves, swaps int
+}
+
+// Refine improves the legal placement of nl in place. The placement must be
+// legal on entry (see legalize.Check); legality is preserved.
+func Refine(nl *netlist.Netlist, opt Options) (Stats, error) {
+	if opt.Passes <= 0 {
+		opt.Passes = 3
+	}
+	if opt.Window <= 1 {
+		opt.Window = 3
+	}
+	if opt.Window > 4 {
+		opt.Window = 4
+	}
+	if len(nl.Rows) == 0 {
+		return Stats{}, fmt.Errorf("detailed: netlist %q has no rows", nl.Name)
+	}
+	e := &engine{nl: nl, rows: nl.Rows}
+	if err := e.index(); err != nil {
+		return Stats{}, err
+	}
+	st := Stats{HPWLBefore: netmodel.WeightedHPWL(nl)}
+	for p := 0; p < opt.Passes; p++ {
+		improved := 0
+		if !opt.DisableMoves || !opt.DisableSwaps {
+			improved += e.globalPass(opt)
+		}
+		if !opt.DisableReorder {
+			improved += e.reorderPass(opt.Window, &st)
+		}
+		st.Passes = p + 1
+		if improved == 0 {
+			break
+		}
+	}
+	st.Moves = e.moves
+	st.Swaps = e.swaps
+	st.HPWLAfter = netmodel.WeightedHPWL(nl)
+	return st, nil
+}
+
+func (e *engine) index() error {
+	nl := e.nl
+	e.rowOf = make([]int, len(nl.Cells))
+	for i := range e.rowOf {
+		e.rowOf[i] = -1
+	}
+	e.inRow = make([][]int, len(e.rows))
+	rowByY := map[float64]int{}
+	for ri, r := range e.rows {
+		rowByY[r.Y] = ri
+	}
+	for _, i := range nl.Movables() {
+		c := &nl.Cells[i]
+		if c.Kind != netlist.Std {
+			continue
+		}
+		ri, ok := rowByY[c.Y]
+		if !ok {
+			// Tolerant match for floating-point row Ys.
+			found := false
+			for y, idx := range rowByY {
+				if math.Abs(y-c.Y) < 1e-6 {
+					ri, found = idx, true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("detailed: cell %q at y=%g is not on a row", c.Name, c.Y)
+			}
+		}
+		e.rowOf[i] = ri
+		e.inRow[ri] = append(e.inRow[ri], i)
+	}
+	for ri := range e.inRow {
+		cells := e.inRow[ri]
+		sort.Slice(cells, func(a, b int) bool { return e.nl.Cells[cells[a]].X < e.nl.Cells[cells[b]].X })
+	}
+	// Obstacles: fixed cells and (already-legalized) movable macros.
+	e.blocked = make([][]geom.Interval, len(e.rows))
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind == netlist.Std {
+			continue
+		}
+		r := c.Rect()
+		for ri, row := range e.rows {
+			if r.YMin < row.Y+row.Height && r.YMax > row.Y {
+				e.blocked[ri] = append(e.blocked[ri], geom.Interval{Lo: r.XMin, Hi: r.XMax})
+			}
+		}
+	}
+	for ri := range e.blocked {
+		iv := e.blocked[ri]
+		sort.Slice(iv, func(a, b int) bool { return iv[a].Lo < iv[b].Lo })
+	}
+	return nil
+}
+
+// subtractBlocked splits [lo, hi] around the row's blocked intervals and
+// calls fn for each free piece.
+func (e *engine) subtractBlocked(ri int, lo, hi float64, fn func(lo, hi float64)) {
+	cur := lo
+	for _, b := range e.blocked[ri] {
+		if b.Hi <= cur {
+			continue
+		}
+		if b.Lo >= hi {
+			break
+		}
+		if b.Lo > cur {
+			fn(cur, b.Lo)
+		}
+		if b.Hi > cur {
+			cur = b.Hi
+		}
+	}
+	if cur < hi {
+		fn(cur, hi)
+	}
+}
+
+// affectedHPWL sums the HPWL of every net touching any of the given cells.
+func (e *engine) affectedHPWL(cells ...int) float64 {
+	seen := map[int]bool{}
+	var s float64
+	for _, ci := range cells {
+		for _, p := range e.nl.Cells[ci].Pins {
+			ni := e.nl.Pins[p].Net
+			if seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			s += e.nl.Nets[ni].Weight * netmodel.NetHPWL(e.nl, ni)
+		}
+	}
+	return s
+}
+
+// optimalPoint returns the median-interval center of the cell's incident
+// nets' bounding boxes, excluding the cell's own pins.
+func (e *engine) optimalPoint(ci int) geom.Point {
+	nl := e.nl
+	var los, his, losY, hisY []float64
+	for _, p := range nl.Cells[ci].Pins {
+		net := &nl.Nets[nl.Pins[p].Net]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		loY, hiY := math.Inf(1), math.Inf(-1)
+		cnt := 0
+		for _, q := range net.Pins {
+			if nl.Pins[q].Cell == ci {
+				continue
+			}
+			pt := nl.PinPosition(q)
+			lo = math.Min(lo, pt.X)
+			hi = math.Max(hi, pt.X)
+			loY = math.Min(loY, pt.Y)
+			hiY = math.Max(hiY, pt.Y)
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		los = append(los, lo)
+		his = append(his, hi)
+		losY = append(losY, loY)
+		hisY = append(hisY, hiY)
+	}
+	c := nl.Cells[ci].Center()
+	if len(los) == 0 {
+		return c
+	}
+	return geom.Point{X: medianInterval(los, his, c.X), Y: medianInterval(losY, hisY, c.Y)}
+}
+
+// medianInterval returns the point of the median interval closest to cur.
+func medianInterval(los, his []float64, cur float64) float64 {
+	all := make([]float64, 0, len(los)+len(his))
+	all = append(all, los...)
+	all = append(all, his...)
+	sort.Float64s(all)
+	m := len(all) / 2
+	lo, hi := all[m-1], all[m]
+	return geom.Clamp(cur, lo, hi)
+}
+
+// globalPass tries moves and swaps for every standard cell; returns the
+// number of accepted changes.
+func (e *engine) globalPass(opt Options) int {
+	accepted := 0
+	for _, i := range e.nl.Movables() {
+		if e.rowOf[i] < 0 || e.nl.Cells[i].Region >= 0 {
+			continue
+		}
+		goal := e.optimalPoint(i)
+		c := &e.nl.Cells[i]
+		if math.Abs(goal.X-c.Center().X) < c.W && math.Abs(goal.Y-c.Center().Y) < c.H {
+			continue // already near optimal
+		}
+		if !opt.DisableMoves && e.tryMove(i, goal) {
+			accepted++
+			continue
+		}
+		if !opt.DisableSwaps && e.trySwap(i, goal) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// tryMove relocates cell i into a free gap near goal if that improves HPWL.
+func (e *engine) tryMove(i int, goal geom.Point) bool {
+	nl := e.nl
+	c := &nl.Cells[i]
+	// Candidate rows: the two rows nearest to goal.Y plus the current row.
+	rows := e.nearRows(goal.Y, 2)
+	bestGain := 1e-9
+	bestRow, bestX := -1, 0.0
+	before := e.affectedHPWL(i)
+	oldX, oldY, oldRow := c.X, c.Y, e.rowOf[i]
+	for _, ri := range rows {
+		x, ok := e.gapFor(ri, i, goal.X, c.W)
+		if !ok {
+			continue
+		}
+		c.X, c.Y = x, e.rows[ri].Y
+		after := e.affectedHPWL(i)
+		c.X, c.Y = oldX, oldY
+		if gain := before - after; gain > bestGain {
+			bestGain, bestRow, bestX = gain, ri, x
+		}
+	}
+	if bestRow < 0 {
+		return false
+	}
+	c.X, c.Y = bestX, e.rows[bestRow].Y
+	e.moveCell(i, oldRow, bestRow)
+	e.moves++
+	return true
+}
+
+// trySwap exchanges cell i with an equal-width cell near goal.
+func (e *engine) trySwap(i int, goal geom.Point) bool {
+	nl := e.nl
+	ci := &nl.Cells[i]
+	rows := e.nearRows(goal.Y, 1)
+	for _, ri := range rows {
+		j := e.cellNear(ri, goal.X)
+		if j < 0 || j == i {
+			continue
+		}
+		cj := &nl.Cells[j]
+		if cj.Region >= 0 || math.Abs(ci.W-cj.W) > 1e-9 {
+			continue
+		}
+		before := e.affectedHPWL(i, j)
+		xi, yi, xj, yj := ci.X, ci.Y, cj.X, cj.Y
+		ci.X, ci.Y, cj.X, cj.Y = xj, yj, xi, yi
+		after := e.affectedHPWL(i, j)
+		if after < before-1e-9 {
+			ri2, rj2 := e.rowOf[i], e.rowOf[j]
+			e.swapCells(i, j, ri2, rj2)
+			e.swaps++
+			return true
+		}
+		ci.X, ci.Y, cj.X, cj.Y = xi, yi, xj, yj
+	}
+	return false
+}
+
+// reorderPass permutes windows of consecutive cells within each row.
+func (e *engine) reorderPass(window int, st *Stats) int {
+	accepted := 0
+	perms := permutations(window)
+	for ri := range e.inRow {
+		cells := e.inRow[ri]
+		for s := 0; s+window <= len(cells); s++ {
+			win := cells[s : s+window]
+			if e.tryReorder(win, perms) {
+				accepted++
+				st.Reorders++
+				// Re-sort the window slice by X to keep row order.
+				sort.Slice(win, func(a, b int) bool { return e.nl.Cells[win[a]].X < e.nl.Cells[win[b]].X })
+			}
+		}
+	}
+	return accepted
+}
+
+// tryReorder packs the window cells left-to-right in each permutation order
+// within their original span and keeps the best arrangement.
+func (e *engine) tryReorder(win []int, perms [][]int) bool {
+	nl := e.nl
+	n := len(win)
+	for _, ci := range win {
+		if nl.Cells[ci].Region >= 0 {
+			return false
+		}
+	}
+	lo := nl.Cells[win[0]].X
+	hi := nl.Cells[win[n-1]].X + nl.Cells[win[n-1]].W
+	// Packing left would slide cells across any obstacle inside the span.
+	ri := e.rowOf[win[0]]
+	for _, b := range e.blocked[ri] {
+		if b.Lo < hi && b.Hi > lo {
+			return false
+		}
+	}
+	origX := make([]float64, n)
+	var width float64
+	for k, ci := range win {
+		origX[k] = nl.Cells[ci].X
+		width += nl.Cells[ci].W
+	}
+	if width > hi-lo+1e-9 {
+		return false
+	}
+	before := e.affectedHPWL(win...)
+	bestGain := 1e-9
+	var bestX []float64
+	for _, perm := range perms {
+		x := lo
+		candX := make([]float64, n)
+		ok := true
+		for _, pi := range perm {
+			candX[pi] = x
+			x += nl.Cells[win[pi]].W
+		}
+		if x > hi+1e-9 {
+			ok = false
+		}
+		if !ok {
+			continue
+		}
+		for k, ci := range win {
+			nl.Cells[ci].X = candX[k]
+		}
+		after := e.affectedHPWL(win...)
+		for k, ci := range win {
+			nl.Cells[ci].X = origX[k]
+		}
+		if gain := before - after; gain > bestGain {
+			bestGain = gain
+			bestX = append([]float64(nil), candX...)
+		}
+	}
+	if bestX == nil {
+		return false
+	}
+	for k, ci := range win {
+		nl.Cells[ci].X = bestX[k]
+	}
+	return true
+}
+
+// permutations returns all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// nearRows returns up to 2*radius+1 row indices closest to y.
+func (e *engine) nearRows(y float64, radius int) []int {
+	best := 0
+	bestD := math.Inf(1)
+	for ri, r := range e.rows {
+		if d := math.Abs(r.Y - y); d < bestD {
+			bestD, best = d, ri
+		}
+	}
+	var out []int
+	for d := -radius; d <= radius; d++ {
+		ri := best + d
+		if ri >= 0 && ri < len(e.rows) {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// gapFor finds a free x position in row ri for a cell of width w near
+// wantX, ignoring cell skip (which is being moved). Site alignment follows
+// the row's site width.
+func (e *engine) gapFor(ri, skip int, wantX, w float64) (float64, bool) {
+	r := e.rows[ri]
+	site := r.SiteWidth
+	if site <= 0 {
+		site = 1
+	}
+	// Build gap list from the sorted row cells.
+	prevEnd := r.XMin
+	bestX, ok := 0.0, false
+	bestCost := math.Inf(1)
+	consider := func(gapLo, gapHi float64) {
+		if gapHi-gapLo < w-1e-9 {
+			return
+		}
+		x := geom.Clamp(wantX, gapLo, gapHi-w)
+		x = r.XMin + math.Round((x-r.XMin)/site)*site
+		for x < gapLo-1e-9 {
+			x += site
+		}
+		for x+w > gapHi+1e-9 {
+			x -= site
+		}
+		if x < gapLo-1e-9 {
+			return
+		}
+		if cost := math.Abs(x - wantX); cost < bestCost {
+			bestCost, bestX, ok = cost, x, true
+		}
+	}
+	freeGap := func(lo, hi float64) { e.subtractBlocked(ri, lo, hi, consider) }
+	for _, ci := range e.inRow[ri] {
+		if ci == skip {
+			continue
+		}
+		c := &e.nl.Cells[ci]
+		freeGap(prevEnd, c.X)
+		if c.X+c.W > prevEnd {
+			prevEnd = c.X + c.W
+		}
+	}
+	freeGap(prevEnd, r.XMax)
+	return bestX, ok
+}
+
+// cellNear returns the row cell whose center is closest to x.
+func (e *engine) cellNear(ri int, x float64) int {
+	cells := e.inRow[ri]
+	if len(cells) == 0 {
+		return -1
+	}
+	k := sort.Search(len(cells), func(a int) bool { return e.nl.Cells[cells[a]].X >= x })
+	best, bestD := -1, math.Inf(1)
+	for _, cand := range []int{k - 1, k} {
+		if cand < 0 || cand >= len(cells) {
+			continue
+		}
+		ci := cells[cand]
+		if d := math.Abs(e.nl.Cells[ci].Center().X - x); d < bestD {
+			bestD, best = d, ci
+		}
+	}
+	return best
+}
+
+// moveCell updates the row indexes after relocating cell i.
+func (e *engine) moveCell(i, fromRow, toRow int) {
+	e.removeFromRow(i, fromRow)
+	e.insertIntoRow(i, toRow)
+	e.rowOf[i] = toRow
+}
+
+func (e *engine) swapCells(i, j, ri, rj int) {
+	if ri == rj {
+		// Same row: positions swapped; re-sort.
+		cells := e.inRow[ri]
+		sort.Slice(cells, func(a, b int) bool { return e.nl.Cells[cells[a]].X < e.nl.Cells[cells[b]].X })
+		return
+	}
+	e.removeFromRow(i, ri)
+	e.removeFromRow(j, rj)
+	e.insertIntoRow(i, rj)
+	e.insertIntoRow(j, ri)
+	e.rowOf[i], e.rowOf[j] = rj, ri
+}
+
+func (e *engine) removeFromRow(i, ri int) {
+	cells := e.inRow[ri]
+	for k, ci := range cells {
+		if ci == i {
+			e.inRow[ri] = append(cells[:k], cells[k+1:]...)
+			return
+		}
+	}
+}
+
+func (e *engine) insertIntoRow(i, ri int) {
+	cells := e.inRow[ri]
+	x := e.nl.Cells[i].X
+	k := sort.Search(len(cells), func(a int) bool { return e.nl.Cells[cells[a]].X >= x })
+	cells = append(cells, 0)
+	copy(cells[k+1:], cells[k:])
+	cells[k] = i
+	e.inRow[ri] = cells
+}

@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4) on the synthetic ISPD-analog benchmark suites.
+// Each experiment returns structured rows and can print a formatted table,
+// so the same code backs cmd/experiments, the root bench harness and the
+// integration tests.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"complx/internal/core"
+	"complx/internal/gen"
+	"complx/internal/netlist"
+)
+
+// Config controls experiment scope.
+type Config struct {
+	// Scale multiplies benchmark cell counts (default 1.0). Benches use a
+	// small scale to stay fast.
+	Scale float64
+	// MaxBenchmarks truncates each suite (0 = all).
+	MaxBenchmarks int
+}
+
+func (c *Config) fill() {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+}
+
+func (c *Config) suite2005() []gen.Spec { return c.trim(scaleAll(gen.Suite2005(), c.Scale)) }
+func (c *Config) suite2006() []gen.Spec { return c.trim(scaleAll(gen.Suite2006(), c.Scale)) }
+
+func (c *Config) trim(specs []gen.Spec) []gen.Spec {
+	if c.MaxBenchmarks > 0 && len(specs) > c.MaxBenchmarks {
+		return specs[:c.MaxBenchmarks]
+	}
+	return specs
+}
+
+func scaleAll(specs []gen.Spec, f float64) []gen.Spec {
+	out := make([]gen.Spec, len(specs))
+	for i, s := range specs {
+		out[i] = gen.Scaled(s, f)
+	}
+	return out
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// flowResult is one full placement run's metrics.
+type flowResult struct {
+	HPWL, Scaled, Penalty float64
+	Iterations            int
+	FinalLambda           float64
+	SelfCons              core.SelfConsistency
+	Runtime               time.Duration
+}
+
+// durSec formats a duration in seconds with two decimals.
+func durSec(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// fresh generates a benchmark netlist, failing loudly on generator errors.
+func fresh(spec gen.Spec) (*netlist.Netlist, error) {
+	return gen.Generate(spec)
+}
+
+// Run dispatches an experiment by id ("table1", "table2", "figure1" ...
+// "figure5", "s2") and writes its report to w.
+func Run(id string, w io.Writer, cfg Config) error {
+	switch id {
+	case "table1":
+		_, err := Table1(w, cfg)
+		return err
+	case "table2":
+		_, err := Table2(w, cfg)
+		return err
+	case "figure1":
+		_, err := Figure1(w, cfg)
+		return err
+	case "figure2":
+		_, err := Figure2(w, cfg)
+		return err
+	case "figure3":
+		_, err := Figure3(w, cfg)
+		return err
+	case "figure4":
+		_, err := Figure4(w, cfg)
+		return err
+	case "figure5":
+		_, err := Figure5(w, cfg)
+		return err
+	case "s2":
+		_, err := S2(w, cfg)
+		return err
+	case "ablation":
+		_, err := Ablation(w, cfg)
+		return err
+	case "s3runtime":
+		_, err := RuntimeScaling(w, cfg)
+		return err
+	case "structured":
+		_, err := Structured(w, cfg)
+		return err
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}
+
+// All lists the experiment ids in paper order.
+func All() []string {
+	return []string{"table1", "table2", "figure1", "figure2", "figure3", "figure4", "figure5", "s2", "ablation", "s3runtime", "structured"}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"time"
+
+	"complx/internal/baseline"
+	"complx/internal/core"
+	"complx/internal/density"
+	"complx/internal/detailed"
+	"complx/internal/legalize"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+)
+
+// flowOptions mirrors the public flow configuration for experiment runs.
+type flowOptions struct {
+	algorithm     string // "complx", "simpl", "fastplace-cs", "nlp"
+	targetDensity float64
+	finestGrid    bool
+	projectionDP  bool
+	maxIterations int
+	skipLegal     bool
+	onIteration   func(core.IterStats)
+}
+
+// runFlow executes global placement + legalization + detailed placement and
+// measures the metrics the paper's tables report.
+func runFlow(nl *netlist.Netlist, opt flowOptions) (flowResult, error) {
+	if opt.targetDensity <= 0 || opt.targetDensity > 1 {
+		opt.targetDensity = 1
+	}
+	start := time.Now()
+	var fr flowResult
+	coreOpt := core.Options{
+		TargetDensity: opt.targetDensity,
+		FinestGrid:    opt.finestGrid,
+		MaxIterations: opt.maxIterations,
+		OnIteration:   opt.onIteration,
+	}
+	if opt.projectionDP {
+		coreOpt.ProjectionRefine = func(n *netlist.Netlist) error {
+			if err := legalize.Legalize(n, legalize.Options{}); err != nil {
+				return nil // best-effort refinement
+			}
+			detailed.Refine(n, detailed.Options{Passes: 1})
+			return nil
+		}
+	}
+	switch opt.algorithm {
+	case "", "complx":
+		r, err := core.Place(nl, coreOpt)
+		if err != nil {
+			return fr, err
+		}
+		fr.Iterations = r.Iterations
+		fr.FinalLambda = r.FinalLambda
+		fr.SelfCons = r.SelfCons
+	case "simpl":
+		r, err := baseline.SimPL(nl, coreOpt)
+		if err != nil {
+			return fr, err
+		}
+		fr.Iterations = r.Iterations
+		fr.FinalLambda = r.FinalLambda
+		fr.SelfCons = r.SelfCons
+	case "fastplace-cs":
+		r, err := baseline.FastPlaceCS(nl, baseline.FPOptions{TargetDensity: opt.targetDensity})
+		if err != nil {
+			return fr, err
+		}
+		fr.Iterations = r.Iterations
+	case "nlp":
+		r, err := baseline.NLP(nl, baseline.NLPOptions{TargetDensity: opt.targetDensity})
+		if err != nil {
+			return fr, err
+		}
+		fr.Iterations = r.Iterations
+	case "rql":
+		r, err := baseline.RQL(nl, baseline.RQLOptions{TargetDensity: opt.targetDensity})
+		if err != nil {
+			return fr, err
+		}
+		fr.Iterations = r.Iterations
+	}
+	if !opt.skipLegal && len(nl.Rows) > 0 {
+		if err := legalize.Legalize(nl, legalize.Options{}); err != nil {
+			return fr, err
+		}
+		if _, err := detailed.Refine(nl, detailed.Options{}); err != nil {
+			return fr, err
+		}
+	}
+	fr.HPWL = netmodel.HPWL(nl)
+	fr.Scaled, fr.Penalty = scaledHPWL(nl, opt.targetDensity)
+	fr.Runtime = time.Since(start)
+	return fr, nil
+}
+
+// scaledHPWL evaluates the ISPD 2006 contest metric on the contest's
+// ten-row-height bin grid.
+func scaledHPWL(nl *netlist.Netlist, target float64) (scaled, penaltyPercent float64) {
+	g := density.ContestGrid(nl, target)
+	g.AccumulateMovable(nl)
+	return g.ScaledHPWL(netmodel.HPWL(nl)), g.PenaltyPercent()
+}

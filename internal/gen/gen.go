@@ -1,0 +1,460 @@
+// Package gen generates deterministic synthetic benchmarks that stand in
+// for the proprietary ISPD 2005/2006 contest circuits (see DESIGN.md §2).
+//
+// Each design is built around a "natural placement": standard cells get
+// home locations on a jittered grid, and nets are drawn mostly between
+// cells that are close in home space with a power-law reach distribution —
+// the locality structure Rent's rule induces in real netlists and the
+// property that makes wirelength-versus-spreading trade-offs realistic.
+// Macros, fixed I/O pads on the periphery, obstacle-style fixed macros
+// (ISPD 2005) and movable macros with density targets (ISPD 2006) are all
+// supported.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name     string
+	NumCells int // movable standard cells
+	Seed     int64
+
+	// NetsPerCell scales net count (default 1.05).
+	NetsPerCell float64
+	// AvgDegreeExtra is the mean of the geometric part of net degree above
+	// 2 (default 1.5, giving mean degree ~3.5, capped at 12).
+	AvgDegreeExtra float64
+	// GlobalNetFrac is the fraction of nets drawn uniformly instead of
+	// locally (default 0.06).
+	GlobalNetFrac float64
+	// Reach is the base locality radius in home-grid cells (default 3).
+	Reach float64
+
+	// NumMacros and MacroAreaFrac configure macro blocks. MovableMacros
+	// selects ISPD-2006-style movable macros; otherwise macros are fixed
+	// obstacles as in ISPD 2005.
+	NumMacros     int
+	MacroAreaFrac float64
+	MovableMacros bool
+
+	// NumPads places fixed I/O pads on the core boundary (default
+	// 2·sqrt(NumCells)).
+	NumPads int
+
+	// Utilization is movable area / free core area (default 0.7).
+	Utilization float64
+	// TargetDensity is the placement density limit γ (default 1.0).
+	TargetDensity float64
+}
+
+func (s *Spec) fill() {
+	if s.NetsPerCell <= 0 {
+		s.NetsPerCell = 1.05
+	}
+	if s.AvgDegreeExtra <= 0 {
+		s.AvgDegreeExtra = 1.5
+	}
+	if s.GlobalNetFrac < 0 {
+		s.GlobalNetFrac = 0
+	} else if s.GlobalNetFrac == 0 {
+		s.GlobalNetFrac = 0.06
+	}
+	if s.Reach <= 0 {
+		s.Reach = 3
+	}
+	if s.NumPads <= 0 {
+		s.NumPads = 2 * int(math.Sqrt(float64(s.NumCells)))
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		s.Utilization = 0.7
+	}
+	if s.TargetDensity <= 0 || s.TargetDensity > 1 {
+		s.TargetDensity = 1.0
+	}
+}
+
+// Generate builds the netlist for a spec. The same spec always produces the
+// same design.
+func Generate(spec Spec) (*netlist.Netlist, error) {
+	spec.fill()
+	if spec.NumCells < 4 {
+		return nil, fmt.Errorf("gen: NumCells %d too small", spec.NumCells)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := netlist.NewBuilder(spec.Name)
+
+	// Standard cell sizes: widths 1..3 (mean 2), height 1.
+	widths := make([]float64, spec.NumCells)
+	var stdArea float64
+	for i := range widths {
+		widths[i] = float64(1 + rng.Intn(3))
+		stdArea += widths[i]
+	}
+	macroArea := 0.0
+	if spec.NumMacros > 0 && spec.MacroAreaFrac > 0 {
+		macroArea = stdArea * spec.MacroAreaFrac / (1 - spec.MacroAreaFrac)
+	}
+
+	// Core sizing. Movable area must fit under utilization; fixed macros
+	// additionally consume core area.
+	movArea := stdArea
+	obstacleArea := 0.0
+	if spec.MovableMacros {
+		movArea += macroArea
+	} else {
+		obstacleArea = macroArea
+	}
+	coreArea := movArea/(spec.Utilization*spec.TargetDensity) + obstacleArea
+	side := math.Ceil(math.Sqrt(coreArea))
+	core := geom.Rect{XMax: side, YMax: side}
+	b.SetCore(core)
+
+	// Home grid for standard cells.
+	cols := int(math.Ceil(math.Sqrt(float64(spec.NumCells))))
+	rows := (spec.NumCells + cols - 1) / cols
+	cellW := side / float64(cols)
+	cellH := side / float64(rows)
+	homes := make([]geom.Point, spec.NumCells)
+	ids := make([]int, spec.NumCells)
+	perm := rng.Perm(spec.NumCells) // scatter cell index vs. home position
+	for i := 0; i < spec.NumCells; i++ {
+		slot := perm[i]
+		gx, gy := slot%cols, slot/cols
+		homes[i] = geom.Point{
+			X: (float64(gx) + 0.2 + 0.6*rng.Float64()) * cellW,
+			Y: (float64(gy) + 0.2 + 0.6*rng.Float64()) * cellH,
+		}
+		ids[i] = b.AddCell(fmt.Sprintf("o%d", i), widths[i], 1)
+	}
+
+	// Macros: sized as squares (rounded to integers), homed in a coarse
+	// scatter; fixed macros keep those spots as obstacles.
+	var macroIDs []int
+	if spec.NumMacros > 0 && macroArea > 0 {
+		per := macroArea / float64(spec.NumMacros)
+		mside := math.Max(2, math.Round(math.Sqrt(per)))
+		for m := 0; m < spec.NumMacros; m++ {
+			x := math.Round((side - mside) * rng.Float64())
+			y := math.Round((side - mside) * rng.Float64())
+			name := fmt.Sprintf("m%d", m)
+			if spec.MovableMacros {
+				id := b.AddMacro(name, mside, mside)
+				macroIDs = append(macroIDs, id)
+			} else {
+				id := b.AddFixed(name, x, y, mside, mside)
+				macroIDs = append(macroIDs, id)
+			}
+		}
+	}
+
+	// Pads on the periphery.
+	var padIDs []int
+	for p := 0; p < spec.NumPads; p++ {
+		t := rng.Float64() * 4
+		var x, y float64
+		switch {
+		case t < 1:
+			x, y = t*side, 0
+		case t < 2:
+			x, y = side-1, (t-1)*side
+		case t < 3:
+			x, y = (t-2)*side, side-1
+		default:
+			x, y = 0, (t-3)*side
+		}
+		x = geom.Clamp(math.Floor(x), 0, side-1)
+		y = geom.Clamp(math.Floor(y), 0, side-1)
+		padIDs = append(padIDs, b.AddFixed(fmt.Sprintf("p%d", p), x, y, 1, 1))
+	}
+
+	// Home-grid buckets for locality sampling.
+	bucket := make([][]int, cols*rows)
+	for i, h := range homes {
+		bx := int(geom.Clamp(h.X/cellW, 0, float64(cols-1)))
+		by := int(geom.Clamp(h.Y/cellH, 0, float64(rows-1)))
+		bucket[by*cols+bx] = append(bucket[by*cols+bx], i)
+	}
+	pickNear := func(seed int, reach float64) int {
+		h := homes[seed]
+		for tries := 0; tries < 16; tries++ {
+			ang := 2 * math.Pi * rng.Float64()
+			// Power-law reach: mostly short hops, occasional long ones.
+			r := reach * math.Pow(rng.Float64(), 2) * (1 + 9*math.Pow(rng.Float64(), 8))
+			bx := int(geom.Clamp((h.X+r*cellW*math.Cos(ang))/cellW, 0, float64(cols-1)))
+			by := int(geom.Clamp((h.Y+r*cellH*math.Sin(ang))/cellH, 0, float64(rows-1)))
+			cands := bucket[by*cols+bx]
+			if len(cands) > 0 {
+				return cands[rng.Intn(len(cands))]
+			}
+		}
+		return rng.Intn(spec.NumCells)
+	}
+
+	numNets := int(float64(spec.NumCells) * spec.NetsPerCell)
+	pGeom := 1 / (1 + spec.AvgDegreeExtra)
+	for n := 0; n < numNets; n++ {
+		deg := 2
+		for deg < 12 && rng.Float64() > pGeom {
+			deg++
+		}
+		seen := map[int]bool{}
+		var pins []netlist.PinSpec
+		addCellPin := func(ci int) {
+			if seen[ci] {
+				return
+			}
+			seen[ci] = true
+			pins = append(pins, netlist.PinSpec{
+				Cell: ci,
+				DX:   (rng.Float64() - 0.5) * 0.8,
+				DY:   (rng.Float64() - 0.5) * 0.8,
+			})
+		}
+		global := rng.Float64() < spec.GlobalNetFrac
+		seed := rng.Intn(spec.NumCells)
+		addCellPin(ids[seed])
+		stuck := 0
+		for len(pins) < deg && stuck < 24 {
+			ci := -1
+			if global {
+				ci = ids[rng.Intn(spec.NumCells)]
+			} else {
+				// Retry with growing reach: buckets hold ~1 cell, so the
+				// first candidates are often already on the net.
+				for tries := 0; tries < 8; tries++ {
+					cand := ids[pickNear(seed, spec.Reach*(1+float64(tries)))]
+					if !seen[cand] {
+						ci = cand
+						break
+					}
+				}
+			}
+			if ci < 0 || seen[ci] {
+				stuck++
+				continue
+			}
+			addCellPin(ci)
+		}
+		// A slice of nets touch pads or macros.
+		if len(padIDs) > 0 && rng.Float64() < 0.08 {
+			pad := padIDs[rng.Intn(len(padIDs))]
+			if !seen[pad] {
+				seen[pad] = true
+				pins = append(pins, netlist.PinSpec{Cell: pad})
+			}
+		}
+		if len(macroIDs) > 0 && rng.Float64() < 0.10 {
+			mc := macroIDs[rng.Intn(len(macroIDs))]
+			if !seen[mc] {
+				seen[mc] = true
+				pins = append(pins, netlist.PinSpec{
+					Cell: mc,
+					DX:   (rng.Float64() - 0.5) * 2,
+					DY:   (rng.Float64() - 0.5) * 2,
+				})
+			}
+		}
+		if len(pins) < 2 {
+			continue
+		}
+		b.AddNet(fmt.Sprintf("n%d", n), 1, pins)
+	}
+
+	b.AddUniformRows(int(side), 1, 1)
+	nl, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Initial positions: standard cells at their homes, movable macros
+	// scattered (non-overlap not required before placement).
+	for i := 0; i < spec.NumCells; i++ {
+		nl.Cells[ids[i]].SetCenter(homes[i])
+	}
+	if spec.MovableMacros {
+		for _, id := range macroIDs {
+			c := &nl.Cells[id]
+			c.X = math.Round((side - c.W) * rng.Float64())
+			c.Y = math.Round((side - c.H) * rng.Float64())
+		}
+	}
+	return nl, nil
+}
+
+// Benchmark couples a spec with the density target its Table-2 row uses.
+type Benchmark struct {
+	Spec          Spec
+	TargetDensity float64
+}
+
+// Suite2005 returns the eight ISPD 2005 analogs (fixed macros, no density
+// target, γ = 1).
+func Suite2005() []Spec {
+	mk := func(name string, n int, seed int64, macros int, frac float64, util float64) Spec {
+		return Spec{
+			Name: name, NumCells: n, Seed: seed,
+			NumMacros: macros, MacroAreaFrac: frac,
+			Utilization: util,
+		}
+	}
+	return []Spec{
+		mk("adaptec1", 4000, 101, 8, 0.25, 0.72),
+		mk("adaptec2", 5000, 102, 10, 0.30, 0.65),
+		mk("adaptec3", 7000, 103, 12, 0.30, 0.60),
+		mk("adaptec4", 8000, 104, 12, 0.25, 0.55),
+		mk("bigblue1", 6000, 105, 6, 0.15, 0.70),
+		mk("bigblue2", 9000, 106, 16, 0.35, 0.55),
+		mk("bigblue3", 12000, 107, 14, 0.30, 0.60),
+		mk("bigblue4", 16000, 108, 20, 0.30, 0.50),
+	}
+}
+
+// Suite2006 returns the eight ISPD 2006 analogs (movable macros, per-design
+// density targets from Table 2 of the paper).
+func Suite2006() []Spec {
+	mk := func(name string, n int, seed int64, macros int, frac, util, target float64) Spec {
+		return Spec{
+			Name: name, NumCells: n, Seed: seed,
+			NumMacros: macros, MacroAreaFrac: frac, MovableMacros: true,
+			Utilization: util, TargetDensity: target,
+		}
+	}
+	return []Spec{
+		mk("adaptec5", 8000, 201, 10, 0.20, 0.45, 0.50),
+		mk("newblue1", 4000, 202, 12, 0.25, 0.65, 0.80),
+		mk("newblue2", 5000, 203, 14, 0.30, 0.70, 0.90),
+		mk("newblue3", 6000, 204, 8, 0.20, 0.60, 0.80),
+		mk("newblue4", 6000, 205, 10, 0.25, 0.45, 0.50),
+		mk("newblue5", 9000, 206, 12, 0.25, 0.45, 0.50),
+		mk("newblue6", 10000, 207, 10, 0.20, 0.60, 0.80),
+		mk("newblue7", 12000, 208, 14, 0.25, 0.60, 0.80),
+	}
+}
+
+// ByName finds a spec in either suite.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite2005() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range Suite2006() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Scaled returns a copy of the spec with the cell count scaled by f (for
+// fast test/bench variants).
+func Scaled(s Spec, f float64) Spec {
+	s.NumCells = int(float64(s.NumCells) * f)
+	if s.NumCells < 100 {
+		s.NumCells = 100
+	}
+	s.NumMacros = int(float64(s.NumMacros)*f + 0.5)
+	return s
+}
+
+// MeshSpec describes a structured mesh circuit: a W×H grid of cells where
+// each cell connects to its right and upper neighbor (plus I/O pads on the
+// west and east edges). The "natural" placement — cells at their grid
+// coordinates — is wirelength-optimal up to boundary effects, which makes
+// meshes the classic probe for how far placers stay from manual layouts on
+// structured logic (Ward et al., ISPD 2011; cited in the paper's intro).
+type MeshSpec struct {
+	Name       string
+	Cols, Rows int
+	// Utilization spaces the natural grid (default 0.5).
+	Utilization float64
+}
+
+// GenerateMesh builds the mesh and returns the netlist placed at its
+// natural positions, plus the natural HPWL of that placement.
+func GenerateMesh(spec MeshSpec) (*netlist.Netlist, float64, error) {
+	if spec.Cols < 2 || spec.Rows < 2 {
+		return nil, 0, fmt.Errorf("gen: mesh needs at least 2x2 cells")
+	}
+	if spec.Utilization <= 0 || spec.Utilization > 1 {
+		spec.Utilization = 0.5
+	}
+	b := netlist.NewBuilder(spec.Name)
+	// Cell pitch chosen so that cellArea/pitch^2 = utilization.
+	pitch := math.Sqrt(2 / spec.Utilization) // cells are 2x1
+	w := float64(spec.Cols) * pitch
+	h := float64(spec.Rows) * pitch
+	b.SetCore(geom.Rect{XMax: math.Ceil(w), YMax: math.Ceil(h)})
+
+	ids := make([][]int, spec.Rows)
+	for r := range ids {
+		ids[r] = make([]int, spec.Cols)
+		for c := range ids[r] {
+			ids[r][c] = b.AddCell(fmt.Sprintf("m%d_%d", r, c), 2, 1)
+		}
+	}
+	for r := 0; r < spec.Rows; r++ {
+		west := b.AddFixed(fmt.Sprintf("pw%d", r), 0, math.Floor(float64(r)*pitch), 1, 1)
+		east := b.AddFixed(fmt.Sprintf("pe%d", r), math.Ceil(w)-1, math.Floor(float64(r)*pitch), 1, 1)
+		b.AddNet(fmt.Sprintf("win%d", r), 1, []netlist.PinSpec{{Cell: west}, {Cell: ids[r][0]}})
+		b.AddNet(fmt.Sprintf("eout%d", r), 1, []netlist.PinSpec{{Cell: east}, {Cell: ids[r][spec.Cols-1]}})
+	}
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			if c+1 < spec.Cols {
+				b.AddNet(fmt.Sprintf("h%d_%d", r, c), 1,
+					[]netlist.PinSpec{{Cell: ids[r][c]}, {Cell: ids[r][c+1]}})
+			}
+			if r+1 < spec.Rows {
+				b.AddNet(fmt.Sprintf("v%d_%d", r, c), 1,
+					[]netlist.PinSpec{{Cell: ids[r][c]}, {Cell: ids[r+1][c]}})
+			}
+		}
+	}
+	b.AddUniformRows(int(math.Ceil(h)), 1, 1)
+	nl, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Natural placement: grid coordinates.
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			nl.Cells[ids[r][c]].SetCenter(geom.Point{
+				X: (float64(c) + 0.5) * pitch,
+				Y: (float64(r) + 0.5) * pitch,
+			})
+		}
+	}
+	// Natural HPWL of this placement.
+	natural := meshHPWL(nl)
+	return nl, natural, nil
+}
+
+// meshHPWL avoids importing netmodel (which would be a dependency cycle for
+// some callers): plain bounding-box HPWL.
+func meshHPWL(nl *netlist.Netlist) float64 {
+	var total float64
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		xmin, xmax := math.Inf(1), math.Inf(-1)
+		ymin, ymax := math.Inf(1), math.Inf(-1)
+		for _, p := range net.Pins {
+			pt := nl.PinPosition(p)
+			xmin = math.Min(xmin, pt.X)
+			xmax = math.Max(xmax, pt.X)
+			ymin = math.Min(ymin, pt.Y)
+			ymax = math.Max(ymax, pt.Y)
+		}
+		total += (xmax - xmin) + (ymax - ymin)
+	}
+	return total
+}

@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"complx/internal/netlist"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "d", NumCells: 500, Seed: 7, NumMacros: 3, MacroAreaFrac: 0.2}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCells() != b.NumCells() || a.NumNets() != b.NumNets() || a.NumPins() != b.NumPins() {
+		t.Fatal("same spec produced different designs")
+	}
+	for i := range a.Cells {
+		if a.Cells[i].X != b.Cells[i].X || a.Cells[i].Y != b.Cells[i].Y || a.Cells[i].W != b.Cells[i].W {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	nl, err := Generate(Spec{Name: "v", NumCells: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := nl.Stats()
+	if st.Movable != 300 {
+		t.Errorf("movable = %d", st.Movable)
+	}
+	if st.Nets < 250 || st.Nets > 400 {
+		t.Errorf("nets = %d, want ~315", st.Nets)
+	}
+	if st.MaxNetDegree > 14 {
+		t.Errorf("max degree = %d", st.MaxNetDegree)
+	}
+	if len(nl.Rows) == 0 {
+		t.Error("no rows")
+	}
+}
+
+func TestUtilizationHonored(t *testing.T) {
+	for _, util := range []float64{0.4, 0.7, 0.9} {
+		nl, err := Generate(Spec{Name: "u", NumCells: 1000, Seed: 2, Utilization: util})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := nl.Utilization()
+		if math.Abs(got-util) > 0.1*util {
+			t.Errorf("util %v: measured %v", util, got)
+		}
+	}
+}
+
+func TestFixedVsMovableMacros(t *testing.T) {
+	fixed, err := Generate(Spec{Name: "f", NumCells: 400, Seed: 3, NumMacros: 5, MacroAreaFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fixed.Stats().Macros; got != 0 {
+		t.Errorf("fixed-macro design has %d movable macros", got)
+	}
+	movable, err := Generate(Spec{
+		Name: "m", NumCells: 400, Seed: 3, NumMacros: 5, MacroAreaFrac: 0.3, MovableMacros: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := movable.Stats().Macros; got != 5 {
+		t.Errorf("movable macros = %d, want 5", got)
+	}
+}
+
+func TestPadsOnPeriphery(t *testing.T) {
+	nl, err := Generate(Spec{Name: "p", NumCells: 400, Seed: 4, NumPads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pads := 0
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind != netlist.Terminal || c.Name[0] != 'p' {
+			continue
+		}
+		pads++
+		onEdge := c.X <= 1 || c.Y <= 1 || c.X >= nl.Core.XMax-2 || c.Y >= nl.Core.YMax-2
+		if !onEdge {
+			t.Errorf("pad %q at (%v, %v) not on periphery", c.Name, c.X, c.Y)
+		}
+	}
+	if pads != 20 {
+		t.Errorf("pads = %d", pads)
+	}
+}
+
+// TestLocality checks that local nets have much shorter natural spans than
+// uniform-random pairs would.
+func TestLocality(t *testing.T) {
+	nl, err := Generate(Spec{Name: "l", NumCells: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spanSum float64
+	cnt := 0
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range net.Pins {
+			x := nl.PinPosition(p).X
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		spanSum += hi - lo
+		cnt++
+	}
+	avgSpan := spanSum / float64(cnt)
+	// Uniform pairs on a side-S core would average ~S/3 span; locality
+	// should bring this well below S/5.
+	if S := nl.Core.Width(); avgSpan > S/5 {
+		t.Errorf("avg span %v vs core %v: not local enough", avgSpan, S)
+	}
+}
+
+func TestSuites(t *testing.T) {
+	s5, s6 := Suite2005(), Suite2006()
+	if len(s5) != 8 || len(s6) != 8 {
+		t.Fatalf("suite sizes %d, %d", len(s5), len(s6))
+	}
+	names := map[string]bool{}
+	for _, s := range append(append([]Spec{}, s5...), s6...) {
+		if names[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.NumCells <= 0 {
+			t.Errorf("%s: no cells", s.Name)
+		}
+	}
+	for _, s := range s6 {
+		if !s.MovableMacros {
+			t.Errorf("%s: 2006 designs need movable macros", s.Name)
+		}
+		if s.TargetDensity >= 1 {
+			t.Errorf("%s: 2006 designs need density targets", s.Name)
+		}
+	}
+	if _, ok := ByName("bigblue4"); !ok {
+		t.Error("ByName(bigblue4) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s, _ := ByName("bigblue4")
+	sc := Scaled(s, 0.1)
+	if sc.NumCells != 1600 {
+		t.Errorf("scaled cells = %d", sc.NumCells)
+	}
+	tiny := Scaled(s, 0.0001)
+	if tiny.NumCells != 100 {
+		t.Errorf("floor = %d", tiny.NumCells)
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	if _, err := Generate(Spec{Name: "x", NumCells: 2}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestGenerateSuiteSmoke(t *testing.T) {
+	// Scaled-down versions of every suite entry must generate and validate.
+	for _, s := range append(Suite2005(), Suite2006()...) {
+		nl, err := Generate(Scaled(s, 0.05))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestGenerateMesh(t *testing.T) {
+	nl, natural, err := GenerateMesh(MeshSpec{Name: "mesh", Cols: 8, Rows: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := nl.Stats()
+	if st.Movable != 48 {
+		t.Errorf("movable = %d", st.Movable)
+	}
+	// 2 pads per row plus mesh nets: (cols-1)*rows horizontal + cols*(rows-1) vertical + 2*rows IO.
+	wantNets := 7*6 + 8*5 + 12
+	if st.Nets != wantNets {
+		t.Errorf("nets = %d, want %d", st.Nets, wantNets)
+	}
+	if natural <= 0 {
+		t.Errorf("natural HPWL = %v", natural)
+	}
+	// The natural placement's HPWL matches the returned value.
+	if got := meshHPWL(nl); math.Abs(got-natural) > 1e-9 {
+		t.Errorf("meshHPWL = %v vs %v", got, natural)
+	}
+}
+
+func TestGenerateMeshTooSmall(t *testing.T) {
+	if _, _, err := GenerateMesh(MeshSpec{Name: "x", Cols: 1, Rows: 5}); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,295 @@
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// LegalizeAbacus is an Abacus-style legalizer (Spindler et al., DATE 2008):
+// cells are processed in x order; each cell is tried in nearby rows and
+// *optimally* placed within the row by the classic cluster-collapse dynamic
+// programming, which minimizes total squared displacement of the row's
+// cells instead of greedily packing like Tetris. It typically yields lower
+// displacement at slightly higher runtime.
+//
+// Macros are packed first exactly as in Legalize; fixed cells split rows
+// into independent segments.
+func LegalizeAbacus(nl *netlist.Netlist, opt Options) error {
+	if len(nl.Rows) == 0 {
+		return fmt.Errorf("legalize: netlist %q has no rows", nl.Name)
+	}
+	obstacles := fixedObstacles(nl)
+	macros := movableMacros(nl)
+	if err := packMacros(nl, macros, obstacles); err != nil {
+		return err
+	}
+	for _, m := range macros {
+		obstacles = append(obstacles, nl.Cells[m].Rect())
+	}
+	return abacusPlace(nl, obstacles, opt)
+}
+
+// segment is an obstacle-free stretch of one row holding an ordered list of
+// placed cells.
+type segment struct {
+	rowY   float64
+	site   float64
+	xMin   float64
+	lo, hi float64
+	cells  []int     // in placement order
+	pos    []float64 // committed x per cell
+	width  float64   // summed widths
+}
+
+// abacusRow is one row's obstacle-free segments.
+type abacusRow struct {
+	y    float64
+	segs []*segment
+}
+
+func abacusPlace(nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error {
+	// Build segments per row.
+	rows := make([]*abacusRow, len(nl.Rows))
+	for ri, r := range nl.Rows {
+		rs := &rowState{row: r, free: []geom.Interval{{Lo: r.XMin, Hi: r.XMax}}}
+		for _, o := range obstacles {
+			if o.YMin < r.Y+r.Height && o.YMax > r.Y {
+				rs.carve(o.XMin, o.XMax)
+			}
+		}
+		ar := &abacusRow{y: r.Y}
+		site := r.SiteWidth
+		if site <= 0 {
+			site = 1
+		}
+		for _, iv := range rs.free {
+			ar.segs = append(ar.segs, &segment{
+				rowY: r.Y, site: site, xMin: r.XMin, lo: iv.Lo, hi: iv.Hi,
+			})
+		}
+		rows[ri] = ar
+	}
+	order := make([]int, 0, len(rows))
+	for i := range rows {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool { return rows[order[a]].y < rows[order[b]].y })
+
+	var cells []int
+	for _, i := range nl.Movables() {
+		if nl.Cells[i].Kind == netlist.Std {
+			cells = append(cells, i)
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := &nl.Cells[cells[a]], &nl.Cells[cells[b]]
+		if (ca.Region >= 0) != (cb.Region >= 0) {
+			return ca.Region >= 0
+		}
+		return ca.X < cb.X
+	})
+
+	for _, ci := range cells {
+		c := &nl.Cells[ci]
+		var allowX, allowY *geom.Interval
+		if c.Region >= 0 {
+			rr := nl.Regions[c.Region].Rect
+			allowX = &geom.Interval{Lo: rr.XMin, Hi: rr.XMax}
+			allowY = &geom.Interval{Lo: rr.YMin, Hi: rr.YMax}
+		}
+	retry:
+		bestCost := math.Inf(1)
+		var bestSeg *segment
+		// Search rows outward from the nearest.
+		near := sort.Search(len(order), func(k int) bool { return rows[order[k]].y >= c.Y })
+		for radius := 0; ; radius++ {
+			lo, hi := near-radius, near+radius
+			cand := []int{}
+			if lo >= 0 && lo < len(order) {
+				cand = append(cand, order[lo])
+			}
+			if hi != lo && hi >= 0 && hi < len(order) {
+				cand = append(cand, order[hi])
+			}
+			if lo < 0 && hi >= len(order) {
+				break
+			}
+			anyCloser := false
+			for _, ri := range cand {
+				ar := rows[ri]
+				dy := math.Abs(ar.y - c.Y)
+				if dy < bestCost {
+					anyCloser = true
+				}
+				if dy >= bestCost {
+					continue
+				}
+				if allowY != nil && (ar.y < allowY.Lo-1e-9 || ar.y+c.H > allowY.Hi+1e-9) {
+					continue
+				}
+				for _, seg := range ar.segs {
+					segLo, segHi := seg.lo, seg.hi
+					if allowX != nil {
+						segLo = math.Max(segLo, allowX.Lo)
+						segHi = math.Min(segHi, allowX.Hi)
+					}
+					if segHi-segLo < seg.width+c.W-1e-9 {
+						continue // segment cannot absorb the cell
+					}
+					if cost, ok := seg.trialCost(nl, ci, dy, segLo, segHi); ok && cost < bestCost {
+						bestCost = cost
+						bestSeg = seg
+					}
+				}
+			}
+			if bestSeg != nil && !anyCloser && radius > 0 {
+				break
+			}
+		}
+		if bestSeg == nil {
+			if allowX != nil {
+				allowX, allowY = nil, nil
+				goto retry
+			}
+			return fmt.Errorf("legalize: abacus found no space for cell %q", c.Name)
+		}
+		segLo, segHi := bestSeg.lo, bestSeg.hi
+		if allowX != nil {
+			segLo = math.Max(segLo, allowX.Lo)
+			segHi = math.Min(segHi, allowX.Hi)
+		}
+		bestSeg.commit(nl, ci, segLo, segHi)
+	}
+	// Write back committed positions.
+	for _, ar := range rows {
+		for _, seg := range ar.segs {
+			for k, ci := range seg.cells {
+				nl.Cells[ci].X = seg.pos[k]
+				nl.Cells[ci].Y = seg.rowY
+			}
+		}
+	}
+	return nil
+}
+
+// collapse runs the Abacus cluster-collapse DP over the segment's cells
+// (assumed appended in x order) and returns the optimal positions within
+// [lo, hi], site-aligned.
+func (s *segment) collapse(nl *netlist.Netlist, lo, hi float64) []float64 {
+	type clusterT struct {
+		x     float64 // optimal start
+		w     float64 // total width
+		q     float64 // Σ e_i (x_i' − offset) accumulation
+		e     float64 // total weight
+		first int
+	}
+	var clusters []clusterT
+	for idx, ci := range s.cells {
+		c := &nl.Cells[ci]
+		want := c.X // desired lower-left x
+		clusters = append(clusters, clusterT{x: want, w: c.W, q: want, e: 1, first: idx})
+		// Clamp, then merge while the (clamped) cluster overlaps its
+		// predecessor; clamping can create new overlaps, so iterate.
+		for {
+			last := &clusters[len(clusters)-1]
+			last.x = geom.Clamp(last.x, lo, hi-last.w)
+			if len(clusters) < 2 {
+				break
+			}
+			prev := clusters[len(clusters)-2]
+			if last.x >= prev.x+prev.w-1e-12 {
+				break
+			}
+			cur := clusters[len(clusters)-1]
+			merged := clusterT{
+				e:     prev.e + cur.e,
+				q:     prev.q + cur.q - cur.e*prev.w,
+				w:     prev.w + cur.w,
+				first: prev.first,
+			}
+			merged.x = merged.q / merged.e
+			clusters = clusters[:len(clusters)-2]
+			clusters = append(clusters, merged)
+		}
+	}
+	// Emit positions left to right with site alignment; alignment may push
+	// a cluster onto its neighbor, so enforce sequential non-overlap.
+	out := make([]float64, len(s.cells))
+	prevEnd := math.Inf(-1)
+	for k := range clusters {
+		cl := clusters[k]
+		x := s.xMin + math.Round((cl.x-s.xMin)/s.site)*s.site
+		for x < lo-1e-9 {
+			x += s.site
+		}
+		if x < prevEnd-1e-9 {
+			// Next site position at or after prevEnd.
+			x = s.xMin + math.Ceil((prevEnd-s.xMin-1e-9)/s.site)*s.site
+		}
+		for x+cl.w > hi+1e-9 {
+			x -= s.site
+		}
+		// If pushed back onto the neighbor the segment is (near) full; the
+		// caller's bound check in trialCost rejects genuine overflows.
+		idx := cl.first
+		end := len(s.cells)
+		if k+1 < len(clusters) {
+			end = clusters[k+1].first
+		}
+		for cur := x; idx < end; idx++ {
+			out[idx] = cur
+			cur += nl.Cells[s.cells[idx]].W
+		}
+		prevEnd = x + cl.w
+	}
+	return out
+}
+
+// trialCost evaluates inserting cell ci (cost = summed displacement change
+// of the segment, plus the cell's own displacement including dy).
+func (s *segment) trialCost(nl *netlist.Netlist, ci int, dy, lo, hi float64) (float64, bool) {
+	s.insert(nl, ci)
+	pos := s.collapse(nl, lo, hi)
+	cost := dy
+	ok := true
+	prevEnd := math.Inf(-1)
+	for k, cj := range s.cells {
+		if pos[k] < lo-1e-6 || pos[k]+nl.Cells[cj].W > hi+1e-6 || pos[k] < prevEnd-1e-6 {
+			ok = false
+			break
+		}
+		prevEnd = pos[k] + nl.Cells[cj].W
+		cost += math.Abs(pos[k] - nl.Cells[cj].X)
+	}
+	s.remove(ci)
+	return cost, ok
+}
+
+// commit permanently inserts the cell and re-collapses the segment.
+func (s *segment) commit(nl *netlist.Netlist, ci int, lo, hi float64) {
+	s.insert(nl, ci)
+	s.width += nl.Cells[ci].W
+	s.pos = s.collapse(nl, lo, hi)
+}
+
+// insert adds ci keeping x order.
+func (s *segment) insert(nl *netlist.Netlist, ci int) {
+	x := nl.Cells[ci].X
+	k := sort.Search(len(s.cells), func(a int) bool { return nl.Cells[s.cells[a]].X >= x })
+	s.cells = append(s.cells, 0)
+	copy(s.cells[k+1:], s.cells[k:])
+	s.cells[k] = ci
+}
+
+func (s *segment) remove(ci int) {
+	for k, cj := range s.cells {
+		if cj == ci {
+			s.cells = append(s.cells[:k], s.cells[k+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package legalize
+
+import (
+	"testing"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+func TestAbacusProducesLegalPlacement(t *testing.T) {
+	nl := denseDesign(t, 400, false, false, 11)
+	if err := LegalizeAbacus(nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(nl, 1e-6); len(v) != 0 {
+		t.Fatalf("violations: %+v", v[:min(len(v), 5)])
+	}
+}
+
+func TestAbacusWithObstacleAndMacro(t *testing.T) {
+	nl := denseDesign(t, 250, true, true, 12)
+	if err := LegalizeAbacus(nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(nl, 1e-6); len(v) != 0 {
+		t.Fatalf("violations: %+v", v[:min(len(v), 5)])
+	}
+}
+
+// TestAbacusBeatsOrMatchesTetrisDisplacement: on a spread-out design the
+// optimal within-row DP should not displace cells more than greedy Tetris.
+func TestAbacusBeatsOrMatchesTetrisDisplacement(t *testing.T) {
+	mk := func() *netlist.Netlist { return denseDesign(t, 500, false, false, 13) }
+
+	tetris := mk()
+	snapT := tetris.SnapshotPositions()
+	if err := Legalize(tetris, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	dispT := TotalDisplacement(tetris, snapT)
+
+	abacus := mk()
+	snapA := abacus.SnapshotPositions()
+	if err := LegalizeAbacus(abacus, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	dispA := TotalDisplacement(abacus, snapA)
+
+	t.Logf("displacement: tetris=%.1f abacus=%.1f", dispT, dispA)
+	if dispA > 1.3*dispT {
+		t.Errorf("abacus displacement %v much worse than tetris %v", dispA, dispT)
+	}
+}
+
+func TestAbacusRegionConstraint(t *testing.T) {
+	b := netlist.NewBuilder("ar")
+	b.SetCore(geom.Rect{XMax: 30, YMax: 30})
+	var pins []netlist.PinSpec
+	for i := 0; i < 60; i++ {
+		id := b.AddCell(nm(i), 1, 1)
+		if i < 4 {
+			pins = append(pins, netlist.PinSpec{Cell: id})
+		}
+	}
+	r := b.AddRegion("grp", geom.Rect{XMin: 20, YMin: 20, XMax: 30, YMax: 30})
+	for i := 0; i < 10; i++ {
+		b.ConstrainCell(b.CellID(nm(i)), r)
+	}
+	b.AddNet("n", 1, pins)
+	b.AddUniformRows(30, 1, 1)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range nl.Movables() {
+		nl.Cells[i].SetCenter(geom.Point{X: 5 + float64(k%20), Y: 5 + float64(k/20)})
+	}
+	if err := LegalizeAbacus(nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rr := geom.Rect{XMin: 20, YMin: 20, XMax: 30, YMax: 30}
+	for i := 0; i < 10; i++ {
+		c := nl.Cells[nl.CellByName(nm(i))]
+		if !rr.Expand(1e-6).ContainsRect(c.Rect()) {
+			t.Errorf("cell %s outside region: %v", c.Name, c.Rect())
+		}
+	}
+	if v := Check(nl, 1e-6); len(v) != 0 {
+		t.Fatalf("violations: %+v", v[:min(len(v), 5)])
+	}
+}
+
+func TestAbacusNoRows(t *testing.T) {
+	b := netlist.NewBuilder("norows")
+	b.SetCore(geom.Rect{XMax: 10, YMax: 10})
+	c := b.AddCell("c", 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c}})
+	nl, _ := b.Build()
+	if err := LegalizeAbacus(nl, Options{}); err == nil {
+		t.Error("expected error without rows")
+	}
+}
+
+func TestAbacusHighUtilization(t *testing.T) {
+	b := netlist.NewBuilder("tight")
+	b.SetCore(geom.Rect{XMax: 20, YMax: 20})
+	var pins []netlist.PinSpec
+	for i := 0; i < 360; i++ {
+		id := b.AddCell(nm(i), 1, 1)
+		if i < 5 {
+			pins = append(pins, netlist.PinSpec{Cell: id})
+		}
+	}
+	b.AddNet("n", 1, pins)
+	b.AddUniformRows(20, 1, 1)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range nl.Movables() {
+		nl.Cells[i].SetCenter(geom.Point{X: 10 + float64(k%5)/2, Y: 10 + float64(k/60)})
+	}
+	if err := LegalizeAbacus(nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(nl, 1e-6); len(v) != 0 {
+		t.Fatalf("violations: %+v", v[:min(len(v), 5)])
+	}
+}

@@ -1,0 +1,408 @@
+// Package legalize converts a (near-feasible) global placement into a legal
+// one: standard cells are snapped into rows and site columns without
+// overlap using a Tetris-style greedy that minimizes displacement, and
+// movable macros are packed first with an expanding-ring search. The result
+// is the substrate on which detailed placement operates — the role
+// FastPlace-DP's legalization phase plays in the paper's flow.
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// Options tunes legalization.
+type Options struct {
+	// MaxDisplacement bounds the row search around each cell's desired
+	// position, in row heights. <= 0 means unlimited.
+	MaxDisplacement float64
+}
+
+// Legalize moves every movable cell of nl to a legal position: macros
+// first (overlap-free, clamped to the core), then standard cells into rows
+// and sites. Fixed cells are obstacles. Returns an error when a cell cannot
+// be placed.
+func Legalize(nl *netlist.Netlist, opt Options) error {
+	if len(nl.Rows) == 0 {
+		return fmt.Errorf("legalize: netlist %q has no rows", nl.Name)
+	}
+	obstacles := fixedObstacles(nl)
+	macros := movableMacros(nl)
+	if err := packMacros(nl, macros, obstacles); err != nil {
+		return err
+	}
+	for _, m := range macros {
+		obstacles = append(obstacles, nl.Cells[m].Rect())
+	}
+	return placeCells(nl, obstacles, opt)
+}
+
+func fixedObstacles(nl *netlist.Netlist) []geom.Rect {
+	var out []geom.Rect
+	for i := range nl.Cells {
+		if nl.Cells[i].Fixed() {
+			r := nl.Cells[i].Rect().Intersect(nl.Core)
+			if !r.Empty() {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+func movableMacros(nl *netlist.Netlist) []int {
+	var out []int
+	for _, i := range nl.Movables() {
+		if nl.Cells[i].Kind == netlist.Macro {
+			out = append(out, i)
+		}
+	}
+	// Pack large macros first: they are hardest to fit.
+	sort.Slice(out, func(a, b int) bool {
+		return nl.Cells[out[a]].Area() > nl.Cells[out[b]].Area()
+	})
+	return out
+}
+
+// packMacros places movable macros one by one at the nearest overlap-free
+// location found by an expanding ring search on a row-height lattice.
+func packMacros(nl *netlist.Netlist, macros []int, fixed []geom.Rect) error {
+	step := nl.RowHeight()
+	if step <= 0 {
+		step = 1
+	}
+	var placed []geom.Rect
+	overlaps := func(r geom.Rect) bool {
+		for _, o := range fixed {
+			if r.Intersects(o) {
+				return true
+			}
+		}
+		for _, o := range placed {
+			if r.Intersects(o) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, m := range macros {
+		c := &nl.Cells[m]
+		want := nl.Core.ClampRect(c.Rect())
+		// Snap to the row lattice.
+		want = want.Translate(0, snap(want.YMin-nl.Core.YMin, step)+nl.Core.YMin-want.YMin)
+		want = nl.Core.ClampRect(want)
+		found := false
+		maxRing := int(math.Ceil(math.Max(nl.Core.Width(), nl.Core.Height()) / step))
+		for ring := 0; ring <= maxRing && !found; ring++ {
+			for _, d := range ringOffsets(ring) {
+				cand := want.Translate(float64(d[0])*step, float64(d[1])*step)
+				cand = nl.Core.ClampRect(cand)
+				if !overlaps(cand) {
+					c.X, c.Y = cand.XMin, cand.YMin
+					placed = append(placed, cand)
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("legalize: cannot place macro %q", c.Name)
+		}
+	}
+	return nil
+}
+
+// ringOffsets enumerates lattice offsets at L∞ ring distance r.
+func ringOffsets(r int) [][2]int {
+	if r == 0 {
+		return [][2]int{{0, 0}}
+	}
+	var out [][2]int
+	for dx := -r; dx <= r; dx++ {
+		out = append(out, [2]int{dx, -r}, [2]int{dx, r})
+	}
+	for dy := -r + 1; dy < r; dy++ {
+		out = append(out, [2]int{-r, dy}, [2]int{r, dy})
+	}
+	return out
+}
+
+func snap(v, step float64) float64 {
+	return math.Round(v/step) * step
+}
+
+// rowState tracks free intervals of one row during Tetris packing.
+type rowState struct {
+	row  netlist.Row
+	free []geom.Interval // sorted, disjoint
+}
+
+// carve removes [lo, hi] from the free intervals.
+func (rs *rowState) carve(lo, hi float64) {
+	var out []geom.Interval
+	for _, iv := range rs.free {
+		if hi <= iv.Lo || lo >= iv.Hi {
+			out = append(out, iv)
+			continue
+		}
+		if lo > iv.Lo {
+			out = append(out, geom.Interval{Lo: iv.Lo, Hi: lo})
+		}
+		if hi < iv.Hi {
+			out = append(out, geom.Interval{Lo: hi, Hi: iv.Hi})
+		}
+	}
+	rs.free = out
+}
+
+// bestSlot returns the placement x in this row closest to wantX for a cell
+// of width w, and whether one exists. Positions are site-aligned and, when
+// allow is non-nil, restricted to the interval [allow.Lo, allow.Hi-w].
+func (rs *rowState) bestSlot(wantX, w float64, allow *geom.Interval) (float64, bool) {
+	site := rs.row.SiteWidth
+	if site <= 0 {
+		site = 1
+	}
+	best, ok := 0.0, false
+	bestCost := math.Inf(1)
+	for _, iv := range rs.free {
+		if allow != nil {
+			iv = geom.Interval{Lo: math.Max(iv.Lo, allow.Lo), Hi: math.Min(iv.Hi, allow.Hi)}
+		}
+		if iv.Len() < w-1e-9 {
+			continue
+		}
+		x := geom.Clamp(wantX, iv.Lo, iv.Hi-w)
+		// Align to the site grid within the interval.
+		x = rs.row.XMin + math.Round((x-rs.row.XMin)/site)*site
+		for x < iv.Lo-1e-9 {
+			x += site
+		}
+		for x+w > iv.Hi+1e-9 {
+			x -= site
+		}
+		if x < iv.Lo-1e-9 {
+			continue
+		}
+		cost := math.Abs(x - wantX)
+		if cost < bestCost {
+			bestCost, best, ok = cost, x, true
+		}
+	}
+	return best, ok
+}
+
+// placeCells runs the Tetris greedy over standard cells.
+func placeCells(nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error {
+	rows := make([]*rowState, len(nl.Rows))
+	for i, r := range nl.Rows {
+		rs := &rowState{row: r, free: []geom.Interval{{Lo: r.XMin, Hi: r.XMax}}}
+		for _, o := range obstacles {
+			if o.YMin < r.Y+r.Height && o.YMax > r.Y {
+				rs.carve(o.XMin, o.XMax)
+			}
+		}
+		rows[i] = rs
+	}
+	rowIdxByY := make([]int, len(rows))
+	for i := range rowIdxByY {
+		rowIdxByY[i] = i
+	}
+	sort.Slice(rowIdxByY, func(a, b int) bool { return rows[rowIdxByY[a]].row.Y < rows[rowIdxByY[b]].row.Y })
+
+	var cells []int
+	for _, i := range nl.Movables() {
+		if nl.Cells[i].Kind == netlist.Std {
+			cells = append(cells, i)
+		}
+	}
+	// Classic Tetris order: left to right — but region-constrained cells go
+	// first so free space inside their regions is not consumed by
+	// unconstrained cells.
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := &nl.Cells[cells[a]], &nl.Cells[cells[b]]
+		if (ca.Region >= 0) != (cb.Region >= 0) {
+			return ca.Region >= 0
+		}
+		return ca.X < cb.X
+	})
+
+	maxDisp := opt.MaxDisplacement
+	for _, ci := range cells {
+		c := &nl.Cells[ci]
+		// Region constraints restrict the allowed rows and x interval; if
+		// no constrained slot exists the cell falls back to unconstrained
+		// placement (reported by Check).
+		var allow *geom.Interval
+		var regionY *geom.Interval
+		if c.Region >= 0 {
+			rr := nl.Regions[c.Region].Rect
+			allow = &geom.Interval{Lo: rr.XMin, Hi: rr.XMax}
+			regionY = &geom.Interval{Lo: rr.YMin, Hi: rr.YMax}
+		}
+	retry:
+		bestCost := math.Inf(1)
+		bestRow, bestX := -1, 0.0
+		// Search rows outward from the nearest row.
+		near := sort.Search(len(rowIdxByY), func(k int) bool {
+			return rows[rowIdxByY[k]].row.Y >= c.Y
+		})
+		for radius := 0; ; radius++ {
+			lo, hi := near-radius, near+radius
+			candidates := []int{}
+			if lo >= 0 && lo < len(rowIdxByY) {
+				candidates = append(candidates, rowIdxByY[lo])
+			}
+			if hi != lo && hi >= 0 && hi < len(rowIdxByY) {
+				candidates = append(candidates, rowIdxByY[hi])
+			}
+			if lo < 0 && hi >= len(rowIdxByY) {
+				break
+			}
+			prune := true
+			for _, ri := range candidates {
+				rs := rows[ri]
+				dy := math.Abs(rs.row.Y - c.Y)
+				if dy < bestCost {
+					prune = false
+				}
+				if regionY != nil && (rs.row.Y < regionY.Lo-1e-9 || rs.row.Y+c.H > regionY.Hi+1e-9) {
+					continue
+				}
+				if maxDisp > 0 && dy > maxDisp*rs.row.Height && bestRow >= 0 {
+					continue
+				}
+				if dy >= bestCost {
+					continue
+				}
+				if x, ok := rs.bestSlot(c.X, c.W, allow); ok {
+					cost := dy + math.Abs(x-c.X)
+					if cost < bestCost {
+						bestCost, bestRow, bestX = cost, ri, x
+					}
+				}
+			}
+			// Row vertical distance already exceeds the best total cost in
+			// both directions: no better row exists.
+			if bestRow >= 0 && prune && radius > 0 {
+				break
+			}
+		}
+		if bestRow < 0 {
+			if allow != nil {
+				// No in-region slot: retry unconstrained rather than fail.
+				allow, regionY = nil, nil
+				goto retry
+			}
+			return fmt.Errorf("legalize: no space for cell %q", c.Name)
+		}
+		rs := rows[bestRow]
+		c.X, c.Y = bestX, rs.row.Y
+		rs.carve(bestX, bestX+c.W)
+	}
+	return nil
+}
+
+// Violation describes one legality failure.
+type Violation struct {
+	Kind string
+	Cell string
+	Msg  string
+}
+
+// Check verifies legality: movable std cells aligned to rows and sites, no
+// overlaps among movable cells or against fixed obstacles, everything in
+// core. Returns all violations found (capped at 100).
+func Check(nl *netlist.Netlist, tol float64) []Violation {
+	var out []Violation
+	add := func(kind, cell, msg string) {
+		if len(out) < 100 {
+			out = append(out, Violation{kind, cell, msg})
+		}
+	}
+	rowAt := make(map[float64]netlist.Row, len(nl.Rows))
+	for _, r := range nl.Rows {
+		rowAt[r.Y] = r
+	}
+	var rects []geom.Rect
+	var names []string
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Fixed() {
+			continue
+		}
+		if c.Kind == netlist.Std {
+			matched := false
+			for y, r := range rowAt {
+				if math.Abs(c.Y-y) <= tol {
+					site := r.SiteWidth
+					if site <= 0 {
+						site = 1
+					}
+					k := (c.X - r.XMin) / site
+					if math.Abs(k-math.Round(k)) > tol {
+						add("site", c.Name, fmt.Sprintf("x=%g not site-aligned", c.X))
+					}
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				add("row", c.Name, fmt.Sprintf("y=%g not on a row", c.Y))
+			}
+		}
+		if !nl.Core.Expand(tol).ContainsRect(c.Rect()) {
+			add("core", c.Name, "outside core")
+		}
+		rects = append(rects, c.Rect())
+		names = append(names, c.Name)
+	}
+	// Overlaps: sweep by x.
+	order := make([]int, len(rects))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rects[order[a]].XMin < rects[order[b]].XMin })
+	for a := 0; a < len(order); a++ {
+		ra := rects[order[a]]
+		for b := a + 1; b < len(order); b++ {
+			rb := rects[order[b]]
+			if rb.XMin >= ra.XMax-tol {
+				break
+			}
+			if ra.Intersect(rb).Width() > tol && ra.Intersect(rb).Height() > tol {
+				add("overlap", names[order[a]], "overlaps "+names[order[b]])
+			}
+		}
+	}
+	// Movable vs fixed overlaps.
+	for i := range nl.Cells {
+		if !nl.Cells[i].Fixed() {
+			continue
+		}
+		fr := nl.Cells[i].Rect()
+		for k, r := range rects {
+			ov := fr.Intersect(r)
+			if ov.Width() > tol && ov.Height() > tol {
+				add("fixed-overlap", names[k], "overlaps fixed "+nl.Cells[i].Name)
+			}
+		}
+	}
+	return out
+}
+
+// TotalDisplacement returns the summed L1 center displacement between a
+// snapshot (from Netlist.SnapshotPositions) and the current placement,
+// counting movable cells only.
+func TotalDisplacement(nl *netlist.Netlist, snap []geom.Point) float64 {
+	var d float64
+	for _, i := range nl.Movables() {
+		c := &nl.Cells[i]
+		d += math.Abs(c.X-snap[i].X) + math.Abs(c.Y-snap[i].Y)
+	}
+	return d
+}

@@ -1,0 +1,212 @@
+package lse
+
+import (
+	"math"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// PNorm is the p,β-regularization of the HPWL (paper §S1, Kennings &
+// Markov): for each net e and dimension,
+//
+//	( Σ_{i<j∈e} |x_i − x_j|^p + β )^{1/p}  →  max_{i,j∈e} |x_i − x_j|  as p → ∞.
+//
+// It is smooth, over-approximates the pin spread, and tightens as p grows —
+// one more interconnect model the ComPLx Lagrangian can be instantiated
+// with. The same optional anchor penalty as Objective is supported.
+type PNorm struct {
+	NL *netlist.Netlist
+	// P is the norm exponent (default 8).
+	P float64
+	// Beta is the regularizer inside the p-th root and the smooth-abs
+	// parameter of the penalty (default 1e-3 of core width, to the p-th
+	// power for the root term).
+	Beta float64
+	// Anchors and Lambda add the ComPLx penalty term when non-nil.
+	Anchors []geom.Point
+	Lambda  []float64
+
+	varOf []int
+}
+
+// NewPNorm builds a p,β-regularized objective for nl. p <= 0 selects 8.
+func NewPNorm(nl *netlist.Netlist, p float64) *PNorm {
+	if p <= 0 {
+		p = 8
+	}
+	o := &PNorm{NL: nl, P: p, Beta: 1e-3 * nl.Core.Width()}
+	o.varOf = make([]int, len(nl.Cells))
+	for i := range o.varOf {
+		o.varOf[i] = -1
+	}
+	for k, i := range nl.Movables() {
+		o.varOf[i] = k
+	}
+	return o
+}
+
+func (o *PNorm) pinXY(p int, xs, ys []float64) (px, py float64) {
+	pin := &o.NL.Pins[p]
+	v := o.varOf[pin.Cell]
+	if v < 0 {
+		pt := o.NL.PinPosition(p)
+		return pt.X, pt.Y
+	}
+	return xs[v] + pin.DX, ys[v] + pin.DY
+}
+
+// netValue returns the p,β-regularized spread of one net along one
+// dimension, scaling by the maximum pairwise distance for numerical
+// stability: (Σ|d|^p + β)^{1/p} = M·(Σ(|d|/M)^p + β/M^p)^{1/p}.
+func (o *PNorm) netValue(net *netlist.Net, xs, ys []float64, isX bool) float64 {
+	coords := o.coords(net, xs, ys, isX)
+	m := maxPairDist(coords)
+	if m <= 0 {
+		return math.Pow(o.Beta, 1/o.P)
+	}
+	var s float64
+	for i := 0; i < len(coords); i++ {
+		for j := i + 1; j < len(coords); j++ {
+			s += math.Pow(math.Abs(coords[i]-coords[j])/m, o.P)
+		}
+	}
+	s += o.Beta / math.Pow(m, o.P)
+	return m * math.Pow(s, 1/o.P)
+}
+
+func (o *PNorm) coords(net *netlist.Net, xs, ys []float64, isX bool) []float64 {
+	out := make([]float64, len(net.Pins))
+	for k, p := range net.Pins {
+		px, py := o.pinXY(p, xs, ys)
+		if isX {
+			out[k] = px
+		} else {
+			out[k] = py
+		}
+	}
+	return out
+}
+
+func maxPairDist(coords []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range coords {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// Value evaluates the objective.
+func (o *PNorm) Value(xs, ys []float64) float64 {
+	var total float64
+	for ni := range o.NL.Nets {
+		net := &o.NL.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		total += net.Weight * (o.netValue(net, xs, ys, true) + o.netValue(net, xs, ys, false))
+	}
+	total += o.penaltyValue(xs, ys)
+	return total
+}
+
+func (o *PNorm) penaltyValue(xs, ys []float64) float64 {
+	if o.Anchors == nil {
+		return 0
+	}
+	b := o.Beta
+	if b <= 0 {
+		b = 1e-6
+	}
+	var total float64
+	for k := range o.Anchors {
+		lam := o.Lambda[k]
+		if lam <= 0 {
+			continue
+		}
+		dx := xs[k] - o.Anchors[k].X
+		dy := ys[k] - o.Anchors[k].Y
+		total += lam * (math.Sqrt(dx*dx+b*b) - b + math.Sqrt(dy*dy+b*b) - b)
+	}
+	return total
+}
+
+// Gradient writes the analytic gradient into gx, gy.
+func (o *PNorm) Gradient(xs, ys, gx, gy []float64) {
+	for i := range gx {
+		gx[i] = 0
+		gy[i] = 0
+	}
+	for ni := range o.NL.Nets {
+		net := &o.NL.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		o.netGrad(net, xs, ys, gx, true)
+		o.netGrad(net, xs, ys, gy, false)
+	}
+	if o.Anchors != nil {
+		b := o.Beta
+		if b <= 0 {
+			b = 1e-6
+		}
+		for k := range o.Anchors {
+			lam := o.Lambda[k]
+			if lam <= 0 {
+				continue
+			}
+			dx := xs[k] - o.Anchors[k].X
+			dy := ys[k] - o.Anchors[k].Y
+			gx[k] += lam * dx / math.Sqrt(dx*dx+b*b)
+			gy[k] += lam * dy / math.Sqrt(dy*dy+b*b)
+		}
+	}
+}
+
+// netGrad accumulates w·∂/∂x of (Σ|d|^p + β)^{1/p}:
+//
+//	∂V/∂x_k = V^{1−p} · Σ_j |x_k − x_j|^{p−1}·sign(x_k − x_j)
+func (o *PNorm) netGrad(net *netlist.Net, xs, ys, grad []float64, isX bool) {
+	coords := o.coords(net, xs, ys, isX)
+	m := maxPairDist(coords)
+	if m <= 0 {
+		return // flat at coincident pins (subgradient 0)
+	}
+	v := o.netValue(net, xs, ys, isX)
+	if v <= 0 {
+		return
+	}
+	// Work in scaled space: V = m·u where u = (Σ(|d|/m)^p + β/m^p)^{1/p};
+	// ∂V/∂x_k = (V/(m·u^p))·Σ_j (|d_kj|/m)^{p−1}·sign(d_kj)
+	//         = V^{1−p}·Σ_j |d_kj|^{p−1}·sign(d_kj) computed stably.
+	u := v / m
+	up := math.Pow(u, o.P-1)
+	for k, p := range net.Pins {
+		pin := &o.NL.Pins[p]
+		vi := o.varOf[pin.Cell]
+		if vi < 0 {
+			continue
+		}
+		var s float64
+		for j := range coords {
+			if j == k {
+				continue
+			}
+			d := (coords[k] - coords[j]) / m
+			s += math.Pow(math.Abs(d), o.P-1) * sign(d)
+		}
+		grad[vi] += net.Weight * s / up
+	}
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,71 @@
+// Package netmodel evaluates interconnect objectives and assembles the
+// linearized-quadratic systems used by analytical placement.
+//
+// It provides the exact (weighted) half-perimeter wirelength, and three
+// decompositions of multi-pin nets into two-pin quadratic terms: the
+// Bound2Bound model of Spindler et al. (which reproduces HPWL exactly at the
+// linearization point), the clique model, and the star model with auxiliary
+// center variables. Any of them can instantiate Φ in the ComPLx Lagrangian.
+package netmodel
+
+import (
+	"math"
+
+	"complx/internal/netlist"
+)
+
+// HPWL returns the unweighted half-perimeter wirelength of the design at its
+// current cell positions. Nets with fewer than two pins contribute zero.
+func HPWL(nl *netlist.Netlist) float64 {
+	var total float64
+	for i := range nl.Nets {
+		total += NetHPWL(nl, i)
+	}
+	return total
+}
+
+// WeightedHPWL returns the net-weight-scaled half-perimeter wirelength
+// (paper Formula 1).
+func WeightedHPWL(nl *netlist.Netlist) float64 {
+	var total float64
+	for i := range nl.Nets {
+		total += nl.Nets[i].Weight * NetHPWL(nl, i)
+	}
+	return total
+}
+
+// NetHPWL returns the half-perimeter of net n's pin bounding box.
+func NetHPWL(nl *netlist.Netlist, n int) float64 {
+	net := &nl.Nets[n]
+	if len(net.Pins) < 2 {
+		return 0
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, p := range net.Pins {
+		pt := nl.PinPosition(p)
+		xmin = math.Min(xmin, pt.X)
+		xmax = math.Max(xmax, pt.X)
+		ymin = math.Min(ymin, pt.Y)
+		ymax = math.Max(ymax, pt.Y)
+	}
+	return (xmax - xmin) + (ymax - ymin)
+}
+
+// NetSpan returns the x and y extents of net n's pin bounding box.
+func NetSpan(nl *netlist.Netlist, n int) (dx, dy float64) {
+	net := &nl.Nets[n]
+	if len(net.Pins) < 2 {
+		return 0, 0
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, p := range net.Pins {
+		pt := nl.PinPosition(p)
+		xmin = math.Min(xmin, pt.X)
+		xmax = math.Max(xmax, pt.X)
+		ymin = math.Min(ymin, pt.Y)
+		ymax = math.Max(ymax, pt.Y)
+	}
+	return xmax - xmin, ymax - ymin
+}

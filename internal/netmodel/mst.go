@@ -1,0 +1,84 @@
+package netmodel
+
+import (
+	"math"
+
+	"complx/internal/netlist"
+)
+
+// NetMST returns the rectilinear minimum-spanning-tree length of net n's
+// pins (Prim's algorithm on Manhattan distances). The MST length upper-
+// bounds the rectilinear Steiner minimal tree and lower-bounds it within
+// 3/2; it is the standard refinement of HPWL for multi-pin wirelength
+// estimation (HPWL is exact only up to 3 pins).
+func NetMST(nl *netlist.Netlist, n int) float64 {
+	net := &nl.Nets[n]
+	p := len(net.Pins)
+	if p < 2 {
+		return 0
+	}
+	xs := make([]float64, p)
+	ys := make([]float64, p)
+	for k, pin := range net.Pins {
+		pt := nl.PinPosition(pin)
+		xs[k], ys[k] = pt.X, pt.Y
+	}
+	inTree := make([]bool, p)
+	dist := make([]float64, p)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for j := 1; j < p; j++ {
+		dist[j] = math.Abs(xs[j]-xs[0]) + math.Abs(ys[j]-ys[0])
+	}
+	var total float64
+	for added := 1; added < p; added++ {
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < p; j++ {
+			if !inTree[j] && dist[j] < bestD {
+				best, bestD = j, dist[j]
+			}
+		}
+		inTree[best] = true
+		total += bestD
+		for j := 0; j < p; j++ {
+			if inTree[j] {
+				continue
+			}
+			if d := math.Abs(xs[j]-xs[best]) + math.Abs(ys[j]-ys[best]); d < dist[j] {
+				dist[j] = d
+			}
+		}
+	}
+	return total
+}
+
+// MST returns the summed rectilinear MST length over all nets.
+func MST(nl *netlist.Netlist) float64 {
+	var total float64
+	for i := range nl.Nets {
+		total += NetMST(nl, i)
+	}
+	return total
+}
+
+// SteinerEstimate returns an RSMT estimate per net: the MST length scaled
+// by the classic 0.87 correction toward the Steiner optimum for uniformly
+// distributed pins (and exactly the HPWL for nets of degree <= 3, where
+// HPWL is already the RSMT length).
+func SteinerEstimate(nl *netlist.Netlist, n int) float64 {
+	if nl.Nets[n].Degree() <= 3 {
+		return NetHPWL(nl, n)
+	}
+	return 0.87 * NetMST(nl, n)
+}
+
+// TotalSteinerEstimate sums SteinerEstimate over all nets.
+func TotalSteinerEstimate(nl *netlist.Netlist) float64 {
+	var total float64
+	for i := range nl.Nets {
+		total += SteinerEstimate(nl, i)
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+func TestNetMSTTwoPins(t *testing.T) {
+	b := netlist.NewBuilder("m")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	c1 := b.AddCell("c1", 1, 1)
+	c2 := b.AddCell("c2", 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c1}, {Cell: c2}})
+	nl, _ := b.Build()
+	nl.Cells[c1].SetCenter(geom.Point{X: 10, Y: 10})
+	nl.Cells[c2].SetCenter(geom.Point{X: 13, Y: 14})
+	if got := NetMST(nl, 0); math.Abs(got-7) > 1e-12 {
+		t.Errorf("MST = %v, want 7", got)
+	}
+	// Two-pin MST equals HPWL.
+	if got, want := NetMST(nl, 0), NetHPWL(nl, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MST %v != HPWL %v", got, want)
+	}
+}
+
+func TestNetMSTLShape(t *testing.T) {
+	// Three collinear-in-L pins: MST connects along the L.
+	b := netlist.NewBuilder("m")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	var ids []int
+	for i := 0; i < 3; i++ {
+		ids = append(ids, b.AddCell(string(rune('a'+i)), 1, 1))
+	}
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: ids[0]}, {Cell: ids[1]}, {Cell: ids[2]}})
+	nl, _ := b.Build()
+	nl.Cells[ids[0]].SetCenter(geom.Point{X: 0.5, Y: 0.5})
+	nl.Cells[ids[1]].SetCenter(geom.Point{X: 10.5, Y: 0.5})
+	nl.Cells[ids[2]].SetCenter(geom.Point{X: 10.5, Y: 5.5})
+	if got := NetMST(nl, 0); math.Abs(got-15) > 1e-12 {
+		t.Errorf("MST = %v, want 15", got)
+	}
+}
+
+// TestMSTBoundsProperty: HPWL <= MST for every net (the bounding box
+// half-perimeter is a lower bound on any spanning tree), and the Steiner
+// estimate lies between them for high-degree nets.
+func TestMSTBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomDesign(rng, 10+rng.Intn(10), 12+rng.Intn(10))
+		for ni := range nl.Nets {
+			hp := NetHPWL(nl, ni)
+			mst := NetMST(nl, ni)
+			if mst < hp-1e-9 {
+				return false
+			}
+			st := SteinerEstimate(nl, ni)
+			if nl.Nets[ni].Degree() > 3 && (st > mst+1e-9) {
+				return false
+			}
+		}
+		return MST(nl) >= HPWL(nl)-1e-9 && TotalSteinerEstimate(nl) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteinerEstimateSmallNetsUseHPWL(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nl := randomDesign(rng, 8, 10)
+	for ni := range nl.Nets {
+		if nl.Nets[ni].Degree() <= 3 {
+			if got, want := SteinerEstimate(nl, ni), NetHPWL(nl, ni); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("net %d: steiner %v != hpwl %v", ni, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package qp performs one step of anchored quadratic placement: it
+// assembles the linearized net model at the current placement, adds the
+// pseudonet anchor terms that represent the L1 penalty of the ComPLx
+// Lagrangian (paper §5), solves the two separable SPD systems with
+// preconditioned CG, and writes the new positions back to the netlist.
+package qp
+
+import (
+	"fmt"
+	"sync"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+	"complx/internal/sparse"
+)
+
+// Anchors holds per-movable anchor locations and multipliers. Pos and
+// Lambda are indexed in netlist.Movables order. A movable with Lambda 0 is
+// unanchored.
+type Anchors struct {
+	Pos    []geom.Point
+	Lambda []float64
+}
+
+// Options configures a solve.
+type Options struct {
+	// Model selects the net decomposition; default B2B.
+	Model netmodel.Model
+	// Eps is the linearization floor; <= 0 selects 1.5x row height.
+	Eps float64
+	// CG configures the linear solver.
+	CG sparse.CGOptions
+	// ClampToCore keeps solved centers inside the core (default on via
+	// Solve; set Raw to skip).
+	Raw bool
+}
+
+// Result reports solver statistics.
+type Result struct {
+	X, Y sparse.CGResult
+}
+
+// Solve runs one anchored quadratic placement step and updates the movable
+// cell positions of nl in place. anchors may be nil for the initial
+// unconstrained solve (λ = 0).
+func Solve(nl *netlist.Netlist, anchors *Anchors, opt Options) (Result, error) {
+	asm := netmodel.NewAssembler(nl, opt.Model, opt.Eps)
+	bx, by, fx, fy := asm.Builders()
+	mov := nl.Movables()
+	if anchors != nil {
+		if len(anchors.Pos) != len(mov) || len(anchors.Lambda) != len(mov) {
+			return Result{}, fmt.Errorf("qp: anchors sized %d/%d for %d movables",
+				len(anchors.Pos), len(anchors.Lambda), len(mov))
+		}
+		eps := asm.Eps()
+		for k, i := range mov {
+			lam := anchors.Lambda[k]
+			if lam <= 0 {
+				continue
+			}
+			c := nl.Cells[i].Center()
+			a := anchors.Pos[k]
+			// Linearized L1 pseudonets (paper §5):
+			// w = λ / (|coordinate distance| + ε), per dimension.
+			wx := lam / (abs(c.X-a.X) + eps)
+			wy := lam / (abs(c.Y-a.Y) + eps)
+			bx.AddDiag(k, wx)
+			fx[k] += wx * a.X
+			by.AddDiag(k, wy)
+			fy[k] += wy * a.Y
+		}
+	}
+
+	// Guard against singular systems (e.g. cells with no nets): a tiny
+	// regularization pulls unconnected variables toward the core center.
+	cc := nl.Core.Center()
+	const tiny = 1e-12
+	n := asm.NumVars()
+	for k := 0; k < n; k++ {
+		bx.AddDiag(k, tiny)
+		fx[k] += tiny * cc.X
+		by.AddDiag(k, tiny)
+		fy[k] += tiny * cc.Y
+	}
+
+	ax, ay := bx.Build(), by.Build()
+	// Warm-start at the current placement.
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for k, i := range mov {
+		c := nl.Cells[i].Center()
+		xs[k] = c.X
+		ys[k] = c.Y
+	}
+	// The two dimensions are separable (paper §3): solve them concurrently.
+	var res Result
+	var errX, errY error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res.Y, errY = sparse.SolvePCG(ay, ys, fy, opt.CG)
+	}()
+	res.X, errX = sparse.SolvePCG(ax, xs, fx, opt.CG)
+	wg.Wait()
+	if errX != nil {
+		return res, fmt.Errorf("qp: x solve: %w", errX)
+	}
+	if errY != nil {
+		return res, fmt.Errorf("qp: y solve: %w", errY)
+	}
+
+	for k, i := range mov {
+		p := geom.Point{X: xs[k], Y: ys[k]}
+		if !opt.Raw {
+			c := &nl.Cells[i]
+			hw, hh := c.W/2, c.H/2
+			if 2*hw > nl.Core.Width() {
+				hw = nl.Core.Width() / 2
+			}
+			if 2*hh > nl.Core.Height() {
+				hh = nl.Core.Height() / 2
+			}
+			p.X = geom.Clamp(p.X, nl.Core.XMin+hw, nl.Core.XMax-hw)
+			p.Y = geom.Clamp(p.Y, nl.Core.YMin+hh, nl.Core.YMax-hh)
+		}
+		nl.Cells[i].SetCenter(p)
+	}
+	return res, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,209 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"complx/internal/gen"
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+)
+
+func chainDesign(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("chain")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	left := b.AddFixed("pl", -0.5, 49.5, 1, 1)  // center (0, 50)
+	right := b.AddFixed("pr", 99.5, 49.5, 1, 1) // center (100, 50)
+	c1 := b.AddCell("c1", 1, 1)
+	c2 := b.AddCell("c2", 1, 1)
+	c3 := b.AddCell("c3", 1, 1)
+	b.AddNet("n0", 1, []netlist.PinSpec{{Cell: left}, {Cell: c1}})
+	b.AddNet("n1", 1, []netlist.PinSpec{{Cell: c1}, {Cell: c2}})
+	b.AddNet("n2", 1, []netlist.PinSpec{{Cell: c2}, {Cell: c3}})
+	b.AddNet("n3", 1, []netlist.PinSpec{{Cell: c3}, {Cell: right}})
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range nl.Movables() {
+		nl.Cells[i].SetCenter(geom.Point{X: 50, Y: 50})
+	}
+	return nl
+}
+
+func TestSolveChainSymmetric(t *testing.T) {
+	nl := chainDesign(t)
+	// From a symmetric start, the chain solves to evenly-spaced cells
+	// between the pads (25, 50, 75) because the linearized weights from the
+	// coincident start are all equal.
+	if _, err := Solve(nl, nil, Options{Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Weights: edges to pads have |d|=50, inner edges |d|=0. After one
+	// iteration positions move; iterate a few times to reach the fixed
+	// point of the linearization (which reproduces min-linear-WL spacing).
+	for i := 0; i < 30; i++ {
+		if _, err := Solve(nl, nil, Options{Eps: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xs := nl.Positions()
+	if !(xs[0].X < xs[1].X && xs[1].X < xs[2].X) {
+		t.Fatalf("ordering lost: %v", xs)
+	}
+	if math.Abs(xs[1].X-50) > 1 {
+		t.Errorf("middle cell at %v, want ~50", xs[1].X)
+	}
+	for _, p := range xs {
+		if math.Abs(p.Y-50) > 1e-6 {
+			t.Errorf("y = %v, want 50", p.Y)
+		}
+	}
+}
+
+func TestSolveLowersHPWL(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := netlist.NewBuilder("rand")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	var cells []int
+	for i := 0; i < 30; i++ {
+		cells = append(cells, b.AddCell(name("c", i), 1, 1))
+	}
+	cells = append(cells, b.AddFixed("p1", 0, 0, 1, 1), b.AddFixed("p2", 99, 99, 1, 1))
+	for i := 0; i < 50; i++ {
+		a, c := cells[rng.Intn(len(cells))], cells[rng.Intn(len(cells))]
+		if a == c {
+			continue
+		}
+		b.AddNet(name("n", i), 1, []netlist.PinSpec{{Cell: a}, {Cell: c}})
+	}
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range nl.Movables() {
+		nl.Cells[i].SetCenter(geom.Point{X: 100 * rng.Float64(), Y: 100 * rng.Float64()})
+	}
+	before := netmodel.HPWL(nl)
+	for i := 0; i < 5; i++ {
+		if _, err := Solve(nl, nil, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := netmodel.HPWL(nl)
+	if after >= before {
+		t.Errorf("HPWL did not improve: %v -> %v", before, after)
+	}
+}
+
+func name(p string, i int) string {
+	return p + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+}
+
+func TestAnchorsPullCells(t *testing.T) {
+	nl := chainDesign(t)
+	for i := 0; i < 10; i++ {
+		if _, err := Solve(nl, nil, Options{Eps: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free := nl.Positions()
+	// Anchor the middle cell strongly at (50, 90).
+	anchors := &Anchors{
+		Pos:    []geom.Point{{X: free[0].X, Y: free[0].Y}, {X: 50, Y: 90}, {X: free[2].X, Y: free[2].Y}},
+		Lambda: []float64{0, 100, 0},
+	}
+	if _, err := Solve(nl, anchors, Options{Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := nl.Positions()
+	if got[1].Y < 70 {
+		t.Errorf("anchored cell y = %v, want near 90", got[1].Y)
+	}
+	// Unanchored cells should not fly away.
+	if math.Abs(got[0].X-free[0].X) > 20 {
+		t.Errorf("free cell moved too far: %v vs %v", got[0], free[0])
+	}
+}
+
+func TestAnchorSizeMismatch(t *testing.T) {
+	nl := chainDesign(t)
+	_, err := Solve(nl, &Anchors{Pos: make([]geom.Point, 1), Lambda: make([]float64, 1)}, Options{})
+	if err == nil {
+		t.Error("expected error for mismatched anchors")
+	}
+}
+
+func TestDisconnectedCellStaysInCore(t *testing.T) {
+	b := netlist.NewBuilder("disc")
+	b.SetCore(geom.Rect{XMax: 10, YMax: 10})
+	c := b.AddCell("c", 1, 1)
+	d := b.AddCell("d", 1, 1)
+	p := b.AddFixed("p", 0, 0, 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c}, {Cell: p}})
+	// d has a single-pin net only: no real constraint.
+	b.AddNet("n2", 1, []netlist.PinSpec{{Cell: d}})
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[d].SetCenter(geom.Point{X: 5, Y: 5})
+	if _, err := Solve(nl, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got := nl.Cells[d].Center()
+	if math.IsNaN(got.X) || !nl.Core.Contains(got) {
+		t.Errorf("disconnected cell at %v", got)
+	}
+}
+
+func TestClampKeepsCellsInside(t *testing.T) {
+	// A cell dragged toward a pad outside the core must be clamped.
+	b := netlist.NewBuilder("clamp")
+	b.SetCore(geom.Rect{XMin: 10, YMin: 10, XMax: 90, YMax: 90})
+	c := b.AddCell("c", 4, 4)
+	p := b.AddFixed("p", 0, 0, 1, 1) // outside core
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c}, {Cell: p}})
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[c].SetCenter(geom.Point{X: 50, Y: 50})
+	for i := 0; i < 5; i++ {
+		if _, err := Solve(nl, nil, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := nl.Cells[c].Center()
+	if got.X < 12 || got.Y < 12 {
+		t.Errorf("cell center %v violates core clamp", got)
+	}
+	// Raw mode skips the clamp.
+	if _, err := Solve(nl, nil, Options{Raw: true}); err != nil {
+		t.Fatal(err)
+	}
+	raw := nl.Cells[c].Center()
+	if raw.X > got.X {
+		t.Errorf("raw solve should move further out: %v vs %v", raw, got)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	nl, err := gen.Generate(gen.Spec{Name: "bench", NumCells: 8000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors := &Anchors{Pos: nl.Positions(), Lambda: make([]float64, nl.NumMovable())}
+	for i := range anchors.Lambda {
+		anchors.Lambda[i] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(nl, anchors, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package region enforces hard region constraints (paper §S5): after each
+// feasibility projection, every constrained cell's anchor is snapped into
+// its constraining rectangle, so the subsequent analytic iteration is pulled
+// toward a constraint-satisfying placement.
+package region
+
+import (
+	"math"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// SnapAnchors clamps, in place, the anchors of region-constrained movable
+// cells into their region rectangles (shrunk by half the cell dimensions so
+// the whole cell fits). anchors is indexed in netlist.Movables order.
+func SnapAnchors(nl *netlist.Netlist, anchors []geom.Point) {
+	if len(nl.Regions) == 0 {
+		return
+	}
+	for k, i := range nl.Movables() {
+		c := &nl.Cells[i]
+		if c.Region < 0 {
+			continue
+		}
+		anchors[k] = snapCenter(c, nl.Regions[c.Region].Rect, anchors[k])
+	}
+}
+
+// SnapPlacement moves region-constrained movable cells of nl into their
+// regions (used to finalize placements and in legalization preprocessing).
+func SnapPlacement(nl *netlist.Netlist) {
+	if len(nl.Regions) == 0 {
+		return
+	}
+	for _, i := range nl.Movables() {
+		c := &nl.Cells[i]
+		if c.Region < 0 {
+			continue
+		}
+		c.SetCenter(snapCenter(c, nl.Regions[c.Region].Rect, c.Center()))
+	}
+}
+
+// snapCenter returns p clamped so a cell of c's size centered there lies in
+// r. Cells larger than the region are centered on it.
+func snapCenter(c *netlist.Cell, r geom.Rect, p geom.Point) geom.Point {
+	hw := math.Min(c.W/2, r.Width()/2)
+	hh := math.Min(c.H/2, r.Height()/2)
+	return geom.Point{
+		X: geom.Clamp(p.X, r.XMin+hw, r.XMax-hw),
+		Y: geom.Clamp(p.Y, r.YMin+hh, r.YMax-hh),
+	}
+}
+
+// Violations returns the number of region-constrained movable cells whose
+// rectangle is not fully inside its region (with tolerance tol).
+func Violations(nl *netlist.Netlist, tol float64) int {
+	n := 0
+	for _, i := range nl.Movables() {
+		c := &nl.Cells[i]
+		if c.Region < 0 {
+			continue
+		}
+		r := nl.Regions[c.Region].Rect.Expand(tol)
+		if !r.ContainsRect(c.Rect()) {
+			n++
+		}
+	}
+	return n
+}

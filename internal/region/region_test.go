@@ -1,0 +1,92 @@
+package region
+
+import (
+	"testing"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+func regionDesign(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("reg")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	c1 := b.AddCell("c1", 2, 2)
+	c2 := b.AddCell("c2", 2, 2)
+	p := b.AddFixed("p", 0, 0, 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c1}, {Cell: c2}, {Cell: p}})
+	r := b.AddRegion("clk", geom.Rect{XMin: 60, YMin: 60, XMax: 80, YMax: 80})
+	b.ConstrainCell(c1, r)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[c1].SetCenter(geom.Point{X: 10, Y: 10})
+	nl.Cells[c2].SetCenter(geom.Point{X: 10, Y: 90})
+	return nl
+}
+
+func TestSnapAnchors(t *testing.T) {
+	nl := regionDesign(t)
+	anchors := []geom.Point{{X: 10, Y: 10}, {X: 10, Y: 90}}
+	SnapAnchors(nl, anchors)
+	// c1 anchor clamps into [61,79]^2 (region minus half cell size).
+	if anchors[0] != (geom.Point{X: 61, Y: 61}) {
+		t.Errorf("c1 anchor = %v", anchors[0])
+	}
+	// c2 is unconstrained.
+	if anchors[1] != (geom.Point{X: 10, Y: 90}) {
+		t.Errorf("c2 anchor moved: %v", anchors[1])
+	}
+}
+
+func TestSnapAnchorsNoRegionsIsNoop(t *testing.T) {
+	b := netlist.NewBuilder("none")
+	b.SetCore(geom.Rect{XMax: 10, YMax: 10})
+	c := b.AddCell("c", 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c}})
+	nl, _ := b.Build()
+	anchors := []geom.Point{{X: -5, Y: -5}}
+	SnapAnchors(nl, anchors)
+	if anchors[0] != (geom.Point{X: -5, Y: -5}) {
+		t.Error("anchors changed with no regions")
+	}
+}
+
+func TestSnapPlacement(t *testing.T) {
+	nl := regionDesign(t)
+	if got := Violations(nl, 0); got != 1 {
+		t.Fatalf("violations before = %d, want 1", got)
+	}
+	SnapPlacement(nl)
+	if got := Violations(nl, 1e-9); got != 0 {
+		t.Errorf("violations after = %d", got)
+	}
+	c1 := nl.Cells[nl.CellByName("c1")].Center()
+	if c1 != (geom.Point{X: 61, Y: 61}) {
+		t.Errorf("c1 snapped to %v", c1)
+	}
+	// Interior positions stay put.
+	nl.Cells[nl.CellByName("c1")].SetCenter(geom.Point{X: 70, Y: 75})
+	SnapPlacement(nl)
+	if got := nl.Cells[nl.CellByName("c1")].Center(); got != (geom.Point{X: 70, Y: 75}) {
+		t.Errorf("interior cell moved: %v", got)
+	}
+}
+
+func TestOversizedCellCentersOnRegion(t *testing.T) {
+	b := netlist.NewBuilder("big")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	m := b.AddMacro("m", 30, 30)
+	p := b.AddFixed("p", 0, 0, 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: m}, {Cell: p}})
+	r := b.AddRegion("r", geom.Rect{XMin: 40, YMin: 40, XMax: 50, YMax: 50})
+	b.ConstrainCell(m, r)
+	nl, _ := b.Build()
+	nl.Cells[m].SetCenter(geom.Point{X: 90, Y: 90})
+	SnapPlacement(nl)
+	got := nl.Cells[m].Center()
+	if got != (geom.Point{X: 45, Y: 45}) {
+		t.Errorf("oversized cell centered at %v, want (45,45)", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package shred implements the macro-shredding technique ComPLx uses for
+// mixed-size feasibility projection (paper §5, Figure 2): each movable macro
+// is divided into equal-sized constituent cells ("shreds") of roughly
+// 2×2-standard-row-height, with no fake nets connecting them. The
+// feasibility projection acts on the shreds; the projected macro location is
+// then interpolated as the average shred displacement. Shred dimensions are
+// scaled by √γ so that the spread array of shreds leaves a whitespace halo
+// around the macro.
+package shred
+
+import (
+	"math"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/spread"
+)
+
+// Shredder maps the movable objects of a netlist to projection items:
+// standard cells map 1:1, movable macros map to grids of shreds.
+type Shredder struct {
+	nl *netlist.Netlist
+	// owner[i] is the movable index (into nl.Movables()) of item i.
+	owner []int
+	// offset[i] is the item's offset from its owner's center (zero for
+	// standard cells).
+	offset []geom.Point
+	// dims[i] are the item dimensions.
+	dims []geom.Point
+	// shredsOf[k] counts the items of movable k.
+	shredsOf []int
+}
+
+// New builds a shredder for the current netlist. gamma is the target
+// density used for the √γ halo scaling (clamped to (0,1]).
+func New(nl *netlist.Netlist, gamma float64) *Shredder {
+	if gamma <= 0 || gamma > 1 {
+		gamma = 1
+	}
+	scale := math.Sqrt(gamma)
+	shredSide := 2 * nl.RowHeight()
+	s := &Shredder{nl: nl}
+	s.shredsOf = make([]int, nl.NumMovable())
+	for k, i := range nl.Movables() {
+		c := &nl.Cells[i]
+		if c.Kind != netlist.Macro {
+			s.owner = append(s.owner, k)
+			s.offset = append(s.offset, geom.Point{})
+			s.dims = append(s.dims, geom.Point{X: c.W, Y: c.H})
+			s.shredsOf[k] = 1
+			continue
+		}
+		nx := int(math.Max(1, math.Round(c.W/shredSide)))
+		ny := int(math.Max(1, math.Round(c.H/shredSide)))
+		sw, sh := c.W/float64(nx), c.H/float64(ny)
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				off := geom.Point{
+					X: -c.W/2 + (float64(ix)+0.5)*sw,
+					Y: -c.H/2 + (float64(iy)+0.5)*sh,
+				}
+				s.owner = append(s.owner, k)
+				s.offset = append(s.offset, off)
+				// √γ scaling creates the halo (paper §5).
+				s.dims = append(s.dims, geom.Point{X: sw * scale, Y: sh * scale})
+			}
+		}
+		s.shredsOf[k] = nx * ny
+	}
+	return s
+}
+
+// NumItems returns the total projection item count.
+func (s *Shredder) NumItems() int { return len(s.owner) }
+
+// Owner returns the movable index of item i.
+func (s *Shredder) Owner(i int) int { return s.owner[i] }
+
+// ShredCount returns the number of items representing movable k.
+func (s *Shredder) ShredCount(k int) int { return s.shredsOf[k] }
+
+// Items materializes the projection items at the netlist's current
+// positions.
+func (s *Shredder) Items() []spread.Item {
+	mov := s.nl.Movables()
+	items := make([]spread.Item, len(s.owner))
+	for i, k := range s.owner {
+		c := s.nl.Cells[mov[k]].Center()
+		items[i] = spread.Item{
+			Pos: c.Add(s.offset[i]),
+			W:   s.dims[i].X,
+			H:   s.dims[i].Y,
+		}
+	}
+	return items
+}
+
+// Interpolate converts projected item positions back to per-movable centers:
+// a standard cell takes its item position; a macro takes its current center
+// plus the average displacement of its shreds (paper §5).
+func (s *Shredder) Interpolate(projected []geom.Point) []geom.Point {
+	if len(projected) != len(s.owner) {
+		panic("shred: projected length mismatch")
+	}
+	mov := s.nl.Movables()
+	out := make([]geom.Point, len(mov))
+	count := make([]int, len(mov))
+	// Accumulate displacements.
+	for i, k := range s.owner {
+		c := s.nl.Cells[mov[k]].Center()
+		want := c.Add(s.offset[i])
+		d := projected[i].Sub(want)
+		out[k] = out[k].Add(d)
+		count[k]++
+	}
+	for k := range out {
+		c := s.nl.Cells[mov[k]].Center()
+		if count[k] > 0 {
+			out[k] = c.Add(out[k].Scale(1 / float64(count[k])))
+		} else {
+			out[k] = c
+		}
+	}
+	// Keep interpolated centers inside the core.
+	core := s.nl.Core
+	for k := range out {
+		cell := &s.nl.Cells[mov[k]]
+		hw := math.Min(cell.W/2, core.Width()/2)
+		hh := math.Min(cell.H/2, core.Height()/2)
+		out[k].X = geom.Clamp(out[k].X, core.XMin+hw, core.XMax-hw)
+		out[k].Y = geom.Clamp(out[k].Y, core.YMin+hh, core.YMax-hh)
+	}
+	return out
+}
+
+// ShredBBox returns the bounding box of the projected shreds of movable k —
+// used for diagnostics such as the Figure 2 halo statistics.
+func (s *Shredder) ShredBBox(k int, projected []geom.Point) geom.Rect {
+	box := geom.Rect{XMin: math.Inf(1), YMin: math.Inf(1), XMax: math.Inf(-1), YMax: math.Inf(-1)}
+	for i, owner := range s.owner {
+		if owner != k {
+			continue
+		}
+		p := projected[i]
+		hw, hh := s.dims[i].X/2, s.dims[i].Y/2
+		box = box.Union(geom.Rect{XMin: p.X - hw, YMin: p.Y - hh, XMax: p.X + hw, YMax: p.Y + hh})
+	}
+	return box
+}

@@ -1,0 +1,198 @@
+package shred
+
+import (
+	"math"
+	"testing"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// mixedDesign has one std cell and one 8x8 macro with row height 1.
+func mixedDesign(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("mix")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	c := b.AddCell("c", 2, 1)
+	m := b.AddMacro("m", 8, 8)
+	p := b.AddFixed("p", 0, 0, 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c}, {Cell: m}, {Cell: p}})
+	b.AddUniformRows(100, 1, 1)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[c].SetCenter(geom.Point{X: 20, Y: 20})
+	nl.Cells[m].SetCenter(geom.Point{X: 50, Y: 50})
+	return nl
+}
+
+func TestShredCounts(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	// Row height 1 => shred side 2 => the 8x8 macro becomes 4x4 = 16 shreds.
+	if s.NumItems() != 1+16 {
+		t.Fatalf("NumItems = %d, want 17", s.NumItems())
+	}
+	if s.ShredCount(0) != 1 || s.ShredCount(1) != 16 {
+		t.Errorf("ShredCount = %d, %d", s.ShredCount(0), s.ShredCount(1))
+	}
+	if s.Owner(0) != 0 || s.Owner(1) != 1 || s.Owner(16) != 1 {
+		t.Error("Owner mapping wrong")
+	}
+}
+
+func TestItemsTileTheMacro(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	items := s.Items()
+	// Std cell item sits at the cell center with full dims.
+	if items[0].Pos != (geom.Point{X: 20, Y: 20}) || items[0].W != 2 || items[0].H != 1 {
+		t.Errorf("std item = %+v", items[0])
+	}
+	// Shreds: 16 items of 2x2 centered inside the macro, total area = macro
+	// area at gamma=1.
+	var area float64
+	box := geom.Rect{XMin: 1e300, YMin: 1e300, XMax: -1e300, YMax: -1e300}
+	for _, it := range items[1:] {
+		area += it.Area()
+		box = box.Union(geom.RectWH(it.Pos.X-it.W/2, it.Pos.Y-it.H/2, it.W, it.H))
+	}
+	if math.Abs(area-64) > 1e-9 {
+		t.Errorf("shred area = %v, want 64", area)
+	}
+	want := geom.Rect{XMin: 46, YMin: 46, XMax: 54, YMax: 54}
+	if box != want {
+		t.Errorf("shred bbox = %v, want %v", box, want)
+	}
+}
+
+func TestGammaScalesShreds(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 0.25)
+	items := s.Items()
+	// sqrt(0.25) = 0.5: each 2x2 shred becomes 1x1.
+	for _, it := range items[1:] {
+		if math.Abs(it.W-1) > 1e-9 || math.Abs(it.H-1) > 1e-9 {
+			t.Fatalf("shred dims = %v x %v, want 1x1", it.W, it.H)
+		}
+	}
+	// Std cells are never scaled.
+	if items[0].W != 2 {
+		t.Errorf("std cell scaled: %v", items[0].W)
+	}
+}
+
+func TestInterpolateIdentity(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	items := s.Items()
+	proj := make([]geom.Point, len(items))
+	for i := range items {
+		proj[i] = items[i].Pos
+	}
+	out := s.Interpolate(proj)
+	if out[0] != (geom.Point{X: 20, Y: 20}) || out[1] != (geom.Point{X: 50, Y: 50}) {
+		t.Errorf("identity interpolation moved cells: %v", out)
+	}
+}
+
+func TestInterpolateAveragesDisplacement(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	items := s.Items()
+	proj := make([]geom.Point, len(items))
+	for i := range items {
+		proj[i] = items[i].Pos
+	}
+	// Move every macro shred by (+10, -5); move the std cell by (1, 2).
+	proj[0] = proj[0].Add(geom.Point{X: 1, Y: 2})
+	for i := 1; i < len(proj); i++ {
+		proj[i] = proj[i].Add(geom.Point{X: 10, Y: -5})
+	}
+	out := s.Interpolate(proj)
+	if out[0] != (geom.Point{X: 21, Y: 22}) {
+		t.Errorf("std moved to %v", out[0])
+	}
+	if out[1] != (geom.Point{X: 60, Y: 45}) {
+		t.Errorf("macro moved to %v, want (60, 45)", out[1])
+	}
+}
+
+func TestInterpolatePartialDisplacement(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	items := s.Items()
+	proj := make([]geom.Point, len(items))
+	for i := range items {
+		proj[i] = items[i].Pos
+	}
+	// Move only half the shreds by +8 in x: macro moves by the average +4.
+	moved := 0
+	for i := 1; i < len(proj) && moved < 8; i++ {
+		proj[i] = proj[i].Add(geom.Point{X: 8})
+		moved++
+	}
+	out := s.Interpolate(proj)
+	if math.Abs(out[1].X-54) > 1e-9 {
+		t.Errorf("macro x = %v, want 54", out[1].X)
+	}
+}
+
+func TestInterpolateClampsToCore(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	items := s.Items()
+	proj := make([]geom.Point, len(items))
+	for i := range items {
+		proj[i] = items[i].Pos.Add(geom.Point{X: 1000}) // far outside
+	}
+	out := s.Interpolate(proj)
+	// Macro is 8 wide: center can be at most 96.
+	if out[1].X > 96+1e-9 {
+		t.Errorf("macro center %v beyond clamp", out[1].X)
+	}
+}
+
+func TestInterpolateLengthMismatchPanics(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Interpolate(make([]geom.Point, 2))
+}
+
+func TestShredBBox(t *testing.T) {
+	nl := mixedDesign(t)
+	s := New(nl, 1.0)
+	items := s.Items()
+	proj := make([]geom.Point, len(items))
+	for i := range items {
+		proj[i] = items[i].Pos
+	}
+	box := s.ShredBBox(1, proj)
+	want := geom.Rect{XMin: 46, YMin: 46, XMax: 54, YMax: 54}
+	if box != want {
+		t.Errorf("ShredBBox = %v, want %v", box, want)
+	}
+}
+
+func TestTinyMacroGetsOneShred(t *testing.T) {
+	b := netlist.NewBuilder("tiny")
+	b.SetCore(geom.Rect{XMax: 10, YMax: 10})
+	m := b.AddMacro("m", 1.5, 1.5)
+	p := b.AddFixed("p", 0, 0, 1, 1)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: m}, {Cell: p}})
+	b.AddUniformRows(10, 1, 1)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nl, 1.0)
+	if s.NumItems() != 1 {
+		t.Errorf("tiny macro shreds = %d, want 1", s.NumItems())
+	}
+}

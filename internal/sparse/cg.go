@@ -1,0 +1,112 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+)
+
+// CGOptions controls the Conjugate Gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖r‖/‖b‖ at which the solve
+	// stops. Defaults to 1e-6 when zero.
+	Tol float64
+	// MaxIter bounds the iteration count. Defaults to 4*N when zero.
+	MaxIter int
+}
+
+// CGResult reports how a solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖r‖/‖b‖
+	Converged  bool
+}
+
+// ErrNotSPD is returned when CG detects the matrix is not positive definite
+// (a non-positive curvature direction).
+var ErrNotSPD = errors.New("sparse: matrix is not positive definite")
+
+// SolvePCG solves A x = b for symmetric positive-definite A using
+// Jacobi-preconditioned Conjugate Gradient. x holds the initial guess on
+// entry and the solution on return.
+func SolvePCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
+	n := a.N
+	if len(x) != n || len(b) != n {
+		panic("sparse: SolvePCG dimension mismatch")
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 4 * n
+		if opt.MaxIter < 100 {
+			opt.MaxIter = 100
+		}
+	}
+
+	// Jacobi preconditioner: M = diag(A). Guard zero diagonals (isolated
+	// variables) with 1 so they pass through unpreconditioned.
+	invD := make([]float64, n)
+	a.Diag(invD)
+	for i, d := range invD {
+		if d > 0 {
+			invD[i] = 1 / d
+		} else {
+			invD[i] = 1
+		}
+	}
+
+	r := make([]float64, n)  // residual b - A x
+	z := make([]float64, n)  // preconditioned residual
+	p := make([]float64, n)  // search direction
+	ap := make([]float64, n) // A p
+
+	a.MulVec(ap, x)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - ap[i]
+	}
+	bNorm := math.Sqrt(Norm2Sq(b))
+	if bNorm == 0 {
+		// Solution of A x = 0 is x = 0 for SPD A.
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Converged: true}, nil
+	}
+
+	for i := 0; i < n; i++ {
+		z[i] = invD[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+
+	res := CGResult{}
+	for k := 0; k < opt.MaxIter; k++ {
+		rNorm := math.Sqrt(Norm2Sq(r))
+		res.Residual = rNorm / bNorm
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		a.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return res, ErrNotSPD
+		}
+		alpha := rz / pap
+		Axpy(x, alpha, p)
+		Axpy(r, -alpha, ap)
+		for i := 0; i < n; i++ {
+			z[i] = invD[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+		res.Iterations = k + 1
+	}
+	res.Residual = math.Sqrt(Norm2Sq(r)) / bNorm
+	res.Converged = res.Residual <= opt.Tol
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// denseSolve solves A x = b by Gaussian elimination with partial pivoting,
+// as an oracle for the CG solver.
+func denseSolve(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	// Augmented matrix copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		m[col], m[p] = m[p], m[col]
+		piv := m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / piv
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x
+}
+
+// TestCGMatchesDenseSolver cross-checks PCG against Gaussian elimination on
+// random SPD systems.
+func TestCGMatchesDenseSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		bld := NewBuilder(n)
+		// Diagonally dominant symmetric matrix.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					w := rng.Float64()
+					bld.AddSym(i, j, w)
+					dense[i][i] += w
+					dense[j][j] += w
+					dense[i][j] -= w
+					dense[j][i] -= w
+				}
+			}
+			d := 0.5 + rng.Float64()
+			bld.AddDiag(i, d)
+			dense[i][i] += d
+		}
+		a := bld.Build()
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		want := denseSolve(dense, rhs)
+		got := make([]float64, n)
+		res, err := SolvePCG(a, got, rhs, CGOptions{Tol: 1e-12, MaxIter: 50 * n})
+		if err != nil || !res.Converged {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

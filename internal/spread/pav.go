@@ -1,0 +1,73 @@
+package spread
+
+import "complx/internal/geom"
+
+// pav1D solves the §S2 one-dimensional spreading subproblem exactly for the
+// squared-displacement objective: given desired coordinates d (already in
+// the order that must be preserved) and per-item pitches (the space each
+// item must occupy), find positions x minimizing Σ (x_i − d_i)² subject to
+//
+//	x_{i+1} ≥ x_i + pitch_i      (order and spacing preserved)
+//	lo ≤ x_1,  x_n + pitch_n ≤ hi
+//
+// The paper observes that after the change of variables δ_i = gaps between
+// neighbors this is a convex problem; with the L2 objective it is an
+// isotonic regression solved exactly by pool-adjacent-violators (the same
+// collapse Abacus uses for legalization).
+func pav1D(desired, pitch []float64, lo, hi float64) []float64 {
+	n := len(desired)
+	if n == 0 {
+		return nil
+	}
+	// Change of variables: y_i = x_i − prefix(i) turns the spacing
+	// constraints into y_{i+1} ≥ y_i (isotonic).
+	prefix := make([]float64, n)
+	var acc float64
+	for i := 0; i < n; i++ {
+		prefix[i] = acc
+		acc += pitch[i]
+	}
+	total := acc
+
+	type block struct {
+		mean  float64 // unconstrained optimum of the pooled block
+		count int
+	}
+	blocks := make([]block, 0, n)
+	for i := 0; i < n; i++ {
+		blocks = append(blocks, block{mean: desired[i] - prefix[i], count: 1})
+		// Pool while monotonicity is violated.
+		for len(blocks) > 1 {
+			b := blocks[len(blocks)-1]
+			a := blocks[len(blocks)-2]
+			if a.mean <= b.mean {
+				break
+			}
+			merged := block{
+				mean:  (a.mean*float64(a.count) + b.mean*float64(b.count)) / float64(a.count+b.count),
+				count: a.count + b.count,
+			}
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, merged)
+		}
+	}
+	// Emit y values, then clamp the whole solution into the interval by
+	// clamping each y to the feasible band (the bands are themselves
+	// monotone, so order is preserved).
+	out := make([]float64, 0, n)
+	for _, b := range blocks {
+		for k := 0; k < b.count; k++ {
+			out = append(out, b.mean)
+		}
+	}
+	for i := 0; i < n; i++ {
+		// x_i ∈ [lo + prefix_i − prefix_i, hi − total + prefix_i] in y-space:
+		// y_i ∈ [lo, hi − total].
+		out[i] = geom.Clamp(out[i], lo, hi-total)
+	}
+	// Back to x.
+	for i := 0; i < n; i++ {
+		out[i] += prefix[i]
+	}
+	return out
+}

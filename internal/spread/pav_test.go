@@ -1,0 +1,142 @@
+package spread
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"complx/internal/density"
+	"complx/internal/geom"
+)
+
+func TestPAVAlreadyFeasible(t *testing.T) {
+	// Well-separated desired positions: output equals input.
+	d := []float64{0, 5, 10}
+	w := []float64{1, 1, 1}
+	got := pav1D(d, w, -10, 30)
+	for i := range d {
+		if math.Abs(got[i]-d[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], d[i])
+		}
+	}
+}
+
+func TestPAVResolvesOverlap(t *testing.T) {
+	// Two items wanting the same spot split symmetrically.
+	d := []float64{5, 5}
+	w := []float64{2, 2}
+	got := pav1D(d, w, 0, 20)
+	if math.Abs(got[0]-4) > 1e-12 || math.Abs(got[1]-6) > 1e-12 {
+		t.Errorf("got %v, want [4 6]", got)
+	}
+}
+
+func TestPAVClampsToInterval(t *testing.T) {
+	d := []float64{-100, -99}
+	w := []float64{1, 1}
+	got := pav1D(d, w, 0, 10)
+	if got[0] < 0 || got[1]+1 > 10 || got[1] < got[0]+1-1e-12 {
+		t.Errorf("clamped solution infeasible: %v", got)
+	}
+}
+
+// TestPAVOptimalProperty: the output is feasible and no single-coordinate
+// (or uniform-block) perturbation reduces the squared displacement — the
+// KKT conditions of the convex program.
+func TestPAVOptimalProperty(t *testing.T) {
+	cost := func(x, d []float64) float64 {
+		var s float64
+		for i := range x {
+			s += (x[i] - d[i]) * (x[i] - d[i])
+		}
+		return s
+	}
+	feasible := func(x, w []float64, lo, hi float64) bool {
+		if x[0] < lo-1e-9 || x[len(x)-1]+w[len(w)-1] > hi+1e-9 {
+			return false
+		}
+		for i := 1; i < len(x); i++ {
+			if x[i] < x[i-1]+w[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		d := make([]float64, n)
+		w := make([]float64, n)
+		for i := range d {
+			d[i] = 20 * rng.Float64()
+			w[i] = 0.5 + rng.Float64()
+		}
+		// Keep the order constraint meaningful: sort desired.
+		for i := 1; i < n; i++ {
+			if d[i] < d[i-1] {
+				d[i], d[i-1] = d[i-1], d[i]
+			}
+		}
+		lo, hi := 0.0, 30.0
+		x := pav1D(d, w, lo, hi)
+		if !feasible(x, w, lo, hi) {
+			return false
+		}
+		base := cost(x, d)
+		// Perturb every contiguous block by ±eps; none may improve.
+		const eps = 1e-3
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				for _, dir := range []float64{eps, -eps} {
+					y := append([]float64(nil), x...)
+					for i := a; i <= b; i++ {
+						y[i] += dir
+					}
+					if feasible(y, w, lo, hi) && cost(y, d) < base-1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimalLeafReducesDisplacement: with the PAV leaf, the projection
+// moves items less while still relieving most overflow.
+func TestOptimalLeafReducesDisplacement(t *testing.T) {
+	mk := func() []Item {
+		rng := rand.New(rand.NewSource(6))
+		var items []Item
+		for i := 0; i < 300; i++ {
+			items = append(items, Item{
+				Pos: geom.Point{X: 30 + 25*rng.Float64(), Y: 30 + 25*rng.Float64()},
+				W:   2.4, H: 2.4,
+			})
+		}
+		return items
+	}
+	g1 := density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, 10, 10, 0.9)
+	items := mk()
+	uni := NewProjector(g1, Options{}).Project(items)
+	g2 := density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, 10, 10, 0.9)
+	opt := NewProjector(g2, Options{OptimalLeaf: true}).Project(mk())
+
+	orig := positions(items)
+	dUni := L1Distance(orig, uni)
+	dOpt := L1Distance(orig, opt)
+	t.Logf("displacement: uniform=%.1f pav=%.1f", dUni, dOpt)
+	if dOpt > 1.05*dUni {
+		t.Errorf("PAV leaf displaced more: %v vs %v", dOpt, dUni)
+	}
+	// Overflow must still drop substantially.
+	before := overflowOf(g2, items, orig)
+	after := overflowOf(g2, items, opt)
+	if after > 0.45*before {
+		t.Errorf("PAV leaf overflow %v -> %v", before, after)
+	}
+}

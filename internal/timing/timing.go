@@ -1,0 +1,379 @@
+// Package timing implements the lightweight static timing analysis used by
+// the timing-driven extension of ComPLx (paper Formula 13, §S6): a
+// levelized longest-path analysis over the netlist with a linear wire-delay
+// model, producing per-cell slacks, per-cell criticalities γ_i for the
+// weighted penalty term, and net-weight updates for critical paths.
+//
+// The Bookshelf format carries no pin directions or register markings, so
+// the analyzer adopts the standard convention for such netlists: the first
+// pin of every net drives the remaining pins. Cycles (which arise when
+// netlists contain sequential loops) are broken at back edges found during
+// the depth-first ordering; the cells where edges were cut behave like
+// register boundaries.
+package timing
+
+import (
+	"math"
+	"sort"
+
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+)
+
+// Options sets the delay model.
+type Options struct {
+	// WireDelay is delay per unit of net HPWL. Default 1.
+	WireDelay float64
+	// CellDelay is the fixed delay through any cell. Default 1.
+	CellDelay float64
+}
+
+func (o *Options) fill() {
+	if o.WireDelay <= 0 {
+		o.WireDelay = 1
+	}
+	if o.CellDelay <= 0 {
+		o.CellDelay = 1
+	}
+}
+
+// Report holds the analysis results.
+type Report struct {
+	// Arrival and Required are per cell (netlist index); Slack = Required −
+	// Arrival.
+	Arrival, Required, Slack []float64
+	// Criticality in [0, 1] per cell: 1 on the most critical path.
+	Criticality []float64
+	// WNS is the worst (smallest) slack; TNS the sum of negative slacks
+	// against the implicit deadline = longest path delay.
+	WNS, TNS float64
+	// MaxDelay is the longest path delay found.
+	MaxDelay float64
+	// Order is a topological order of cells after cycle breaking.
+	Order []int
+}
+
+// Analyzer runs STA over a netlist at its current placement.
+type Analyzer struct {
+	nl  *netlist.Netlist
+	opt Options
+	// succ[c] lists (sinkCell, net) fanout edges of cell c.
+	succ  [][2]int
+	off   []int // CSR offsets into succ per cell
+	order []int
+}
+
+// New builds an analyzer. The netlist topology is captured once; delays are
+// recomputed from current positions on each Analyze call.
+func New(nl *netlist.Netlist, opt Options) *Analyzer {
+	opt.fill()
+	a := &Analyzer{nl: nl, opt: opt}
+	a.buildGraph()
+	return a
+}
+
+func (a *Analyzer) buildGraph() {
+	nl := a.nl
+	n := len(nl.Cells)
+	cnt := make([]int, n+1)
+	type edge struct{ from, to, net int }
+	var edges []edge
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		drv := nl.Pins[net.Pins[0]].Cell
+		for _, p := range net.Pins[1:] {
+			snk := nl.Pins[p].Cell
+			if snk == drv {
+				continue
+			}
+			edges = append(edges, edge{drv, snk, ni})
+		}
+	}
+	// DFS to find and drop back edges (cycle breaking).
+	adj := make([][]int, n) // indices into edges
+	for ei, e := range edges {
+		adj[e.from] = append(adj[e.from], ei)
+	}
+	state := make([]int8, n) // 0 unvisited, 1 on stack, 2 done
+	keep := make([]bool, len(edges))
+	a.order = a.order[:0]
+	type frame struct{ cell, next int }
+	var stack []frame
+	for s := 0; s < n; s++ {
+		if state[s] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{s, 0})
+		state[s] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.cell]) {
+				ei := adj[f.cell][f.next]
+				f.next++
+				to := edges[ei].to
+				switch state[to] {
+				case 0:
+					keep[ei] = true
+					state[to] = 1
+					stack = append(stack, frame{to, 0})
+				case 1:
+					// back edge: drop to break the cycle
+				case 2:
+					keep[ei] = true
+				}
+				continue
+			}
+			state[f.cell] = 2
+			a.order = append(a.order, f.cell)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// a.order is reverse-topological; reverse it.
+	for i, j := 0, len(a.order)-1; i < j; i, j = i+1, j-1 {
+		a.order[i], a.order[j] = a.order[j], a.order[i]
+	}
+	// Build CSR of kept edges.
+	for ei, e := range edges {
+		if keep[ei] {
+			cnt[e.from+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	a.off = cnt
+	a.succ = make([][2]int, a.off[n])
+	fill := make([]int, n)
+	for ei, e := range edges {
+		if keep[ei] {
+			a.succ[a.off[e.from]+fill[e.from]] = [2]int{e.to, e.net}
+			fill[e.from]++
+		}
+	}
+}
+
+// Analyze computes arrivals, slacks and criticalities at the current
+// placement.
+func (a *Analyzer) Analyze() *Report {
+	nl := a.nl
+	n := len(nl.Cells)
+	r := &Report{
+		Arrival:     make([]float64, n),
+		Required:    make([]float64, n),
+		Slack:       make([]float64, n),
+		Criticality: make([]float64, n),
+		Order:       a.order,
+	}
+	netDelay := make([]float64, len(nl.Nets))
+	for ni := range nl.Nets {
+		netDelay[ni] = a.opt.WireDelay * netmodel.NetHPWL(nl, ni)
+	}
+	// Forward pass: longest arrival.
+	for _, c := range a.order {
+		base := r.Arrival[c] + a.opt.CellDelay
+		for k := a.off[c]; k < a.off[c+1]; k++ {
+			to, ni := a.succ[k][0], a.succ[k][1]
+			if t := base + netDelay[ni]; t > r.Arrival[to] {
+				r.Arrival[to] = t
+			}
+		}
+		if t := r.Arrival[c] + a.opt.CellDelay; t > r.MaxDelay {
+			r.MaxDelay = t
+		}
+	}
+	// Backward pass: required times against deadline = MaxDelay.
+	for i := range r.Required {
+		r.Required[i] = r.MaxDelay - a.opt.CellDelay
+	}
+	for i := len(a.order) - 1; i >= 0; i-- {
+		c := a.order[i]
+		for k := a.off[c]; k < a.off[c+1]; k++ {
+			to, ni := a.succ[k][0], a.succ[k][1]
+			if t := r.Required[to] - netDelay[ni] - a.opt.CellDelay; t < r.Required[c] {
+				r.Required[c] = t
+			}
+		}
+	}
+	r.WNS = math.Inf(1)
+	for i := 0; i < n; i++ {
+		r.Slack[i] = r.Required[i] - r.Arrival[i]
+		if r.Slack[i] < r.WNS {
+			r.WNS = r.Slack[i]
+		}
+		if r.Slack[i] < -1e-12 {
+			r.TNS += r.Slack[i]
+		}
+	}
+	if n == 0 {
+		r.WNS = 0
+	}
+	// Criticality: 1 − slack / maxSlack, clamped to [0, 1].
+	maxSlack := 0.0
+	for _, s := range r.Slack {
+		if s > maxSlack {
+			maxSlack = s
+		}
+	}
+	for i, s := range r.Slack {
+		if maxSlack <= 0 {
+			r.Criticality[i] = 1
+			continue
+		}
+		c := 1 - s/maxSlack
+		if c < 0 {
+			c = 0
+		}
+		if c > 1 {
+			c = 1
+		}
+		r.Criticality[i] = c
+	}
+	return r
+}
+
+// Path is a cell sequence with its nets and total delay.
+type Path struct {
+	Cells []int
+	Nets  []int
+	Delay float64
+}
+
+// CriticalPaths extracts up to k maximal-delay paths by tracing the worst
+// predecessor chain from the k latest-arrival endpoint cells.
+func (a *Analyzer) CriticalPaths(k int) []Path {
+	nl := a.nl
+	r := a.Analyze()
+	n := len(nl.Cells)
+	// Predecessor with max arrival contribution.
+	pred := make([]int, n)
+	predNet := make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+		predNet[i] = -1
+	}
+	netDelay := make([]float64, len(nl.Nets))
+	for ni := range nl.Nets {
+		netDelay[ni] = a.opt.WireDelay * netmodel.NetHPWL(nl, ni)
+	}
+	for _, c := range a.order {
+		base := r.Arrival[c] + a.opt.CellDelay
+		for kk := a.off[c]; kk < a.off[c+1]; kk++ {
+			to, ni := a.succ[kk][0], a.succ[kk][1]
+			if t := base + netDelay[ni]; math.Abs(t-r.Arrival[to]) < 1e-9 && pred[to] < 0 {
+				pred[to] = c
+				predNet[to] = ni
+			}
+		}
+	}
+	// Endpoints sorted by arrival, descending.
+	ends := make([]int, n)
+	for i := range ends {
+		ends[i] = i
+	}
+	sort.Slice(ends, func(x, y int) bool { return r.Arrival[ends[x]] > r.Arrival[ends[y]] })
+	var paths []Path
+	used := make([]bool, n)
+	for _, e := range ends {
+		if len(paths) >= k {
+			break
+		}
+		if used[e] || r.Arrival[e] <= 0 {
+			continue
+		}
+		var cells, nets []int
+		for c := e; c >= 0; c = pred[c] {
+			cells = append(cells, c)
+			if predNet[c] >= 0 {
+				nets = append(nets, predNet[c])
+			}
+			used[c] = true
+			if pred[c] < 0 {
+				break
+			}
+		}
+		// Reverse into source→sink order.
+		for i, j := 0, len(cells)-1; i < j; i, j = i+1, j-1 {
+			cells[i], cells[j] = cells[j], cells[i]
+		}
+		for i, j := 0, len(nets)-1; i < j; i, j = i+1, j-1 {
+			nets[i], nets[j] = nets[j], nets[i]
+		}
+		if len(cells) < 2 {
+			continue
+		}
+		paths = append(paths, Path{Cells: cells, Nets: nets, Delay: r.Arrival[e] + a.opt.CellDelay})
+	}
+	return paths
+}
+
+// BoostNetWeights multiplies the weight of every listed net by factor
+// (>= 1) and returns the previous weights so callers can restore them.
+func BoostNetWeights(nl *netlist.Netlist, nets []int, factor float64) []float64 {
+	old := make([]float64, len(nets))
+	for k, ni := range nets {
+		old[k] = nl.Nets[ni].Weight
+		nl.Nets[ni].Weight *= factor
+	}
+	return old
+}
+
+// SetNetWeights assigns absolute weights to the listed nets.
+func SetNetWeights(nl *netlist.Netlist, nets []int, weights []float64) {
+	for k, ni := range nets {
+		nl.Nets[ni].Weight = weights[k]
+	}
+}
+
+// CellCriticalities maps a Report's per-cell criticalities to the movable
+// vector expected by the placer's weighted penalty term (Formula 13):
+// γ_i = 1 + boost·criticality_i.
+func CellCriticalities(nl *netlist.Netlist, r *Report, boost float64) []float64 {
+	mov := nl.Movables()
+	out := make([]float64, len(mov))
+	for k, i := range mov {
+		out[k] = 1 + boost*r.Criticality[i]
+	}
+	return out
+}
+
+// ActivityNetWeights implements power-driven net weighting (the SimPL
+// power-aware extension the paper cites): each net's weight is scaled by
+// 1 + alpha·activity(driver), where activity is a per-cell switching
+// activity factor in [0, 1]. Returns the previous weights for restoration
+// via SetNetWeights over all nets.
+func ActivityNetWeights(nl *netlist.Netlist, activity []float64, alpha float64) []float64 {
+	if len(activity) != len(nl.Cells) {
+		panic("timing: activity length mismatch")
+	}
+	old := make([]float64, len(nl.Nets))
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		old[ni] = net.Weight
+		if len(net.Pins) == 0 {
+			continue
+		}
+		drv := nl.Pins[net.Pins[0]].Cell
+		a := activity[drv]
+		if a < 0 {
+			a = 0
+		}
+		if a > 1 {
+			a = 1
+		}
+		net.Weight *= 1 + alpha*a
+	}
+	return old
+}
+
+// AllNets returns 0..NumNets-1, for use with SetNetWeights after
+// ActivityNetWeights.
+func AllNets(nl *netlist.Netlist) []int {
+	out := make([]int, nl.NumNets())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// chain builds in -> c0 -> c1 -> ... -> out with unit spacing.
+func chain(t *testing.T, n int) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("chain")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 10})
+	prev := b.AddFixed("in", 0, 4.5, 1, 1)
+	for i := 0; i < n; i++ {
+		c := b.AddCell("c"+string(rune('0'+i)), 1, 1)
+		b.AddNet("n"+string(rune('0'+i)), 1, []netlist.PinSpec{{Cell: prev}, {Cell: c}})
+		prev = c
+	}
+	out := b.AddFixed("out", 99, 4.5, 1, 1)
+	b.AddNet("nout", 1, []netlist.PinSpec{{Cell: prev}, {Cell: out}})
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range nl.Movables() {
+		nl.Cells[i].SetCenter(geom.Point{X: float64(10 * (k + 1)), Y: 5})
+	}
+	return nl
+}
+
+func TestChainArrivals(t *testing.T) {
+	nl := chain(t, 3) // in(0.5) -> c0(10) -> c1(20) -> c2(30) -> out(99.5)
+	a := New(nl, Options{WireDelay: 1, CellDelay: 1})
+	r := a.Analyze()
+	in := nl.CellByName("in")
+	c0 := nl.CellByName("c0")
+	c2 := nl.CellByName("c2")
+	out := nl.CellByName("out")
+	if r.Arrival[in] != 0 {
+		t.Errorf("arrival(in) = %v", r.Arrival[in])
+	}
+	// in center (0.5, 5) -> c0 (10, 5): wire 9.5 + cell 1 = 10.5.
+	if math.Abs(r.Arrival[c0]-10.5) > 1e-9 {
+		t.Errorf("arrival(c0) = %v, want 10.5", r.Arrival[c0])
+	}
+	// Each chain hop adds 10 wire + 1 cell.
+	if math.Abs(r.Arrival[c2]-32.5) > 1e-9 {
+		t.Errorf("arrival(c2) = %v, want 32.5", r.Arrival[c2])
+	}
+	// out: c2 at 30 -> out at 99.5: +69.5 wire + 1 cell delay at c2.
+	if math.Abs(r.Arrival[out]-103) > 1e-9 {
+		t.Errorf("arrival(out) = %v, want 103", r.Arrival[out])
+	}
+	if math.Abs(r.MaxDelay-104) > 1e-9 {
+		t.Errorf("MaxDelay = %v, want 104", r.MaxDelay)
+	}
+	// Everything on the single path is fully critical: slack 0.
+	for _, ci := range []int{in, c0, c2, out} {
+		if math.Abs(r.Slack[ci]) > 1e-9 {
+			t.Errorf("slack[%d] = %v, want 0", ci, r.Slack[ci])
+		}
+		if r.Criticality[ci] != 1 {
+			t.Errorf("criticality[%d] = %v, want 1", ci, r.Criticality[ci])
+		}
+	}
+}
+
+func TestSlackOnSidePath(t *testing.T) {
+	// in -> a -> out (long) and in -> b -> out (short): b has slack.
+	b := netlist.NewBuilder("two")
+	b.SetCore(geom.Rect{XMax: 100, YMax: 100})
+	in := b.AddFixed("in", 0, 49.5, 1, 1)
+	ca := b.AddCell("a", 1, 1)
+	cb := b.AddCell("b", 1, 1)
+	out := b.AddFixed("out", 99, 49.5, 1, 1)
+	b.AddNet("n1", 1, []netlist.PinSpec{{Cell: in}, {Cell: ca}})
+	b.AddNet("n2", 1, []netlist.PinSpec{{Cell: ca}, {Cell: out}})
+	b.AddNet("n3", 1, []netlist.PinSpec{{Cell: in}, {Cell: cb}})
+	b.AddNet("n4", 1, []netlist.PinSpec{{Cell: cb}, {Cell: out}})
+	nl, _ := b.Build()
+	// a detours far (long path); b sits on the straight line.
+	nl.Cells[ca].SetCenter(geom.Point{X: 50, Y: 95})
+	nl.Cells[cb].SetCenter(geom.Point{X: 50, Y: 50})
+	an := New(nl, Options{})
+	r := an.Analyze()
+	if r.Slack[ca] > 1e-9 {
+		t.Errorf("slack(a) = %v, want 0 (critical)", r.Slack[ca])
+	}
+	if r.Slack[cb] <= 1 {
+		t.Errorf("slack(b) = %v, want > 1", r.Slack[cb])
+	}
+	if r.Criticality[ca] != 1 {
+		t.Errorf("criticality(a) = %v", r.Criticality[ca])
+	}
+	if r.Criticality[cb] >= 1 {
+		t.Errorf("criticality(b) = %v, want < 1", r.Criticality[cb])
+	}
+	if r.WNS > 1e-9 || r.WNS < -1e-9 {
+		t.Errorf("WNS = %v, want 0", r.WNS)
+	}
+}
+
+func TestCycleBrokenGracefully(t *testing.T) {
+	b := netlist.NewBuilder("cyc")
+	b.SetCore(geom.Rect{XMax: 10, YMax: 10})
+	c1 := b.AddCell("c1", 1, 1)
+	c2 := b.AddCell("c2", 1, 1)
+	b.AddNet("n1", 1, []netlist.PinSpec{{Cell: c1}, {Cell: c2}})
+	b.AddNet("n2", 1, []netlist.PinSpec{{Cell: c2}, {Cell: c1}})
+	nl, _ := b.Build()
+	nl.Cells[c1].SetCenter(geom.Point{X: 2, Y: 5})
+	nl.Cells[c2].SetCenter(geom.Point{X: 8, Y: 5})
+	a := New(nl, Options{})
+	r := a.Analyze()
+	if math.IsInf(r.MaxDelay, 0) || math.IsNaN(r.MaxDelay) {
+		t.Fatalf("MaxDelay = %v", r.MaxDelay)
+	}
+	if r.MaxDelay <= 0 {
+		t.Errorf("MaxDelay = %v, want > 0", r.MaxDelay)
+	}
+}
+
+func TestCriticalPaths(t *testing.T) {
+	nl := chain(t, 3)
+	a := New(nl, Options{})
+	paths := a.CriticalPaths(2)
+	if len(paths) == 0 {
+		t.Fatal("no paths found")
+	}
+	p := paths[0]
+	if len(p.Cells) < 4 {
+		t.Errorf("path too short: %v", p.Cells)
+	}
+	if len(p.Nets) != len(p.Cells)-1 {
+		t.Errorf("nets %d for %d cells", len(p.Nets), len(p.Cells))
+	}
+	if p.Delay <= 0 {
+		t.Errorf("delay = %v", p.Delay)
+	}
+	// First cell should be the fixed input (arrival 0).
+	if nl.Cells[p.Cells[0]].Name != "in" {
+		t.Errorf("path starts at %q", nl.Cells[p.Cells[0]].Name)
+	}
+}
+
+func TestBoostAndRestoreNetWeights(t *testing.T) {
+	nl := chain(t, 2)
+	nets := []int{0, 1}
+	old := BoostNetWeights(nl, nets, 20)
+	if nl.Nets[0].Weight != 20 || nl.Nets[1].Weight != 20 {
+		t.Errorf("weights = %v, %v", nl.Nets[0].Weight, nl.Nets[1].Weight)
+	}
+	SetNetWeights(nl, nets, old)
+	if nl.Nets[0].Weight != 1 || nl.Nets[1].Weight != 1 {
+		t.Error("weights not restored")
+	}
+}
+
+func TestCellCriticalities(t *testing.T) {
+	nl := chain(t, 3)
+	a := New(nl, Options{})
+	r := a.Analyze()
+	gamma := CellCriticalities(nl, r, 0.5)
+	if len(gamma) != nl.NumMovable() {
+		t.Fatalf("len = %d", len(gamma))
+	}
+	for _, g := range gamma {
+		if g < 1 || g > 1.5 {
+			t.Errorf("gamma = %v out of [1, 1.5]", g)
+		}
+	}
+	// All chain cells are critical: gamma = 1.5.
+	if gamma[0] != 1.5 {
+		t.Errorf("gamma[0] = %v, want 1.5", gamma[0])
+	}
+}
+
+func TestActivityNetWeights(t *testing.T) {
+	nl := chain(t, 3)
+	act := make([]float64, len(nl.Cells))
+	// The driver of net n0 is "in"; give it full activity.
+	act[nl.CellByName("in")] = 1.0
+	act[nl.CellByName("c0")] = 2.0 // clamped to 1
+	old := ActivityNetWeights(nl, act, 0.5)
+	if nl.Nets[0].Weight != 1.5 {
+		t.Errorf("n0 weight = %v, want 1.5", nl.Nets[0].Weight)
+	}
+	if nl.Nets[1].Weight != 1.5 {
+		t.Errorf("n1 weight = %v, want 1.5 (clamped activity)", nl.Nets[1].Weight)
+	}
+	// Inactive drivers leave weights unchanged.
+	if nl.Nets[3].Weight != 1 {
+		t.Errorf("nout weight = %v", nl.Nets[3].Weight)
+	}
+	SetNetWeights(nl, AllNets(nl), old)
+	for i := range nl.Nets {
+		if nl.Nets[i].Weight != 1 {
+			t.Errorf("weight %d not restored", i)
+		}
+	}
+}
+
+func TestActivityNetWeightsPanics(t *testing.T) {
+	nl := chain(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ActivityNetWeights(nl, []float64{1}, 1)
+}

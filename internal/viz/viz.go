@@ -1,0 +1,154 @@
+// Package viz renders quick-look ASCII visualizations of placements:
+// density heat maps, macro outlines and congestion maps. They are meant for
+// terminal inspection of global placement behaviour (the textual analog of
+// the paper's Figures 2 and 4).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"complx/internal/congest"
+	"complx/internal/density"
+	"complx/internal/netlist"
+)
+
+// shades orders glyphs from empty to overfull.
+var shades = []byte(" .:-=+*#%@")
+
+// shade maps v in [0, 1+] to a glyph; values above 1 saturate.
+func shade(v float64) byte {
+	if v < 0 {
+		v = 0
+	}
+	idx := int(v * float64(len(shades)-1))
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// DensityMap writes an ASCII heat map of movable-cell density (usage over
+// target capacity per bin). Rows print top to bottom; '@' marks saturated
+// (overfilled) bins and 'X' bins fully blocked by obstacles.
+func DensityMap(w io.Writer, nl *netlist.Netlist, cols, rows int, target float64) {
+	if cols < 1 {
+		cols = 48
+	}
+	if rows < 1 {
+		rows = 24
+	}
+	if target <= 0 || target > 1 {
+		target = 1
+	}
+	g := density.NewGridForNetlist(nl, cols, rows, target)
+	g.AccumulateMovable(nl)
+	fmt.Fprintf(w, "density map %dx%d (target %.2f), '@'=overfull, 'X'=blocked\n", cols, rows, target)
+	var b strings.Builder
+	for iy := rows - 1; iy >= 0; iy-- {
+		b.Reset()
+		for ix := 0; ix < cols; ix++ {
+			if g.Free(ix, iy) <= 0 {
+				b.WriteByte('X')
+				continue
+			}
+			b.WriteByte(shade(g.Usage(ix, iy) / g.Capacity(ix, iy)))
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// MacroMap writes an ASCII map of macro and fixed-object outlines: 'M' for
+// movable macros, 'F' for fixed objects, '.' for cells of the grid covered
+// by standard-cell area above half the target.
+func MacroMap(w io.Writer, nl *netlist.Netlist, cols, rows int) {
+	if cols < 1 {
+		cols = 48
+	}
+	if rows < 1 {
+		rows = 24
+	}
+	grid := make([]byte, cols*rows)
+	for i := range grid {
+		grid[i] = ' '
+	}
+	binW := nl.Core.Width() / float64(cols)
+	binH := nl.Core.Height() / float64(rows)
+	mark := func(c *netlist.Cell, glyph byte) {
+		r := c.Rect().Intersect(nl.Core)
+		if r.Empty() {
+			return
+		}
+		x0 := int((r.XMin - nl.Core.XMin) / binW)
+		x1 := int((r.XMax - nl.Core.XMin) / binW)
+		y0 := int((r.YMin - nl.Core.YMin) / binH)
+		y1 := int((r.YMax - nl.Core.YMin) / binH)
+		for iy := y0; iy <= y1 && iy < rows; iy++ {
+			for ix := x0; ix <= x1 && ix < cols; ix++ {
+				if iy >= 0 && ix >= 0 {
+					grid[iy*cols+ix] = glyph
+				}
+			}
+		}
+	}
+	// Standard-cell density as light background.
+	g := density.NewGridForNetlist(nl, cols, rows, 1)
+	g.ResetUsage()
+	for _, i := range nl.Movables() {
+		if nl.Cells[i].Kind == netlist.Std {
+			g.AddUsage(nl.Cells[i].Rect())
+		}
+	}
+	for iy := 0; iy < rows; iy++ {
+		for ix := 0; ix < cols; ix++ {
+			if g.Capacity(ix, iy) > 0 && g.Usage(ix, iy) > 0.5*g.Capacity(ix, iy) {
+				grid[iy*cols+ix] = '.'
+			}
+		}
+	}
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		switch {
+		case c.Kind == netlist.Macro:
+			mark(c, 'M')
+		case c.Fixed():
+			mark(c, 'F')
+		}
+	}
+	fmt.Fprintf(w, "macro map %dx%d: M=movable macro, F=fixed, .=dense std cells\n", cols, rows)
+	for iy := rows - 1; iy >= 0; iy-- {
+		fmt.Fprintln(w, string(grid[iy*cols:(iy+1)*cols]))
+	}
+}
+
+// CongestionMap writes an ASCII RUDY congestion heat map.
+func CongestionMap(w io.Writer, nl *netlist.Netlist, cols, rows int, capacity float64) {
+	if cols < 1 {
+		cols = 48
+	}
+	if rows < 1 {
+		rows = 24
+	}
+	m := congest.NewMap(nl.Core, cols, rows, capacity)
+	m.AddNetlist(nl)
+	if capacity <= 0 {
+		// Self-calibrate to the average so mid-gray is the mean.
+		st := m.Stats()
+		if st.Avg > 0 {
+			m = congest.NewMap(nl.Core, cols, rows, 2*st.Avg)
+			m.AddNetlist(nl)
+		}
+	}
+	st := m.Stats()
+	fmt.Fprintf(w, "congestion map %dx%d (max %.2f, avg %.2f, overflow %.1f%%)\n",
+		cols, rows, st.Max, st.Avg, 100*st.OverflowFrac)
+	var b strings.Builder
+	for iy := rows - 1; iy >= 0; iy-- {
+		b.Reset()
+		for ix := 0; ix < cols; ix++ {
+			b.WriteByte(shade(m.Congestion(ix, iy)))
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}

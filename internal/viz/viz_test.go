@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"complx/internal/gen"
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+func design(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl, err := gen.Generate(gen.Spec{
+		Name: "viz", NumCells: 400, Seed: 1,
+		NumMacros: 3, MacroAreaFrac: 0.2, MovableMacros: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestShade(t *testing.T) {
+	if shade(0) != ' ' {
+		t.Errorf("shade(0) = %q", shade(0))
+	}
+	if shade(1) != '@' {
+		t.Errorf("shade(1) = %q", shade(1))
+	}
+	if shade(5) != '@' {
+		t.Errorf("shade(5) = %q", shade(5))
+	}
+	if shade(-1) != ' ' {
+		t.Errorf("shade(-1) = %q", shade(-1))
+	}
+}
+
+func TestDensityMap(t *testing.T) {
+	nl := design(t)
+	var buf bytes.Buffer
+	DensityMap(&buf, nl, 20, 10, 1.0)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 11 { // header + 10 rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 20 {
+			t.Errorf("row width = %d", len(l))
+		}
+	}
+	// Cells start clustered at homes: some ink must appear.
+	if !strings.ContainsAny(buf.String(), ".:-=+*#%@") {
+		t.Error("density map is blank")
+	}
+}
+
+func TestDensityMapBlockedBins(t *testing.T) {
+	b := netlist.NewBuilder("blocked")
+	b.SetCore(geom.Rect{XMax: 10, YMax: 10})
+	c := b.AddCell("c", 1, 1)
+	f := b.AddFixed("f", 0, 0, 5, 5)
+	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c}, {Cell: f}})
+	nl, _ := b.Build()
+	nl.Cells[c].SetCenter(geom.Point{X: 8, Y: 8})
+	var buf bytes.Buffer
+	DensityMap(&buf, nl, 4, 4, 1.0)
+	if !strings.Contains(buf.String(), "X") {
+		t.Error("blocked bins not marked")
+	}
+}
+
+func TestMacroMap(t *testing.T) {
+	nl := design(t)
+	var buf bytes.Buffer
+	MacroMap(&buf, nl, 30, 15)
+	out := buf.String()
+	if !strings.Contains(out, "M") {
+		t.Error("no movable macros drawn")
+	}
+	if !strings.Contains(out, "F") {
+		t.Error("no fixed objects drawn")
+	}
+}
+
+func TestCongestionMap(t *testing.T) {
+	nl := design(t)
+	var buf bytes.Buffer
+	CongestionMap(&buf, nl, 20, 10, 0) // self-calibrated
+	out := buf.String()
+	if !strings.Contains(out, "congestion map") {
+		t.Error("missing header")
+	}
+	if !strings.ContainsAny(out, ".:-=+*#%@") {
+		t.Error("congestion map is blank")
+	}
+}
+
+func TestDefaultDims(t *testing.T) {
+	nl := design(t)
+	var buf bytes.Buffer
+	DensityMap(&buf, nl, 0, 0, 0)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 25 { // header + default 24 rows
+		t.Errorf("default rows = %d", len(lines)-1)
+	}
+}
