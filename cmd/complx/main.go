@@ -40,8 +40,10 @@ func main() {
 		clustered = flag.Bool("cluster", false, "multilevel placement: cluster, place coarse, expand, refine")
 		abacus    = flag.Bool("abacus", false, "use the Abacus legalizer instead of Tetris")
 		routab    = flag.Bool("routability", false, "congestion-driven cell inflation (SimPLR-style)")
+		threads   = flag.Int("threads", 0, "worker-pool size for the parallel kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	complx.SetThreads(*threads)
 	if err := run(runCfg{
 		aux: *aux, bench: *bench, scale: *scale, algo: *algo, target: *target,
 		finest: *finest, projDP: *projDP, useLSE: *useLSE,
@@ -140,6 +142,11 @@ func run(cfg runCfg) error {
 	}
 	fmt.Printf("runtime:          total=%v (global=%v legalize=%v detailed=%v)\n",
 		res.Total.Round(1e6), res.GlobalTime.Round(1e6), res.LegalTime.Round(1e6), res.DetailedTime.Round(1e6))
+	if cfg.verbose && res.AssemblyTime+res.SolveTime+res.ProjectionTime > 0 {
+		fmt.Printf("kernels:          threads=%d assembly=%v cg=%v projection=%v\n",
+			complx.Threads(), res.AssemblyTime.Round(1e6), res.SolveTime.Round(1e6),
+			res.ProjectionTime.Round(1e6))
+	}
 
 	if cfg.plot {
 		complx.PrintDensityMap(os.Stdout, nl, 64, 28, target)

@@ -37,9 +37,21 @@ import (
 	"complx/internal/legalize"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
+	"complx/internal/par"
 	"complx/internal/timing"
 	"complx/internal/viz"
 )
+
+// SetThreads caps the shared worker pool used by the parallel kernels
+// (sparse matrix-vector products, system assembly, HPWL and density
+// binning). n <= 0 restores the default of GOMAXPROCS workers. Because
+// every parallel decomposition is a pure function of problem size — never
+// of worker count — placements are bitwise identical at any setting; the
+// knob trades wall-clock time only.
+func SetThreads(n int) { par.SetThreads(n) }
+
+// Threads reports the current worker-pool size.
+func Threads() int { return par.Threads() }
 
 // Re-exported data-model types: these aliases make the internal packages'
 // types part of the public API without duplicating them.
@@ -271,6 +283,10 @@ type Result struct {
 	Legalized, Detailed   bool
 	GlobalTime, LegalTime time.Duration
 	DetailedTime, Total   time.Duration
+	// Kernel timing breakdown of the global placement stage (ComPLx and
+	// SimPL engines only): linear-system assembly, preconditioned-CG
+	// solves, and the feasibility projection.
+	AssemblyTime, SolveTime, ProjectionTime time.Duration
 	DetailedRefine        DetailedStats
 	// LegalViolations counts remaining legality violations (0 after a
 	// successful legalization).
@@ -343,6 +359,9 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 			res.DualityGap = r.GapFinal
 			res.History = r.History
 			res.SelfConsistency = r.SelfCons
+			res.AssemblyTime = r.AssemblyTime
+			res.SolveTime = r.SolveTime
+			res.ProjectionTime = r.ProjectionTime
 		}
 	case AlgSimPL:
 		var r *core.Result
@@ -354,6 +373,9 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 			res.DualityGap = r.GapFinal
 			res.History = r.History
 			res.SelfConsistency = r.SelfCons
+			res.AssemblyTime = r.AssemblyTime
+			res.SolveTime = r.SolveTime
+			res.ProjectionTime = r.ProjectionTime
 		}
 	case AlgFastPlaceCS:
 		var r *baseline.FPResult

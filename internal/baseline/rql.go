@@ -66,8 +66,11 @@ type RQLResult struct {
 func RQL(nl *netlist.Netlist, opt RQLOptions) (*RQLResult, error) {
 	opt.fill()
 	mov := nl.Movables()
+	// One reusable solver for the whole run (incremental assembly + CG
+	// workspace reuse).
+	solver := qp.NewSolver(nl, qp.Options{})
 	for i := 0; i < 5; i++ {
-		if _, err := qp.Solve(nl, nil, qp.Options{}); err != nil {
+		if _, err := solver.Solve(nil); err != nil {
 			return nil, err
 		}
 	}
@@ -97,7 +100,7 @@ func RQL(nl *netlist.Netlist, opt RQLOptions) (*RQLResult, error) {
 		// after linearization; relax (cap) the strongest ForcePercentile of
 		// displacements to the percentile value.
 		lambdas := relaxedLambdas(prev, anchors, hold, opt.ForcePercentile)
-		if _, err := qp.Solve(nl, &qp.Anchors{Pos: anchors, Lambda: lambdas}, qp.Options{}); err != nil {
+		if _, err := solver.Solve(&qp.Anchors{Pos: anchors, Lambda: lambdas}); err != nil {
 			return nil, err
 		}
 	}

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"complx/internal/congest"
 	"complx/internal/density"
@@ -191,6 +192,10 @@ type Result struct {
 	GapFinal, BestUpper float64
 	History             []IterStats
 	SelfCons            SelfConsistency
+	// Kernel timing breakdown: system assembly, CG solves, and feasibility
+	// projection (grid build + spreading + interpolation). Zero for the
+	// LSE/PNorm primal steps, which do not use the quadratic solver.
+	AssemblyTime, SolveTime, ProjectionTime time.Duration
 }
 
 // Place runs ComPLx global placement on nl in place. The final placement is
@@ -225,6 +230,9 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 	if opt.UseLSE && opt.UsePNorm {
 		return nil, fmt.Errorf("core: UseLSE and UsePNorm are mutually exclusive")
 	}
+	// One reusable quadratic solver for the whole run: its incremental
+	// assembler and CG workspaces persist across iterations.
+	qsolver := qp.NewSolver(nl, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG})
 	solveWL := func(anchors []geom.Point, lambdas []float64) error {
 		switch {
 		case opt.UseLSE:
@@ -244,7 +252,7 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 		if anchors != nil {
 			qa = &qp.Anchors{Pos: anchors, Lambda: lambdas}
 		}
-		_, err := qp.Solve(nl, qa, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG})
+		_, err := qsolver.Solve(qa)
 		return err
 	}
 
@@ -271,6 +279,7 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 	var prevPos, prevAnchors []geom.Point
 
 	for k := 1; k <= opt.MaxIterations; k++ {
+		tProj := time.Now()
 		nx := gridDim(k, finestNX, opt.FinestGrid)
 		grid := density.NewGridForNetlist(nl, nx, nx, opt.TargetDensity)
 		proj := spread.NewProjector(grid, spread.Options{OptimalLeaf: opt.OptimalLeafSpreading})
@@ -280,6 +289,7 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 		}
 		anchors := shredder.Interpolate(proj.Project(items))
 		region.SnapAnchors(nl, anchors)
+		res.ProjectionTime += time.Since(tProj)
 		if opt.ProjectionRefine != nil {
 			if err := refineAnchors(nl, anchors, opt.ProjectionRefine); err != nil {
 				return nil, err
@@ -298,6 +308,8 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 				// Already feasible: done before any penalized solve.
 				res.Converged = true
 				res.Iterations = 0
+				res.AssemblyTime = qsolver.Metrics.Assembly
+				res.SolveTime = qsolver.Metrics.CG
 				finalize(nl, res, curPos, anchors)
 				return res, nil
 			}
@@ -399,6 +411,8 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 		final = nl.Positions()
 	}
 	res.BestUpper = bestUpper
+	res.AssemblyTime = qsolver.Metrics.Assembly
+	res.SolveTime = qsolver.Metrics.CG
 	finalize(nl, res, nl.Positions(), final)
 	return res, nil
 }

@@ -9,6 +9,19 @@ import (
 
 	"complx/internal/geom"
 	"complx/internal/netlist"
+	"complx/internal/par"
+)
+
+// Binning decomposition constants. The cell-chunk partition is a pure
+// function of the movable count, so accumulation is bitwise deterministic
+// at any parallelism level.
+const (
+	// binCellGrain is the minimum number of cells per accumulation chunk.
+	binCellGrain = 4096
+	// maxBinChunks caps the per-chunk scratch grids (each is NX·NY floats).
+	maxBinChunks = 16
+	// binMergeGrain is the bin chunk length for the ordered partial merge.
+	binMergeGrain = 8192
 )
 
 // Grid is a uniform NX×NY bin grid over a core area.
@@ -176,21 +189,61 @@ func (g *Grid) ResetUsage() {
 
 // AddUsage distributes the rectangle's area over the bins it overlaps.
 func (g *Grid) AddUsage(r geom.Rect) {
+	g.addUsageInto(g.usage, r)
+}
+
+// addUsageInto distributes the rectangle's area over the bins it overlaps,
+// accumulating into buf (length NX·NY).
+func (g *Grid) addUsageInto(buf []float64, r geom.Rect) {
 	x0, y0, x1, y1 := g.binRange(r)
 	for iy := y0; iy < y1; iy++ {
 		for ix := x0; ix < x1; ix++ {
-			g.usage[g.idx(ix, iy)] += g.BinRect(ix, iy).OverlapArea(r)
+			buf[g.idx(ix, iy)] += g.BinRect(ix, iy).OverlapArea(r)
 		}
 	}
 }
 
 // AccumulateMovable resets usage and adds every movable cell of nl at its
 // current position.
+//
+// Cells are binned in parallel over fixed chunks, each chunk accumulating
+// into its own scratch grid; the per-chunk grids are then merged bin-wise in
+// chunk order. Because the chunk partition depends only on the movable count
+// and the merge order is fixed, the result is bitwise deterministic at any
+// parallelism level.
 func (g *Grid) AccumulateMovable(nl *netlist.Netlist) {
 	g.ResetUsage()
-	for _, i := range nl.Movables() {
-		g.AddUsage(nl.Cells[i].Rect())
+	mov := nl.Movables()
+	nm := len(mov)
+	nu := len(g.usage)
+	// Chunk partition: pure function of nm.
+	grain := binCellGrain
+	if nb := par.Chunks(nm, grain); nb > maxBinChunks {
+		grain = (nm + maxBinChunks - 1) / maxBinChunks
 	}
+	nb := par.Chunks(nm, grain)
+	if nb <= 1 {
+		for _, i := range mov {
+			g.AddUsage(nl.Cells[i].Rect())
+		}
+		return
+	}
+	slab := make([]float64, nb*nu)
+	par.For(nm, grain, func(lo, hi int) {
+		buf := slab[(lo/grain)*nu : (lo/grain+1)*nu]
+		for _, i := range mov[lo:hi] {
+			g.addUsageInto(buf, nl.Cells[i].Rect())
+		}
+	})
+	// Ordered merge: usage[k] = Σ_c slab[c][k], chunks in index order.
+	par.For(nu, binMergeGrain, func(lo, hi int) {
+		for c := 0; c < nb; c++ {
+			buf := slab[c*nu : (c+1)*nu]
+			for k := lo; k < hi; k++ {
+				g.usage[k] += buf[k]
+			}
+		}
+	})
 }
 
 // Usage returns the movable area currently registered in bin (ix, iy).

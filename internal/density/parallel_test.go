@@ -1,0 +1,57 @@
+package density
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/par"
+)
+
+// scatterDesign builds a netlist with n movable cells at random positions.
+func scatterDesign(t *testing.T, rng *rand.Rand, n int) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("scatter")
+	b.SetCore(geom.Rect{XMax: 1000, YMax: 1000})
+	for i := 0; i < n; i++ {
+		b.AddCell(fmt.Sprintf("c%d", i), 1+3*rng.Float64(), 1+3*rng.Float64())
+	}
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nl.Cells {
+		nl.Cells[i].SetCenter(geom.Point{X: 1000 * rng.Float64(), Y: 1000 * rng.Float64()})
+	}
+	return nl
+}
+
+// TestAccumulateMovableBitwiseAcrossThreads asserts that the chunked
+// parallel binning produces bitwise-identical per-bin usage at any pool
+// size, including cell counts that straddle the chunk-grain boundaries.
+func TestAccumulateMovableBitwiseAcrossThreads(t *testing.T) {
+	defer par.SetThreads(0)
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, binCellGrain - 1, binCellGrain, binCellGrain + 1, 3*binCellGrain + 7} {
+		nl := scatterDesign(t, rng, n)
+		var want []float64
+		for ti, threads := range []int{1, 2, 8} {
+			par.SetThreads(threads)
+			g := NewGridForNetlist(nl, 33, 29, 0.9)
+			g.AccumulateMovable(nl)
+			if ti == 0 {
+				want = append([]float64(nil), g.usage...)
+				continue
+			}
+			for k := range g.usage {
+				if math.Float64bits(g.usage[k]) != math.Float64bits(want[k]) {
+					t.Fatalf("n=%d threads=%d: usage[%d]=%x want %x",
+						n, threads, k, math.Float64bits(g.usage[k]), math.Float64bits(want[k]))
+				}
+			}
+		}
+	}
+}

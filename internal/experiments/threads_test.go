@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"complx/internal/core"
+	"complx/internal/gen"
+	"complx/internal/netlist"
+	"complx/internal/par"
+)
+
+// TestPlacementBitwiseAcrossThreads is the end-to-end determinism gate for
+// the parallel kernels: a full ComPLx global placement must produce
+// bitwise-identical cell positions whether the worker pool has 1, 2 or 8
+// workers. Every parallel decomposition (matrix assembly shards, CSR row
+// chunks, reduction blocks, density bins) is a pure function of problem
+// size, so parallelism may only change scheduling — never arithmetic order.
+func TestPlacementBitwiseAcrossThreads(t *testing.T) {
+	defer par.SetThreads(0)
+	spec := gen.Scaled(mustSpec("adaptec1"), 0.04)
+	one := func(threads int) (*netlist.Netlist, *core.Result) {
+		par.SetThreads(threads)
+		nl, err := gen.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Place(nl, core.Options{TargetDensity: spec.TargetDensity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl, res
+	}
+	refNl, refRes := one(1)
+	for _, threads := range []int{2, 8} {
+		nl, res := one(threads)
+		if res.Iterations != refRes.Iterations {
+			t.Errorf("threads=%d: %d iterations, want %d", threads, res.Iterations, refRes.Iterations)
+		}
+		if math.Float64bits(res.HPWL) != math.Float64bits(refRes.HPWL) {
+			t.Errorf("threads=%d: HPWL %x want %x", threads,
+				math.Float64bits(res.HPWL), math.Float64bits(refRes.HPWL))
+		}
+		for i := range nl.Cells {
+			a, b := nl.Cells[i].Center(), refNl.Cells[i].Center()
+			if math.Float64bits(a.X) != math.Float64bits(b.X) || math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+				t.Fatalf("threads=%d: cell %d at (%x,%x) want (%x,%x)", threads, i,
+					math.Float64bits(a.X), math.Float64bits(a.Y),
+					math.Float64bits(b.X), math.Float64bits(b.Y))
+			}
+		}
+	}
+}

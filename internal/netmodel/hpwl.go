@@ -12,26 +12,53 @@ import (
 	"math"
 
 	"complx/internal/netlist"
+	"complx/internal/par"
 )
+
+// hpwlBlock is the fixed per-partial net block for parallel HPWL reduction.
+// Partial sums are computed per block and added in block order, so the total
+// is bitwise deterministic at any parallelism level.
+const hpwlBlock = 1024
+
+// netSum reduces f(net) over all nets of nl deterministically: nets are
+// grouped into fixed blocks of hpwlBlock, block partials are computed
+// (possibly in parallel) and summed in block order.
+func netSum(nl *netlist.Netlist, f func(n int) float64) float64 {
+	n := len(nl.Nets)
+	if n <= hpwlBlock {
+		var total float64
+		for i := 0; i < n; i++ {
+			total += f(i)
+		}
+		return total
+	}
+	partial := make([]float64, par.Chunks(n, hpwlBlock))
+	par.For(n, hpwlBlock, func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[lo/hpwlBlock] = s
+	})
+	var total float64
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}
 
 // HPWL returns the unweighted half-perimeter wirelength of the design at its
 // current cell positions. Nets with fewer than two pins contribute zero.
+// Evaluation runs in parallel over fixed net blocks with a deterministic
+// block-ordered reduction.
 func HPWL(nl *netlist.Netlist) float64 {
-	var total float64
-	for i := range nl.Nets {
-		total += NetHPWL(nl, i)
-	}
-	return total
+	return netSum(nl, func(i int) float64 { return NetHPWL(nl, i) })
 }
 
 // WeightedHPWL returns the net-weight-scaled half-perimeter wirelength
 // (paper Formula 1).
 func WeightedHPWL(nl *netlist.Netlist) float64 {
-	var total float64
-	for i := range nl.Nets {
-		total += nl.Nets[i].Weight * NetHPWL(nl, i)
-	}
-	return total
+	return netSum(nl, func(i int) float64 { return nl.Nets[i].Weight * NetHPWL(nl, i) })
 }
 
 // NetHPWL returns the half-perimeter of net n's pin bounding box.

@@ -4,7 +4,22 @@ import (
 	"math"
 
 	"complx/internal/netlist"
+	"complx/internal/par"
 	"complx/internal/sparse"
+)
+
+// Assembly decomposition constants. Like every user of package par, the
+// shard partition is a pure function of the netlist (total pin count), never
+// of the worker count, so assembly is bitwise deterministic at any
+// parallelism level.
+const (
+	// assemblyPinGrain is the target number of pins per assembly shard.
+	assemblyPinGrain = 4096
+	// maxAssemblyChunks caps the shard count.
+	maxAssemblyChunks = 32
+	// rhsMergeGrain is the element chunk length for zeroing/merging the
+	// dense right-hand sides.
+	rhsMergeGrain = 16384
 )
 
 // Model selects how multi-pin nets are decomposed into two-pin quadratic
@@ -51,8 +66,30 @@ type System struct {
 	NumMovable int
 }
 
+// rhsAcc accumulates right-hand-side contributions as (index, value) pairs.
+// Shard-local pair lists let assembly run in parallel without write races on
+// a shared dense vector; merging the lists in shard order afterwards
+// reproduces the exact serial summation order.
+type rhsAcc struct {
+	idx []int32
+	val []float64
+}
+
+func (r *rhsAcc) add(i int, v float64) {
+	r.idx = append(r.idx, int32(i))
+	r.val = append(r.val, v)
+}
+
+func (r *rhsAcc) reset() { r.idx, r.val = r.idx[:0], r.val[:0] }
+
 // Assembler builds per-dimension linear systems from a netlist at its
 // current placement (the linearization point).
+//
+// An Assembler is also an incremental-assembly cache: AssembleInto reuses
+// the shard builders, right-hand-side buffers, CSR output arrays and build
+// scratch across calls, so the per-iteration system rebuild of the outer
+// placement loop stops allocating. One Assembler must not be used from
+// multiple goroutines at once.
 type Assembler struct {
 	nl    *netlist.Netlist
 	model Model
@@ -63,6 +100,20 @@ type Assembler struct {
 	varOf []int
 	nMov  int
 	nAux  int
+	// auxOf maps net index to its star-model center variable (-1 when the
+	// net has no aux variable). Precomputed so shards can stamp any net
+	// range independently.
+	auxOf []int32
+
+	// Reusable assembly state, created lazily on first AssembleInto.
+	chunk            []int32 // shard net-range boundaries, len = nchunks+1
+	shX, shY         []*sparse.Builder
+	rhX, rhY         []*rhsAcc
+	extraX, extraY   *sparse.Builder
+	fx, fy           []float64
+	mx, my           *sparse.CSR
+	bsX, bsY         sparse.BuildScratch
+	shardsX, shardsY []*sparse.Builder // scratch: shX/shY + extra
 }
 
 // NewAssembler prepares an assembler for the given net model. eps is the
@@ -81,9 +132,13 @@ func NewAssembler(nl *netlist.Netlist, model Model, eps float64) *Assembler {
 	}
 	a.nMov = nl.NumMovable()
 	if model == Star {
+		a.auxOf = make([]int32, len(nl.Nets))
 		for i := range nl.Nets {
 			if countDistinctCells(nl, i) >= 3 {
+				a.auxOf[i] = int32(a.nMov + a.nAux)
 				a.nAux++
+			} else {
+				a.auxOf[i] = -1
 			}
 		}
 	}
@@ -130,7 +185,7 @@ func (a *Assembler) pinCoord(p int, d dim) (abs, off float64, cell int) {
 // edge stamps the quadratic term w*(pos_i - pos_j)^2 for pins i and j into
 // builder/rhs, where pos = variable + offset for movable cells and the
 // absolute pin coordinate for fixed ones.
-func (a *Assembler) edge(b *sparse.Builder, rhs []float64, pi, pj int, d dim, w float64) {
+func (a *Assembler) edge(b *sparse.Builder, rhs *rhsAcc, pi, pj int, d dim, w float64) {
 	absI, offI, ci := a.pinCoord(pi, d)
 	absJ, offJ, cj := a.pinCoord(pj, d)
 	vi, vj := a.varOf[ci], a.varOf[cj]
@@ -141,79 +196,221 @@ func (a *Assembler) edge(b *sparse.Builder, rhs []float64, pi, pj int, d dim, w 
 		}
 		b.AddSym(vi, vj, w)
 		c := offI - offJ
-		rhs[vi] -= w * c
-		rhs[vj] += w * c
+		rhs.add(vi, -(w * c))
+		rhs.add(vj, w*c)
 	case vi >= 0:
 		b.AddDiag(vi, w)
-		rhs[vi] += w * (absJ - offI)
+		rhs.add(vi, w*(absJ-offI))
 	case vj >= 0:
 		b.AddDiag(vj, w)
-		rhs[vj] += w * (absI - offJ)
+		rhs.add(vj, w*(absI-offJ))
 	}
 }
 
 // starEdge stamps w*(pos_i - s)^2 where s is the aux variable with index sv.
-func (a *Assembler) starEdge(b *sparse.Builder, rhs []float64, pi, sv int, d dim, w float64) {
+func (a *Assembler) starEdge(b *sparse.Builder, rhs *rhsAcc, pi, sv int, d dim, w float64) {
 	absI, offI, ci := a.pinCoord(pi, d)
 	vi := a.varOf[ci]
 	if vi >= 0 {
 		b.AddSym(vi, sv, w)
-		rhs[vi] -= w * offI
-		rhs[sv] += w * offI
+		rhs.add(vi, -(w * offI))
+		rhs.add(sv, w*offI)
 	} else {
 		b.AddDiag(sv, w)
-		rhs[sv] += w * absI
+		rhs.add(sv, w*absI)
+	}
+}
+
+// stampNet stamps net ni's decomposition into the given per-dimension
+// builders and rhs accumulators.
+func (a *Assembler) stampNet(ni int, bx, by *sparse.Builder, rx, ry *rhsAcc) {
+	net := &a.nl.Nets[ni]
+	if len(net.Pins) < 2 {
+		return
+	}
+	model := a.model
+	if model == Hybrid {
+		if len(net.Pins) <= 3 {
+			model = Clique
+		} else {
+			model = B2B
+		}
+	}
+	if model == Star && a.auxOf[ni] < 0 {
+		model = Clique
+	}
+	switch model {
+	case B2B:
+		a.stampB2B(bx, rx, ni, dimX)
+		a.stampB2B(by, ry, ni, dimY)
+	case Clique:
+		a.stampClique(bx, rx, ni, dimX)
+		a.stampClique(by, ry, ni, dimY)
+	case Star:
+		sv := int(a.auxOf[ni])
+		a.stampStar(bx, rx, ni, dimX, sv)
+		a.stampStar(by, ry, ni, dimY, sv)
 	}
 }
 
 // Builders returns fresh per-dimension builders and right-hand sides with
 // the net model stamped in, for callers that add anchor terms before
 // solving. Variables use the current placement as linearization point.
+//
+// This is the allocation-per-call path kept for compatibility and tests;
+// the placement hot loop uses AssembleInto, which reuses shard buffers.
 func (a *Assembler) Builders() (bx, by *sparse.Builder, fx, fy []float64) {
 	n := a.NumVars()
 	bx, by = sparse.NewBuilder(n), sparse.NewBuilder(n)
-	fx, fy = make([]float64, n), make([]float64, n)
-	aux := a.nMov
+	rx, ry := &rhsAcc{}, &rhsAcc{}
 	for ni := range a.nl.Nets {
-		net := &a.nl.Nets[ni]
-		if len(net.Pins) < 2 {
-			continue
-		}
-		model := a.model
-		if model == Hybrid {
-			if len(net.Pins) <= 3 {
-				model = Clique
-			} else {
-				model = B2B
-			}
-		}
-		if model == Star && countDistinctCells(a.nl, ni) < 3 {
-			model = Clique
-		}
-		switch model {
-		case B2B:
-			a.stampB2B(bx, fx, ni, dimX)
-			a.stampB2B(by, fy, ni, dimY)
-		case Clique:
-			a.stampClique(bx, fx, ni, dimX)
-			a.stampClique(by, fy, ni, dimY)
-		case Star:
-			a.stampStar(bx, fx, ni, dimX, aux)
-			a.stampStar(by, fy, ni, dimY, aux)
-			aux++
-		}
+		a.stampNet(ni, bx, by, rx, ry)
+	}
+	fx, fy = make([]float64, n), make([]float64, n)
+	for k, i := range rx.idx {
+		fx[i] += rx.val[k]
+	}
+	for k, i := range ry.idx {
+		fy[i] += ry.val[k]
 	}
 	return bx, by, fx, fy
 }
 
-// Assemble builds the two per-dimension systems without extra terms.
+// Assemble builds the two per-dimension systems without extra terms. The
+// returned systems alias assembler-owned buffers that are overwritten by
+// the next Assemble/AssembleInto call.
 func (a *Assembler) Assemble() (sx, sy System) {
-	bx, by, fx, fy := a.Builders()
-	return System{A: bx.Build(), B: fx, NumMovable: a.nMov},
-		System{A: by.Build(), B: fy, NumMovable: a.nMov}
+	return a.AssembleInto(nil)
 }
 
-func (a *Assembler) stampB2B(b *sparse.Builder, rhs []float64, ni int, d dim) {
+// ensureAssemblyState lazily builds the fixed shard partition (balanced by
+// pin count) and the reusable per-shard builders and rhs accumulators.
+func (a *Assembler) ensureAssemblyState() {
+	if a.chunk != nil {
+		return
+	}
+	nNets := len(a.nl.Nets)
+	totalPins := 0
+	for i := 0; i < nNets; i++ {
+		totalPins += len(a.nl.Nets[i].Pins)
+	}
+	nc := totalPins / assemblyPinGrain
+	if nc > maxAssemblyChunks {
+		nc = maxAssemblyChunks
+	}
+	if nc > nNets {
+		nc = nNets
+	}
+	if nc < 1 {
+		nc = 1
+	}
+	a.chunk = append(a.chunk, 0)
+	if nc > 1 {
+		acc, next := 0, 1
+		for ni := 0; ni < nNets; ni++ {
+			acc += len(a.nl.Nets[ni].Pins)
+			for next < nc && int64(acc)*int64(nc) >= int64(totalPins)*int64(next) {
+				if cut := int32(ni + 1); cut > a.chunk[len(a.chunk)-1] && int(cut) < nNets {
+					a.chunk = append(a.chunk, cut)
+				}
+				next++
+			}
+		}
+	}
+	a.chunk = append(a.chunk, int32(nNets))
+
+	n := a.NumVars()
+	nShards := len(a.chunk) - 1
+	for c := 0; c < nShards; c++ {
+		a.shX = append(a.shX, sparse.NewBuilder(n))
+		a.shY = append(a.shY, sparse.NewBuilder(n))
+		a.rhX = append(a.rhX, &rhsAcc{})
+		a.rhY = append(a.rhY, &rhsAcc{})
+	}
+	a.extraX, a.extraY = sparse.NewBuilder(n), sparse.NewBuilder(n)
+	a.fx = make([]float64, n)
+	a.fy = make([]float64, n)
+}
+
+// AssembleInto stamps the net model in parallel over the fixed net shards,
+// invokes extra (when non-nil) to stamp additional terms — anchor pseudonets,
+// regularization — into a dedicated trailing shard and the merged dense
+// right-hand sides, and builds both systems.
+//
+// All buffers (shard triplet arrays, rhs accumulators, dense rhs, CSR
+// arrays, build scratch) persist inside the Assembler and are reused across
+// calls: after the first iteration the primal system rebuild is
+// allocation-free. The returned systems alias assembler-owned memory and
+// are valid until the next call.
+//
+// Determinism: shard boundaries depend only on the netlist; the triplet
+// stream seen by the CSR build is the concatenation of the shards in index
+// order — exactly the serial stamping order — and the rhs pair lists are
+// merged in the same order, so the result is bitwise identical at any
+// parallelism level.
+func (a *Assembler) AssembleInto(extra func(bx, by *sparse.Builder, fx, fy []float64)) (sx, sy System) {
+	a.ensureAssemblyState()
+	nShards := len(a.chunk) - 1
+
+	// Parallel shard stamping: each shard owns its builders/accumulators.
+	par.Run(nShards, func(c int) {
+		bx, by, rx, ry := a.shX[c], a.shY[c], a.rhX[c], a.rhY[c]
+		bx.Reset()
+		by.Reset()
+		rx.reset()
+		ry.reset()
+		for ni := int(a.chunk[c]); ni < int(a.chunk[c+1]); ni++ {
+			a.stampNet(ni, bx, by, rx, ry)
+		}
+	})
+
+	// Merge rhs pair lists in shard order (sequential: summation order must
+	// equal the serial emission order).
+	n := a.NumVars()
+	fx, fy := a.fx[:n], a.fy[:n]
+	par.For(n, rhsMergeGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fx[i] = 0
+			fy[i] = 0
+		}
+	})
+	for c := 0; c < nShards; c++ {
+		rx, ry := a.rhX[c], a.rhY[c]
+		for k, i := range rx.idx {
+			fx[i] += rx.val[k]
+		}
+		for k, i := range ry.idx {
+			fy[i] += ry.val[k]
+		}
+	}
+
+	// Caller terms go into the trailing shard, after the net model — the
+	// same order the legacy Builders()+Build path produced.
+	a.extraX.Reset()
+	a.extraY.Reset()
+	if extra != nil {
+		extra(a.extraX, a.extraY, fx, fy)
+	}
+
+	a.shardsX = append(a.shardsX[:0], a.shX...)
+	a.shardsX = append(a.shardsX, a.extraX)
+	a.shardsY = append(a.shardsY[:0], a.shY...)
+	a.shardsY = append(a.shardsY, a.extraY)
+
+	// The two dimensions build concurrently; each build is itself parallel
+	// over row chunks.
+	par.Run(2, func(d int) {
+		if d == 0 {
+			a.mx = sparse.BuildMergedInto(a.mx, &a.bsX, n, a.shardsX...)
+		} else {
+			a.my = sparse.BuildMergedInto(a.my, &a.bsY, n, a.shardsY...)
+		}
+	})
+	return System{A: a.mx, B: fx, NumMovable: a.nMov},
+		System{A: a.my, B: fy, NumMovable: a.nMov}
+}
+
+func (a *Assembler) stampB2B(b *sparse.Builder, rhs *rhsAcc, ni int, d dim) {
 	net := &a.nl.Nets[ni]
 	p := len(net.Pins)
 	// Locate boundary pins.
@@ -246,7 +443,7 @@ func (a *Assembler) stampB2B(b *sparse.Builder, rhs []float64, ni int, d dim) {
 	}
 }
 
-func (a *Assembler) stampClique(b *sparse.Builder, rhs []float64, ni int, d dim) {
+func (a *Assembler) stampClique(b *sparse.Builder, rhs *rhsAcc, ni int, d dim) {
 	net := &a.nl.Nets[ni]
 	p := len(net.Pins)
 	wBase := net.Weight * 2 / float64(p)
@@ -260,7 +457,7 @@ func (a *Assembler) stampClique(b *sparse.Builder, rhs []float64, ni int, d dim)
 	}
 }
 
-func (a *Assembler) stampStar(b *sparse.Builder, rhs []float64, ni int, d dim, sv int) {
+func (a *Assembler) stampStar(b *sparse.Builder, rhs *rhsAcc, ni int, d dim, sv int) {
 	net := &a.nl.Nets[ni]
 	p := len(net.Pins)
 	// Center estimate: mean pin coordinate at the linearization point.

@@ -1,0 +1,188 @@
+// Package par provides the shared worker pool that parallelizes the primal
+// hot path: sparse matrix-vector products, vector reductions, system
+// assembly, HPWL evaluation and density binning.
+//
+// # Determinism contract
+//
+// Every caller of this package follows one rule: the *work decomposition*
+// (chunk boundaries, block sizes, shard partitions) is a pure function of the
+// problem size, never of the worker count. The pool only decides *which
+// goroutine* executes a chunk, and reductions merge per-chunk partials in
+// fixed index order. Consequently results are bitwise identical at any
+// parallelism level — `SetThreads(1)` and `SetThreads(64)` produce the same
+// floating-point output, which keeps placement runs reproducible (see
+// internal/experiments/determinism_test.go).
+//
+// # Scheduling
+//
+// The pool keeps persistent worker goroutines parked on an unbuffered
+// channel. Run hands helper tasks to parked workers with a non-blocking
+// send; when no worker is free (or the pool is nested inside another Run)
+// the calling goroutine simply executes the chunks itself. Chunks are
+// claimed from an atomic counter, so load balances dynamically without
+// affecting results. This design cannot deadlock under nesting or
+// concurrent callers (e.g. the x/y dimension split in qp.Solve, where both
+// solves issue parallel kernels at once).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	initOnce sync.Once
+	// threads is the effective parallelism cap (0 = uninitialized).
+	threads atomic.Int32
+	// spawned counts live worker goroutines.
+	spawned int32
+	spawnMu sync.Mutex
+	// work delivers helper tasks to parked workers. Never closed.
+	work chan func()
+)
+
+func ensureInit() {
+	initOnce.Do(func() {
+		work = make(chan func())
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		threads.Store(int32(n))
+		ensureWorkers(n - 1)
+	})
+}
+
+// ensureWorkers grows the parked-worker set to at least n goroutines.
+func ensureWorkers(n int) {
+	spawnMu.Lock()
+	for spawned < int32(n) {
+		go worker()
+		spawned++
+	}
+	spawnMu.Unlock()
+}
+
+func worker() {
+	for t := range work {
+		t()
+	}
+}
+
+// Threads returns the effective parallelism: the maximum number of
+// goroutines (including the caller) that Run will use for one invocation.
+func Threads() int {
+	ensureInit()
+	return int(threads.Load())
+}
+
+// SetThreads caps the pool's effective parallelism. n <= 0 restores the
+// default (GOMAXPROCS). SetThreads(1) makes every kernel run strictly on the
+// calling goroutine. Raising the cap spawns additional workers as needed.
+// Changing the cap never changes results, only scheduling.
+func SetThreads(n int) {
+	ensureInit()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	threads.Store(int32(n))
+	ensureWorkers(n - 1)
+}
+
+// Run invokes fn(0), fn(1), …, fn(nchunks-1) exactly once each, possibly
+// concurrently on up to Threads() goroutines (the caller participates).
+// It returns when every chunk has completed. fn must not assume any
+// particular execution order or goroutine identity; chunks are claimed
+// dynamically for load balance.
+func Run(nchunks int, fn func(chunk int)) {
+	if nchunks <= 0 {
+		return
+	}
+	ensureInit()
+	t := int(threads.Load())
+	if t <= 1 || nchunks == 1 {
+		for c := 0; c < nchunks; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	drain := func() {
+		for {
+			c := int(next.Add(1) - 1)
+			if c >= nchunks {
+				return
+			}
+			fn(c)
+		}
+	}
+	helpers := t - 1
+	if helpers > nchunks-1 {
+		helpers = nchunks - 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			drain()
+		}
+		select {
+		case work <- task:
+			// A parked worker picked it up.
+		default:
+			// No worker free (pool saturated or nested call): the caller
+			// will drain those chunks itself.
+			wg.Done()
+		}
+	}
+	drain()
+	wg.Wait()
+}
+
+// For splits the index range [0, n) into contiguous chunks of length grain
+// (the last chunk may be shorter) and invokes fn(lo, hi) for each, possibly
+// in parallel. The chunk boundaries are a pure function of n and grain —
+// chunk c always covers [c·grain, min((c+1)·grain, n)) — so callers that
+// store per-chunk partials indexed by lo/grain and reduce them in order get
+// bitwise-deterministic results at any parallelism level.
+//
+// When n fits in a single chunk the callback runs inline on the caller with
+// no scheduling overhead, so small problems (unit-test sized matrices) do
+// not regress.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	if n <= grain {
+		fn(0, n)
+		return
+	}
+	nchunks := (n + grain - 1) / grain
+	Run(nchunks, func(c int) {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Chunks returns the number of chunks For(n, grain, …) will produce.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}

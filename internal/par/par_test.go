@@ -1,0 +1,130 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllChunksOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 8} {
+		SetThreads(threads)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			Run(n, func(c int) { atomic.AddInt32(&hits[c], 1) })
+			for c, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: chunk %d executed %d times", threads, n, c, h)
+				}
+			}
+		}
+	}
+	SetThreads(0)
+}
+
+func TestForBoundariesArePureFunctionOfN(t *testing.T) {
+	// The chunk decomposition must not depend on the thread cap.
+	collect := func(n, grain int) map[[2]int]bool {
+		var mu sync.Mutex
+		got := map[[2]int]bool{}
+		For(n, grain, func(lo, hi int) {
+			mu.Lock()
+			got[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return got
+	}
+	for _, n := range []int{0, 1, 9, 10, 11, 100, 101} {
+		SetThreads(1)
+		a := collect(n, 10)
+		SetThreads(8)
+		b := collect(n, 10)
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: %d chunks serial vs %d parallel", n, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("n=%d: chunk %v missing in parallel run", n, k)
+			}
+			if k[0]%10 != 0 || (k[1] != n && k[1]-k[0] != 10) {
+				t.Fatalf("n=%d: chunk %v not aligned to grain", n, k)
+			}
+		}
+	}
+	SetThreads(0)
+}
+
+func TestForCoversRangeExactly(t *testing.T) {
+	SetThreads(8)
+	defer SetThreads(0)
+	for _, n := range []int{0, 1, 2, 4095, 4096, 4097, 100001} {
+		hits := make([]int32, n)
+		For(n, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestNestedRunDoesNotDeadlock(t *testing.T) {
+	SetThreads(4)
+	defer SetThreads(0)
+	var total atomic.Int64
+	Run(8, func(c int) {
+		Run(8, func(inner int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested total = %d, want 64", total.Load())
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	// Mimics the x/y dimension split: two goroutines issue parallel kernels
+	// against the shared pool simultaneously.
+	SetThreads(4)
+	defer SetThreads(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			For(10000, 100, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sum.Add(int64(i))
+				}
+			})
+			if sum.Load() != 10000*9999/2 {
+				t.Errorf("sum = %d", sum.Load())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestThreadsFloor(t *testing.T) {
+	SetThreads(-5)
+	if Threads() < 1 {
+		t.Fatalf("Threads() = %d, want >= 1", Threads())
+	}
+	SetThreads(3)
+	if Threads() != 3 {
+		t.Fatalf("Threads() = %d, want 3", Threads())
+	}
+	SetThreads(0)
+}
+
+func TestChunks(t *testing.T) {
+	if Chunks(0, 10) != 0 || Chunks(1, 10) != 1 || Chunks(10, 10) != 1 ||
+		Chunks(11, 10) != 2 || Chunks(100, 10) != 10 {
+		t.Fatal("Chunks arithmetic wrong")
+	}
+}

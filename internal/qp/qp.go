@@ -3,11 +3,19 @@
 // pseudonet anchor terms that represent the L1 penalty of the ComPLx
 // Lagrangian (paper §5), solves the two separable SPD systems with
 // preconditioned CG, and writes the new positions back to the netlist.
+//
+// The hot path lives in a reusable Solver: it keeps the netmodel.Assembler
+// (with its incremental shard buffers and CSR arrays), the warm-start
+// vectors and the per-dimension CG workspaces alive across the outer-loop
+// iterations, so repeated solves neither reassemble symbolic state from
+// scratch nor reallocate work vectors. The package-level Solve function
+// remains as a convenience for one-shot solves.
 package qp
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"complx/internal/geom"
 	"complx/internal/netlist"
@@ -41,69 +49,127 @@ type Result struct {
 	X, Y sparse.CGResult
 }
 
+// Metrics accumulates kernel wall-clock time across Solver calls.
+type Metrics struct {
+	// Assembly is time spent building the two linear systems (net model
+	// stamping, anchor terms, CSR construction).
+	Assembly time.Duration
+	// CG is time spent in the preconditioned CG solves (both dimensions,
+	// measured as the wall-clock of the concurrent pair).
+	CG time.Duration
+	// Solves counts Solve invocations.
+	Solves int
+}
+
+// Solver runs repeated anchored quadratic placement steps on one netlist,
+// reusing all assembly and CG state between calls. A Solver is not safe for
+// concurrent use (internally it parallelizes each call on the shared worker
+// pool; the x/y systems are assembled before the concurrent dimension split,
+// so the Assembler is never shared between the two solve goroutines).
+type Solver struct {
+	nl  *netlist.Netlist
+	opt Options
+	asm *netmodel.Assembler
+	// Reusable solve state.
+	xs, ys   []float64
+	cgX, cgY sparse.CGWorkspace
+	// Metrics accumulates kernel timings across calls.
+	Metrics Metrics
+}
+
+// NewSolver prepares a reusable solver for nl. The netlist's structure
+// (cells, nets, pins) must not change afterwards; positions may.
+func NewSolver(nl *netlist.Netlist, opt Options) *Solver {
+	return &Solver{
+		nl:  nl,
+		opt: opt,
+		asm: netmodel.NewAssembler(nl, opt.Model, opt.Eps),
+	}
+}
+
+// Eps returns the linearization floor of the underlying assembler.
+func (s *Solver) Eps() float64 { return s.asm.Eps() }
+
 // Solve runs one anchored quadratic placement step and updates the movable
-// cell positions of nl in place. anchors may be nil for the initial
-// unconstrained solve (λ = 0).
-func Solve(nl *netlist.Netlist, anchors *Anchors, opt Options) (Result, error) {
-	asm := netmodel.NewAssembler(nl, opt.Model, opt.Eps)
-	bx, by, fx, fy := asm.Builders()
+// cell positions of s's netlist in place. anchors may be nil for the
+// unconstrained interconnect solve (λ = 0).
+func (s *Solver) Solve(anchors *Anchors) (Result, error) {
+	nl, opt := s.nl, s.opt
 	mov := nl.Movables()
 	if anchors != nil {
 		if len(anchors.Pos) != len(mov) || len(anchors.Lambda) != len(mov) {
 			return Result{}, fmt.Errorf("qp: anchors sized %d/%d for %d movables",
 				len(anchors.Pos), len(anchors.Lambda), len(mov))
 		}
-		eps := asm.Eps()
-		for k, i := range mov {
-			lam := anchors.Lambda[k]
-			if lam <= 0 {
-				continue
+	}
+
+	tAsm := time.Now()
+	sx, sy := s.asm.AssembleInto(func(bx, by *sparse.Builder, fx, fy []float64) {
+		if anchors != nil {
+			eps := s.asm.Eps()
+			for k, i := range mov {
+				lam := anchors.Lambda[k]
+				if lam <= 0 {
+					continue
+				}
+				c := nl.Cells[i].Center()
+				a := anchors.Pos[k]
+				// Linearized L1 pseudonets (paper §5):
+				// w = λ / (|coordinate distance| + ε), per dimension.
+				wx := lam / (abs(c.X-a.X) + eps)
+				wy := lam / (abs(c.Y-a.Y) + eps)
+				bx.AddDiag(k, wx)
+				fx[k] += wx * a.X
+				by.AddDiag(k, wy)
+				fy[k] += wy * a.Y
 			}
-			c := nl.Cells[i].Center()
-			a := anchors.Pos[k]
-			// Linearized L1 pseudonets (paper §5):
-			// w = λ / (|coordinate distance| + ε), per dimension.
-			wx := lam / (abs(c.X-a.X) + eps)
-			wy := lam / (abs(c.Y-a.Y) + eps)
-			bx.AddDiag(k, wx)
-			fx[k] += wx * a.X
-			by.AddDiag(k, wy)
-			fy[k] += wy * a.Y
 		}
-	}
+		// Guard against singular systems (e.g. cells with no nets): a tiny
+		// regularization pulls unconnected variables toward the core center.
+		cc := nl.Core.Center()
+		const tiny = 1e-12
+		n := s.asm.NumVars()
+		for k := 0; k < n; k++ {
+			bx.AddDiag(k, tiny)
+			fx[k] += tiny * cc.X
+			by.AddDiag(k, tiny)
+			fy[k] += tiny * cc.Y
+		}
+	})
+	s.Metrics.Assembly += time.Since(tAsm)
 
-	// Guard against singular systems (e.g. cells with no nets): a tiny
-	// regularization pulls unconnected variables toward the core center.
-	cc := nl.Core.Center()
-	const tiny = 1e-12
-	n := asm.NumVars()
-	for k := 0; k < n; k++ {
-		bx.AddDiag(k, tiny)
-		fx[k] += tiny * cc.X
-		by.AddDiag(k, tiny)
-		fy[k] += tiny * cc.Y
-	}
-
-	ax, ay := bx.Build(), by.Build()
 	// Warm-start at the current placement.
-	xs := make([]float64, n)
-	ys := make([]float64, n)
+	n := s.asm.NumVars()
+	if cap(s.xs) < n {
+		s.xs = make([]float64, n)
+		s.ys = make([]float64, n)
+	}
+	xs, ys := s.xs[:n], s.ys[:n]
+	for i := range xs {
+		xs[i] = 0
+		ys[i] = 0
+	}
 	for k, i := range mov {
 		c := nl.Cells[i].Center()
 		xs[k] = c.X
 		ys[k] = c.Y
 	}
+
 	// The two dimensions are separable (paper §3): solve them concurrently.
+	// Each solve issues parallel kernels against the shared worker pool.
+	tCG := time.Now()
 	var res Result
 	var errX, errY error
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res.Y, errY = sparse.SolvePCG(ay, ys, fy, opt.CG)
+		res.Y, errY = sparse.SolvePCGWS(sy.A, ys, sy.B, opt.CG, &s.cgY)
 	}()
-	res.X, errX = sparse.SolvePCG(ax, xs, fx, opt.CG)
+	res.X, errX = sparse.SolvePCGWS(sx.A, xs, sx.B, opt.CG, &s.cgX)
 	wg.Wait()
+	s.Metrics.CG += time.Since(tCG)
+	s.Metrics.Solves++
 	if errX != nil {
 		return res, fmt.Errorf("qp: x solve: %w", errX)
 	}
@@ -128,6 +194,14 @@ func Solve(nl *netlist.Netlist, anchors *Anchors, opt Options) (Result, error) {
 		nl.Cells[i].SetCenter(p)
 	}
 	return res, nil
+}
+
+// Solve runs one anchored quadratic placement step and updates the movable
+// cell positions of nl in place. anchors may be nil for the initial
+// unconstrained solve (λ = 0). Hot loops should construct a Solver once and
+// reuse it; this convenience rebuilds assembly state on every call.
+func Solve(nl *netlist.Netlist, anchors *Anchors, opt Options) (Result, error) {
+	return NewSolver(nl, opt).Solve(anchors)
 }
 
 func abs(v float64) float64 {

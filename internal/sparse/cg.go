@@ -3,6 +3,8 @@ package sparse
 import (
 	"errors"
 	"math"
+
+	"complx/internal/par"
 )
 
 // CGOptions controls the Conjugate Gradient solver.
@@ -25,10 +27,38 @@ type CGResult struct {
 // (a non-positive curvature direction).
 var ErrNotSPD = errors.New("sparse: matrix is not positive definite")
 
+// CGWorkspace holds the five work vectors of a Jacobi-PCG solve. Reusing a
+// workspace across the repeated per-iteration solves of the placement outer
+// loop eliminates the five O(N) allocations per call that SolvePCG
+// otherwise pays.
+type CGWorkspace struct {
+	invD, r, z, p, ap []float64
+}
+
+// ensure sizes the workspace for an n-variable solve, reusing capacity.
+func (w *CGWorkspace) ensure(n int) {
+	w.invD = growF64(w.invD, n)
+	w.r = growF64(w.r, n)
+	w.z = growF64(w.z, n)
+	w.p = growF64(w.p, n)
+	w.ap = growF64(w.ap, n)
+}
+
 // SolvePCG solves A x = b for symmetric positive-definite A using
 // Jacobi-preconditioned Conjugate Gradient. x holds the initial guess on
-// entry and the solution on return.
+// entry and the solution on return. It allocates a fresh workspace; hot
+// callers should hold a CGWorkspace and use SolvePCGWS.
 func SolvePCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
+	var w CGWorkspace
+	return SolvePCGWS(a, x, b, opt, &w)
+}
+
+// SolvePCGWS is SolvePCG with a caller-owned workspace. The workspace is
+// resized as needed and may be reused across solves of any size. When the
+// initial guess is identically zero the initial residual is taken directly
+// from b, skipping one matrix-vector product (warm-start fast path for
+// cold solves).
+func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult, error) {
 	n := a.N
 	if len(x) != n || len(b) != n {
 		panic("sparse: SolvePCG dimension mismatch")
@@ -42,27 +72,33 @@ func SolvePCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 			opt.MaxIter = 100
 		}
 	}
+	w.ensure(n)
+	invD, r, z, p, ap := w.invD, w.r, w.z, w.p, w.ap
 
 	// Jacobi preconditioner: M = diag(A). Guard zero diagonals (isolated
 	// variables) with 1 so they pass through unpreconditioned.
-	invD := make([]float64, n)
 	a.Diag(invD)
-	for i, d := range invD {
-		if d > 0 {
-			invD[i] = 1 / d
-		} else {
-			invD[i] = 1
+	par.For(n, axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d := invD[i]; d > 0 {
+				invD[i] = 1 / d
+			} else {
+				invD[i] = 1
+			}
 		}
-	}
+	})
 
-	r := make([]float64, n)  // residual b - A x
-	z := make([]float64, n)  // preconditioned residual
-	p := make([]float64, n)  // search direction
-	ap := make([]float64, n) // A p
-
-	a.MulVec(ap, x)
-	for i := 0; i < n; i++ {
-		r[i] = b[i] - ap[i]
+	// Initial residual r = b - A x; the A x product is skipped when the
+	// guess is zero (r = b exactly).
+	if isZero(x) {
+		copy(r, b)
+	} else {
+		a.MulVec(ap, x)
+		par.For(n, axpyGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r[i] = b[i] - ap[i]
+			}
+		})
 	}
 	bNorm := math.Sqrt(Norm2Sq(b))
 	if bNorm == 0 {
@@ -73,9 +109,11 @@ func SolvePCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 		return CGResult{Converged: true}, nil
 	}
 
-	for i := 0; i < n; i++ {
-		z[i] = invD[i] * r[i]
-	}
+	par.For(n, axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			z[i] = invD[i] * r[i]
+		}
+	})
 	copy(p, z)
 	rz := Dot(r, z)
 
@@ -95,18 +133,32 @@ func SolvePCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 		alpha := rz / pap
 		Axpy(x, alpha, p)
 		Axpy(r, -alpha, ap)
-		for i := 0; i < n; i++ {
-			z[i] = invD[i] * r[i]
-		}
+		par.For(n, axpyGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z[i] = invD[i] * r[i]
+			}
+		})
 		rzNew := Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := 0; i < n; i++ {
-			p[i] = z[i] + beta*p[i]
-		}
+		par.For(n, axpyGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
 		res.Iterations = k + 1
 	}
 	res.Residual = math.Sqrt(Norm2Sq(r)) / bNorm
 	res.Converged = res.Residual <= opt.Tol
 	return res, nil
+}
+
+// isZero reports whether every element of v is exactly zero.
+func isZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
 }

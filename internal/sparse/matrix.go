@@ -7,11 +7,37 @@
 // per row from the Bound2Bound net model plus one diagonal anchor term), so
 // CSR with a diagonal preconditioner is the standard choice; it is also what
 // SimPL and ComPLx use.
+//
+// The kernels on the primal hot path — MulVec, Dot, Axpy, Norm2Sq and CSR
+// construction — run on the shared worker pool of package par. All of them
+// honor the pool's determinism contract: work decomposition is a pure
+// function of the problem size, and reductions merge fixed-size block
+// partials in index order, so results are bitwise identical at any
+// parallelism level.
 package sparse
 
 import (
 	"fmt"
 	"sort"
+
+	"complx/internal/par"
+)
+
+// Tunable kernel decomposition constants. These are sizes, not thread
+// counts: changing the pool's parallelism never changes the decomposition.
+const (
+	// dotBlock is the fixed reduction block length for Dot/Norm2Sq. Partial
+	// sums are computed per block and added in block order.
+	dotBlock = 8192
+	// axpyGrain is the chunk length for element-wise vector kernels.
+	axpyGrain = 16384
+	// mulChunkNNZ is the target number of nonzeros per MulVec row chunk.
+	mulChunkNNZ = 16384
+	// maxMulChunks caps the precomputed row-split count.
+	maxMulChunks = 64
+	// buildRowGrain is the row-chunk length for the parallel phases of CSR
+	// construction (per-row sort/merge and segment copy).
+	buildRowGrain = 2048
 )
 
 // Builder accumulates matrix entries in coordinate form. Duplicate entries
@@ -30,6 +56,16 @@ func NewBuilder(n int) *Builder {
 
 // N returns the matrix dimension.
 func (b *Builder) N() int { return b.n }
+
+// Len returns the number of accumulated (unmerged) entries.
+func (b *Builder) Len() int { return len(b.vals) }
+
+// Reset drops all accumulated entries but keeps the allocated capacity, so
+// a Builder can be reused across assembly iterations without reallocating
+// its triplet arrays.
+func (b *Builder) Reset() {
+	b.rows, b.cols, b.vals = b.rows[:0], b.cols[:0], b.vals[:0]
+}
 
 // Add accumulates v into entry (i, j).
 func (b *Builder) Add(i, j int, v float64) {
@@ -63,41 +99,186 @@ func (b *Builder) AddDiag(i int, w float64) {
 // Build compresses the accumulated entries into a CSR matrix. The Builder
 // may be reused afterwards (it is reset).
 func (b *Builder) Build() *CSR {
-	n := b.n
-	// Count entries per row after merging duplicates. First sort by (row, col).
-	idx := make([]int, len(b.vals))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(p, q int) bool {
-		ip, iq := idx[p], idx[q]
-		if b.rows[ip] != b.rows[iq] {
-			return b.rows[ip] < b.rows[iq]
-		}
-		return b.cols[ip] < b.cols[iq]
-	})
+	m := BuildMergedInto(nil, nil, b.n, b)
+	b.Reset()
+	return m
+}
 
-	m := &CSR{
-		N:      n,
-		RowPtr: make([]int32, n+1),
+// BuildScratch holds the reusable intermediate buffers of CSR construction.
+// Reusing one BuildScratch across iterations eliminates the per-Assemble
+// allocation of the scatter and counting arrays.
+type BuildScratch struct {
+	start  []int32   // per-row raw segment starts (n+1)
+	cur    []int32   // per-row scatter cursors (n)
+	rawCol []int32   // scattered, unmerged columns (nnz raw)
+	rawVal []float64 // scattered, unmerged values (nnz raw)
+	rowNNZ []int32   // merged entry count per row (n)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
-	var lastR, lastC int32 = -1, -1
-	for _, k := range idx {
-		r, c, v := b.rows[k], b.cols[k], b.vals[k]
-		if r == lastR && c == lastC {
-			m.Val[len(m.Val)-1] += v
-			continue
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// BuildMergedInto builds the CSR matrix for the concatenation of the
+// shards' triplet streams, taken in shard order. It replaces the sort-based
+// Build with a deterministic two-phase counting build:
+//
+//  1. count triplets per row and scatter them (sequentially, preserving the
+//     within-row triplet order) into contiguous row segments;
+//  2. per row — in parallel over fixed row chunks — stably sort the segment
+//     by column and sum duplicates in first-appearance order, then compact
+//     the merged segments into the final arrays.
+//
+// Because the duplicate-summation order equals the triplet emission order
+// (never the worker count), the numeric result is bitwise deterministic.
+//
+// m and ws may be nil (fresh allocations) or carry buffers from a previous
+// call, which are reused when large enough — the incremental-assembly path
+// reuses both across placement iterations. The shards are not reset.
+func BuildMergedInto(m *CSR, ws *BuildScratch, n int, shards ...*Builder) *CSR {
+	if m == nil {
+		m = &CSR{}
+	}
+	if ws == nil {
+		ws = &BuildScratch{}
+	}
+	total := 0
+	for _, b := range shards {
+		if b.n != n {
+			panic(fmt.Sprintf("sparse: BuildMergedInto shard dimension %d != %d", b.n, n))
 		}
-		m.Col = append(m.Col, c)
-		m.Val = append(m.Val, v)
-		m.RowPtr[r+1]++
-		lastR, lastC = r, c
+		total += len(b.vals)
+	}
+	m.N = n
+	m.RowPtr = growI32(m.RowPtr, n+1)
+
+	// Phase 1a: raw per-row counts over all shards in order.
+	start := growI32(ws.start, n+1)
+	for i := range start {
+		start[i] = 0
+	}
+	for _, b := range shards {
+		for _, r := range b.rows {
+			start[r+1]++
+		}
 	}
 	for i := 0; i < n; i++ {
-		m.RowPtr[i+1] += m.RowPtr[i]
+		start[i+1] += start[i]
 	}
-	b.rows, b.cols, b.vals = b.rows[:0], b.cols[:0], b.vals[:0]
+
+	// Phase 1b: scatter triplets into row segments. Sequential on purpose:
+	// it preserves the emission order of duplicates within each row, which
+	// fixes the floating-point summation order.
+	cur := growI32(ws.cur, n)
+	copy(cur, start[:n])
+	rawCol := growI32(ws.rawCol, total)
+	rawVal := growF64(ws.rawVal, total)
+	for _, b := range shards {
+		for k, r := range b.rows {
+			p := cur[r]
+			cur[r] = p + 1
+			rawCol[p] = b.cols[k]
+			rawVal[p] = b.vals[k]
+		}
+	}
+
+	// Phase 2a: per-row stable sort by column + in-place duplicate merge.
+	rowNNZ := growI32(ws.rowNNZ, n)
+	par.For(n, buildRowGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s, e := int(start[r]), int(start[r+1])
+			seg := e - s
+			if seg == 0 {
+				rowNNZ[r] = 0
+				continue
+			}
+			insertionSortByCol(rawCol[s:e], rawVal[s:e])
+			// Merge duplicates in place at the segment head.
+			w := s
+			for k := s + 1; k < e; k++ {
+				if rawCol[k] == rawCol[w] {
+					rawVal[w] += rawVal[k]
+				} else {
+					w++
+					rawCol[w] = rawCol[k]
+					rawVal[w] = rawVal[k]
+				}
+			}
+			rowNNZ[r] = int32(w - s + 1)
+		}
+	})
+
+	// Phase 2b: prefix-sum the merged counts into the final row pointers.
+	m.RowPtr[0] = 0
+	for r := 0; r < n; r++ {
+		m.RowPtr[r+1] = m.RowPtr[r] + rowNNZ[r]
+	}
+	nnz := int(m.RowPtr[n])
+	m.Col = growI32(m.Col, nnz)
+	m.Val = growF64(m.Val, nnz)
+
+	// Phase 2c: compact merged segments into the final arrays.
+	par.For(n, buildRowGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			src := int(start[r])
+			dst := int(m.RowPtr[r])
+			cnt := int(rowNNZ[r])
+			copy(m.Col[dst:dst+cnt], rawCol[src:src+cnt])
+			copy(m.Val[dst:dst+cnt], rawVal[src:src+cnt])
+		}
+	})
+
+	ws.start, ws.cur, ws.rawCol, ws.rawVal, ws.rowNNZ = start, cur, rawCol, rawVal, rowNNZ
+	m.splits = m.computeSplits(m.splits[:0])
 	return m
+}
+
+// insertionSortByCol stably sorts the (col, val) pairs by column. Stability
+// keeps duplicate entries in emission order so their summation order is
+// deterministic. Row segments are small (a handful of stamps per variable),
+// where insertion sort beats the generic sort; very long segments fall back
+// to a stable pre-pass.
+func insertionSortByCol(cols []int32, vals []float64) {
+	if len(cols) > 64 {
+		// Rare hub rows: stable sort via sort.SliceStable on an index view
+		// would allocate; a binary-insertion variant keeps it allocation-free
+		// and stable while avoiding the quadratic scan's worst constant.
+		binaryInsertionSortByCol(cols, vals)
+		return
+	}
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
+// binaryInsertionSortByCol is the stable fallback for long row segments:
+// binary search for the insertion point, then a block move.
+func binaryInsertionSortByCol(cols []int32, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		// First position whose col is > c (keeps equal cols stable).
+		p := sort.Search(i, func(k int) bool { return cols[k] > c })
+		copy(cols[p+1:i+1], cols[p:i])
+		copy(vals[p+1:i+1], vals[p:i])
+		cols[p] = c
+		vals[p] = v
+	}
 }
 
 // CSR is a compressed-sparse-row matrix.
@@ -106,17 +287,48 @@ type CSR struct {
 	RowPtr []int32
 	Col    []int32
 	Val    []float64
+	// splits caches the nnz-balanced row boundaries used by the parallel
+	// MulVec. Builder-produced matrices get them precomputed; hand-built
+	// matrices compute them on the fly (uncached, so CSR literals stay
+	// safe for concurrent reads).
+	splits []int32
 }
 
 // NNZ returns the number of stored nonzeros.
 func (m *CSR) NNZ() int { return len(m.Val) }
 
-// MulVec computes dst = m * x. dst must have length N and may not alias x.
-func (m *CSR) MulVec(dst, x []float64) {
-	if len(dst) != m.N || len(x) != m.N {
-		panic("sparse: MulVec dimension mismatch")
+// computeSplits appends to dst the row boundaries of an nnz-balanced chunk
+// partition: chunk c covers rows [dst[c], dst[c+1]) and holds roughly equal
+// numbers of nonzeros. The partition depends only on the matrix itself.
+func (m *CSR) computeSplits(dst []int32) []int32 {
+	nnz := len(m.Val)
+	k := nnz / mulChunkNNZ
+	if k > maxMulChunks {
+		k = maxMulChunks
 	}
-	for i := 0; i < m.N; i++ {
+	if k > m.N {
+		k = m.N
+	}
+	if k <= 1 {
+		return append(dst, 0, int32(m.N))
+	}
+	dst = append(dst, 0)
+	for c := 1; c < k; c++ {
+		target := int32(int64(nnz) * int64(c) / int64(k))
+		// First row whose segment starts at or after the target.
+		row := sort.Search(m.N, func(r int) bool { return m.RowPtr[r] >= target })
+		prev := dst[len(dst)-1]
+		if int32(row) <= prev {
+			continue // empty chunk collapsed
+		}
+		dst = append(dst, int32(row))
+	}
+	return append(dst, int32(m.N))
+}
+
+// mulRows computes dst[i] = Σ_k val·x for rows [lo, hi).
+func (m *CSR) mulRows(dst, x []float64, lo, hi int32) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 			s += m.Val[k] * x[m.Col[k]]
@@ -125,22 +337,48 @@ func (m *CSR) MulVec(dst, x []float64) {
 	}
 }
 
+// MulVec computes dst = m * x. dst must have length N and may not alias x.
+// Rows are processed in parallel over nnz-balanced chunks; since each output
+// element is produced by exactly one chunk, the result is independent of the
+// partition and bitwise identical to the serial product.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(dst) != m.N || len(x) != m.N {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	sp := m.splits
+	if sp == nil {
+		if len(m.Val) < 2*mulChunkNNZ || par.Threads() == 1 {
+			m.mulRows(dst, x, 0, int32(m.N))
+			return
+		}
+		sp = m.computeSplits(nil)
+	}
+	if len(sp) <= 2 || par.Threads() == 1 {
+		m.mulRows(dst, x, 0, int32(m.N))
+		return
+	}
+	par.Run(len(sp)-1, func(c int) {
+		m.mulRows(dst, x, sp[c], sp[c+1])
+	})
+}
+
 // Diag extracts the diagonal into dst (length N). Missing diagonal entries
 // yield zero.
 func (m *CSR) Diag(dst []float64) {
 	if len(dst) != m.N {
 		panic("sparse: Diag dimension mismatch")
 	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	for i := 0; i < m.N; i++ {
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			if int(m.Col[k]) == i {
-				dst[i] += m.Val[k]
+	par.For(m.N, buildRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var d float64
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if int(m.Col[k]) == i {
+					d += m.Val[k]
+				}
 			}
+			dst[i] = d
 		}
-	}
+	})
 }
 
 // At returns entry (i, j); zero when not stored.
@@ -154,20 +392,43 @@ func (m *CSR) At(i, j int) float64 {
 	return v
 }
 
-// Dot returns the inner product of two equal-length vectors.
-func Dot(a, b []float64) float64 {
+func dotRange(a, b []float64, lo, hi int) float64 {
 	var s float64
-	for i := range a {
+	for i := lo; i < hi; i++ {
 		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length vectors. Long vectors
+// are reduced in fixed blocks of dotBlock elements whose partial sums are
+// added in block order, so the result is bitwise deterministic at any
+// parallelism level (and identical to executing the same blocked reduction
+// serially).
+func Dot(a, b []float64) float64 {
+	n := len(a)
+	if n <= dotBlock {
+		return dotRange(a, b, 0, n)
+	}
+	nb := par.Chunks(n, dotBlock)
+	partial := make([]float64, nb)
+	par.For(n, dotBlock, func(lo, hi int) {
+		partial[lo/dotBlock] = dotRange(a, b, lo, hi)
+	})
+	var s float64
+	for _, v := range partial {
+		s += v
 	}
 	return s
 }
 
 // Axpy computes dst[i] += alpha * x[i].
 func Axpy(dst []float64, alpha float64, x []float64) {
-	for i := range dst {
-		dst[i] += alpha * x[i]
-	}
+	par.For(len(dst), axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += alpha * x[i]
+		}
+	})
 }
 
 // Norm2Sq returns the squared Euclidean norm of v.
