@@ -38,9 +38,36 @@ import (
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
 	"complx/internal/par"
+	"complx/internal/perr"
+	"complx/internal/sparse"
 	"complx/internal/timing"
 	"complx/internal/viz"
 )
+
+// PlaceError is the structured error type produced by the placement flow and
+// the Bookshelf readers. Every failure surfaced by Place or ReadBookshelf on
+// malformed input unwraps (errors.As) to a *PlaceError carrying the pipeline
+// stage, the offending file and line (for parse errors) and the global
+// placement iteration (for solver failures). See DESIGN.md §7.
+type PlaceError = perr.Error
+
+// ErrNotFinite is the sentinel wrapped by solver failures caused by NaN or
+// Inf values in the linear systems; test with errors.Is. Place degrades
+// gracefully on the first such failure (restoring the last finite placement
+// and retrying once with relaxed parameters), so user code sees it only when
+// the retry also fails.
+var ErrNotFinite = sparse.ErrNotFinite
+
+// Validate checks a netlist's structural and numeric invariants (finite
+// coordinates and sizes, positive dimensions, pins referencing real cells,
+// usable rows and core). Place validates automatically; call this directly
+// to diagnose a netlist before committing to a run.
+func Validate(nl *Netlist) error {
+	if err := nl.Validate(); err != nil {
+		return perr.Wrap(perr.StageValidate, err)
+	}
+	return nil
+}
 
 // SetThreads caps the shared worker pool used by the parallel kernels
 // (sparse matrix-vector products, system assembly, HPWL and density
@@ -293,9 +320,14 @@ type Result struct {
 	LegalViolations int
 }
 
-// Place runs the full flow on nl in place and reports final metrics.
+// Place runs the full flow on nl in place and reports final metrics. The
+// netlist is validated up-front (see Validate); malformed inputs return a
+// *PlaceError instead of panicking deep inside a solver.
 func Place(nl *Netlist, opt Options) (*Result, error) {
 	start := time.Now()
+	if err := Validate(nl); err != nil {
+		return nil, err
+	}
 	if opt.TargetDensity <= 0 || opt.TargetDensity > 1 {
 		opt.TargetDensity = 1
 	}
@@ -422,7 +454,7 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 			lg = legalize.LegalizeAbacus
 		}
 		if err := lg(nl, legalize.Options{}); err != nil {
-			return nil, fmt.Errorf("complx: legalization: %w", err)
+			return nil, perr.Wrap(perr.StageLegalize, fmt.Errorf("complx: legalization: %w", err))
 		}
 		res.LegalTime = time.Since(lgStart)
 		res.Legalized = true
@@ -432,7 +464,7 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 			dpStart := time.Now()
 			st, err := detailed.Refine(nl, detailed.Options{Passes: opt.DetailedPasses})
 			if err != nil {
-				return nil, fmt.Errorf("complx: detailed placement: %w", err)
+				return nil, perr.Wrap(perr.StageDetailed, fmt.Errorf("complx: detailed placement: %w", err))
 			}
 			res.DetailedRefine = st
 			res.DetailedTime = time.Since(dpStart)
@@ -454,12 +486,17 @@ func HPWL(nl *Netlist) float64 { return netmodel.HPWL(nl) }
 func WeightedHPWL(nl *Netlist) float64 { return netmodel.WeightedHPWL(nl) }
 
 // ScaledHPWL evaluates the ISPD 2006 contest metric at the given target
-// density: scaled HPWL and the overflow penalty in percent.
+// density: scaled HPWL and the overflow penalty in percent. Designs too
+// degenerate to carry the contest bin grid (e.g. a zero-area core) report
+// the plain HPWL with zero penalty.
 func ScaledHPWL(nl *Netlist, targetDensity float64) (scaled, penaltyPercent float64) {
 	if targetDensity <= 0 || targetDensity > 1 {
 		targetDensity = 1
 	}
-	g := density.ContestGrid(nl, targetDensity)
+	g, err := density.ContestGrid(nl, targetDensity)
+	if err != nil {
+		return netmodel.HPWL(nl), 0
+	}
 	g.AccumulateMovable(nl)
 	return g.ScaledHPWL(netmodel.HPWL(nl)), g.PenaltyPercent()
 }
@@ -523,8 +560,10 @@ func RestoreNetWeights(nl *Netlist, nets []int, weights []float64) {
 // ActivityNetWeights applies power-driven net weighting: each net's weight
 // is scaled by 1 + alpha·activity(driver cell). activity is indexed by cell
 // and clamped to [0, 1]. The previous weights of all nets are returned;
-// restore them with RestoreNetWeights(nl, AllNets(nl), old).
-func ActivityNetWeights(nl *Netlist, activity []float64, alpha float64) []float64 {
+// restore them with RestoreNetWeights(nl, AllNets(nl), old). An activity
+// slice that does not match the cell count returns an error and leaves the
+// weights untouched.
+func ActivityNetWeights(nl *Netlist, activity []float64, alpha float64) ([]float64, error) {
 	return timing.ActivityNetWeights(nl, activity, alpha)
 }
 

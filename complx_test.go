@@ -243,7 +243,10 @@ func TestPowerDrivenWeights(t *testing.T) {
 	for i := range act {
 		act[i] = float64(i%10) / 10
 	}
-	old := ActivityNetWeights(nl, act, 1.0)
+	old, err := ActivityNetWeights(nl, act, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	boosted := 0
 	for i := range nl.Nets {
 		if nl.Nets[i].Weight > 1 {

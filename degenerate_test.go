@@ -1,0 +1,170 @@
+package complx_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"complx"
+)
+
+// degenerateCase builds one pathological-but-conceivable input. ok=false
+// means the Builder itself rejected the construction (also acceptable); the
+// point of every case is that complx.Place must either succeed or return a
+// structured *PlaceError — never panic and never emit non-finite positions.
+type degenerateCase struct {
+	name  string
+	build func() (*complx.Netlist, bool)
+}
+
+func degenerateCases() []degenerateCase {
+	return []degenerateCase{
+		{"empty netlist", func() (*complx.Netlist, bool) {
+			// Bypasses the Builder entirely: the zero value has no core, no
+			// cells, no rows. Place must reject it in validation.
+			return &complx.Netlist{Name: "empty"}, true
+		}},
+		{"all cells fixed", func() (*complx.Netlist, bool) {
+			b := complx.NewBuilder("allfixed")
+			b.SetCore(complx.Rect{XMax: 100, YMax: 100})
+			b.AddUniformRows(10, 10, 1)
+			p0 := b.AddFixed("p0", 0, 0, 2, 2)
+			p1 := b.AddFixed("p1", 90, 90, 2, 2)
+			b.AddNet("n", 1, []complx.PinSpec{{Cell: p0}, {Cell: p1}})
+			nl, err := b.Build()
+			return nl, err == nil
+		}},
+		{"single movable cell", func() (*complx.Netlist, bool) {
+			b := complx.NewBuilder("single")
+			b.SetCore(complx.Rect{XMax: 100, YMax: 100})
+			b.AddUniformRows(10, 10, 1)
+			c := b.AddCell("c", 4, 10)
+			p := b.AddFixed("pad", 50, 50, 1, 1)
+			b.AddNet("n", 1, []complx.PinSpec{{Cell: c}, {Cell: p}})
+			nl, err := b.Build()
+			return nl, err == nil
+		}},
+		{"one-pin net", func() (*complx.Netlist, bool) {
+			b := complx.NewBuilder("onepin")
+			b.SetCore(complx.Rect{XMax: 100, YMax: 100})
+			b.AddUniformRows(10, 10, 1)
+			a := b.AddCell("a", 4, 10)
+			c := b.AddCell("b", 4, 10)
+			// A degree-1 net contributes nothing to the objective but must
+			// not divide by zero in the net models.
+			b.AddNet("n1", 1, []complx.PinSpec{{Cell: a}})
+			b.AddNet("n2", 1, []complx.PinSpec{{Cell: a}, {Cell: c}})
+			nl, err := b.Build()
+			return nl, err == nil
+		}},
+		{"zero-area cell", func() (*complx.Netlist, bool) {
+			// The Builder refuses w=0, so construct the netlist directly the
+			// way a careless programmatic caller could.
+			nl := &complx.Netlist{Name: "zeroarea", Core: complx.Rect{XMax: 100, YMax: 100}}
+			nl.Cells = append(nl.Cells, complx.Cell{Name: "z", W: 0, H: 0, Region: -1})
+			return nl, true
+		}},
+		{"rows not covering core", func() (*complx.Netlist, bool) {
+			b := complx.NewBuilder("sparse-rows")
+			b.SetCore(complx.Rect{XMax: 100, YMax: 100})
+			// Two short rows at the bottom of a 100x100 core; most of the
+			// core has no legal sites at all.
+			b.AddRow(complx.Row{Y: 0, Height: 10, XMin: 0, XMax: 30, SiteWidth: 1})
+			b.AddRow(complx.Row{Y: 10, Height: 10, XMin: 0, XMax: 30, SiteWidth: 1})
+			var cells []int
+			for i := 0; i < 6; i++ {
+				cells = append(cells, b.AddCell("c"+string(rune('0'+i)), 4, 10))
+			}
+			for i := 1; i < len(cells); i++ {
+				b.AddNet("n"+string(rune('0'+i)), 1,
+					[]complx.PinSpec{{Cell: cells[i-1]}, {Cell: cells[i]}})
+			}
+			nl, err := b.Build()
+			return nl, err == nil
+		}},
+	}
+}
+
+// placeNoPanic runs complx.Place under a recover harness.
+func placeNoPanic(t *testing.T, nl *complx.Netlist, opt complx.Options) (res *complx.Result, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("complx.Place panicked: %v", r)
+		}
+	}()
+	return complx.Place(nl, opt)
+}
+
+// TestDegenerateDesignsNeverPanic drives every degenerate case through the
+// full flow with both legalizers. Success and structured failure are both
+// acceptable outcomes; panics and NaN placements are not.
+func TestDegenerateDesignsNeverPanic(t *testing.T) {
+	for _, tc := range degenerateCases() {
+		for _, leg := range []struct {
+			name   string
+			abacus bool
+		}{{"tetris", false}, {"abacus", true}} {
+			t.Run(tc.name+"/"+leg.name, func(t *testing.T) {
+				nl, ok := tc.build()
+				if !ok {
+					t.Skip("builder rejected construction (acceptable)")
+				}
+				res, err := placeNoPanic(t, nl, complx.Options{
+					MaxIterations:   4,
+					AbacusLegalizer: leg.abacus,
+				})
+				if err != nil {
+					var pe *complx.PlaceError
+					if !errors.As(err, &pe) {
+						t.Fatalf("error is %T, not *complx.PlaceError: %v", err, err)
+					}
+					if pe.Stage == "" {
+						t.Errorf("PlaceError has empty stage: %v", err)
+					}
+					if strings.Count(err.Error(), "\n") != 0 {
+						t.Errorf("error message is not one line: %q", err.Error())
+					}
+					return
+				}
+				if res == nil {
+					t.Fatal("nil result with nil error")
+				}
+				for i := range nl.Cells {
+					c := &nl.Cells[i]
+					if math.IsNaN(c.X) || math.IsNaN(c.Y) || math.IsInf(c.X, 0) || math.IsInf(c.Y, 0) {
+						t.Fatalf("cell %q at non-finite position (%g, %g)", c.Name, c.X, c.Y)
+					}
+				}
+				if math.IsNaN(res.HPWL) || math.IsInf(res.HPWL, 0) {
+					t.Errorf("non-finite HPWL: %v", res.HPWL)
+				}
+			})
+		}
+	}
+}
+
+// TestDegenerateValidateVerdicts pins down which degenerate inputs the
+// validator must reject outright.
+func TestDegenerateValidateVerdicts(t *testing.T) {
+	mustReject := map[string]bool{
+		"empty netlist":  true,
+		"zero-area cell": true,
+	}
+	for _, tc := range degenerateCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			nl, ok := tc.build()
+			if !ok {
+				t.Skip("builder rejected construction")
+			}
+			err := complx.Validate(nl)
+			if mustReject[tc.name] && err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !mustReject[tc.name] && err != nil {
+				t.Fatalf("Validate rejected %s: %v", tc.name, err)
+			}
+		})
+	}
+}

@@ -21,7 +21,10 @@ func design(t *testing.T, n int, seed int64) *netlist.Netlist {
 
 func overflow(nl *netlist.Netlist, target float64) float64 {
 	nx, ny := density.AutoResolution(nl.NumMovable(), 4, 128)
-	g := density.NewGridForNetlist(nl, nx, ny, target)
+	g, err := density.NewGridForNetlist(nl, nx, ny, target)
+	if err != nil {
+		panic(err)
+	}
 	g.AccumulateMovable(nl)
 	return g.OverflowRatio()
 }
@@ -183,9 +186,15 @@ func TestDiffuseOverflowMovesCells(t *testing.T) {
 		nl.Cells[i].SetCenter(geom.Point{X: nl.Core.Center().X, Y: nl.Core.Center().Y})
 	}
 	before := nl.Positions()
-	diffuseOverflow(nl, 1.0, 16, 16)
+	if err := diffuseOverflow(nl, 1.0, 16, 16); err != nil {
+		t.Fatal(err)
+	}
 	after := nl.Positions()
-	if netlist.TotalDisplacement(before, after) == 0 {
+	moved, err := netlist.TotalDisplacement(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
 		t.Error("diffusion moved nothing")
 	}
 }

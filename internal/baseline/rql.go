@@ -79,7 +79,10 @@ func RQL(nl *netlist.Netlist, opt RQLOptions) (*RQLResult, error) {
 	hold := 0.0
 	holdStep := 0.0
 	for k := 1; k <= opt.MaxIterations; k++ {
-		grid := density.NewGridForNetlist(nl, nx, ny, opt.TargetDensity)
+		grid, err := density.NewGridForNetlist(nl, nx, ny, opt.TargetDensity)
+		if err != nil {
+			return nil, err
+		}
 		grid.AccumulateMovable(nl)
 		res.Overflow = grid.OverflowRatio()
 		res.Iterations = k
@@ -89,7 +92,9 @@ func RQL(nl *netlist.Netlist, opt RQLOptions) (*RQLResult, error) {
 		}
 		prev := nl.Positions()
 		for s := 0; s < opt.DiffusionSweeps; s++ {
-			diffuseOverflow(nl, opt.TargetDensity, nx, ny)
+			if err := diffuseOverflow(nl, opt.TargetDensity, nx, ny); err != nil {
+				return nil, err
+			}
 		}
 		anchors := nl.Positions()
 		if holdStep == 0 {
@@ -142,8 +147,11 @@ func relaxedLambdas(prev, anchors []geom.Point, hold, percentile float64) []floa
 // diffuseOverflow performs one local spreading sweep: every overfilled bin
 // moves just its excess area — the cells closest to the chosen boundary —
 // one bin pitch toward its least-filled 4-neighbor.
-func diffuseOverflow(nl *netlist.Netlist, target float64, nx, ny int) {
-	grid := density.NewGridForNetlist(nl, nx, ny, target)
+func diffuseOverflow(nl *netlist.Netlist, target float64, nx, ny int) error {
+	grid, err := density.NewGridForNetlist(nl, nx, ny, target)
+	if err != nil {
+		return err
+	}
 	grid.AccumulateMovable(nl)
 	// Bucket movable cells by the bin holding their center.
 	buckets := make([][]int, nx*ny)
@@ -200,4 +208,5 @@ func diffuseOverflow(nl *netlist.Netlist, target float64, nx, ny int) {
 			}
 		}
 	}
+	return nil
 }

@@ -1,0 +1,194 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets in this file assert the reader's two safety contracts on
+// arbitrary bytes:
+//
+//  1. no panic — every malformed input is rejected with an error, and
+//  2. no poison — every value that survives parsing is finite (and sizes
+//     and weights are non-negative), so NaN/Inf can never enter the
+//     placement pipeline through Bookshelf I/O.
+//
+// Run long sessions with e.g.
+//
+//	go test ./internal/bookshelf -fuzz FuzzReadAux -fuzztime 60s
+
+// checkDesignFinite asserts invariant (2) on a successfully parsed design.
+func checkDesignFinite(t *testing.T, d *Design) {
+	t.Helper()
+	fin := func(what string, vs ...float64) {
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite %s survived parsing: %v", what, v)
+			}
+		}
+	}
+	fin("target density", d.TargetDensity)
+	if !(d.TargetDensity > 0) || d.TargetDensity > 1 {
+		t.Fatalf("target density out of (0, 1]: %v", d.TargetDensity)
+	}
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		fin("node geometry", n.W, n.H, n.X, n.Y)
+		if n.W < 0 || n.H < 0 {
+			t.Fatalf("negative node size survived parsing: %v x %v", n.W, n.H)
+		}
+		if n.FixedNI && !n.Fixed {
+			t.Fatalf("node %q: FixedNI without Fixed", n.Name)
+		}
+	}
+	for i := range d.Nets {
+		net := &d.Nets[i]
+		fin("net weight", net.Weight)
+		if !(net.Weight > 0) {
+			t.Fatalf("non-positive net weight survived parsing: %v", net.Weight)
+		}
+		for _, p := range net.Pins {
+			fin("pin offset", p.DX, p.DY)
+		}
+	}
+	for i := range d.Rows {
+		r := &d.Rows[i]
+		fin("row geometry", r.XMin, r.XMax, r.Y, r.Height, r.SiteWidth)
+	}
+}
+
+// fuzzSection fuzzes one per-file reader method against arbitrary bytes.
+func fuzzSection(f *testing.F, seeds []string, read func(d *Design, data string) error) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		d := &Design{Name: "fuzz", TargetDensity: 1.0}
+		if err := read(d, data); err != nil {
+			if strings.Count(err.Error(), "\n") != 0 {
+				t.Fatalf("multi-line error message: %q", err.Error())
+			}
+			return
+		}
+		checkDesignFinite(t, d)
+	})
+}
+
+func FuzzNodes(f *testing.F) {
+	fuzzSection(f, []string{
+		"UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 1\na 2 1\npad 1 1 terminal\n",
+		"a 2 1\nb 3 1 terminal_NI\n",
+		"a NaN 1\n",
+		"a 2 Inf\n",
+		"a -1 1\n",
+		"a\n",
+		"NumNodes :\n",
+		"# only a comment\n",
+	}, func(d *Design, data string) error {
+		return d.readNodes(strings.NewReader(data))
+	})
+}
+
+func FuzzNets(f *testing.F) {
+	fuzzSection(f, []string{
+		"UCLA nets 1.0\nNumNets : 1\nNetDegree : 2 n1\n a I : 0.5 0\n b O\n",
+		"NetDegree : 1\n a I : NaN 0\n",
+		"a I : 1 2\n", // pin before any NetDegree
+		"NetDegree :\n",
+		"NetDegree : 2 n1\n : 1 2\n",
+	}, func(d *Design, data string) error {
+		return d.readNets(strings.NewReader(data))
+	})
+}
+
+func FuzzPl(f *testing.F) {
+	fuzzSection(f, []string{
+		"UCLA pl 1.0\na 10 20 : N\nb 0 0 : N /FIXED\nc 1 1 : N /FIXED_NI\n",
+		"a 10\n",
+		"a NaN 20 : N\n",
+		"unknown 1 2 : N\n",
+		"a 1 2 /FIXED_NI\n",
+	}, func(d *Design, data string) error {
+		d.Nodes = []Node{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+		return d.readPl(strings.NewReader(data))
+	})
+}
+
+func FuzzScl(f *testing.F) {
+	fuzzSection(f, []string{
+		"UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n  Coordinate : 0\n  Height : 1\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 10\nEnd\n",
+		"CoreRow\nHeight :\nEnd\n",
+		"CoreRow\nCoordinate : NaN\nEnd\n",
+		"CoreRow\nSubrowOrigin : 0 NumSites : -5\nEnd\n",
+		"End\n",
+	}, func(d *Design, data string) error {
+		return d.readScl(strings.NewReader(data))
+	})
+}
+
+func FuzzWts(f *testing.F) {
+	fuzzSection(f, []string{
+		"UCLA wts 1.0\nn1 2.5\n",
+		"n1 NaN\nn2 Inf\nn3 -1\nn4\n",
+	}, func(d *Design, data string) error {
+		d.Nets = []NetDecl{{Name: "n1", Weight: 1}, {Name: "n2", Weight: 1}}
+		return d.readWts(strings.NewReader(data))
+	})
+}
+
+// FuzzReadAux drives the whole multi-file entry point: the fuzzed bytes are
+// written as each of the five referenced files in turn while the others stay
+// well-formed, exercising the cross-file paths (aux dispatch, pl name lookup,
+// wts application, ToNetlist conversion).
+func FuzzReadAux(f *testing.F) {
+	wellFormed := map[string]string{
+		"f.nodes": "UCLA nodes 1.0\nNumNodes : 2\na 2 1\nb 3 1\n",
+		"f.nets":  "UCLA nets 1.0\nNetDegree : 2 n1\n a I : 0.5 0\n b O\n",
+		"f.wts":   "UCLA wts 1.0\nn1 2\n",
+		"f.pl":    "UCLA pl 1.0\na 10 20 : N\nb 30 40 : N /FIXED\n",
+		"f.scl":   "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n  Coordinate : 0\n  Height : 1\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 100\nEnd\n",
+	}
+	names := []string{"f.nodes", "f.nets", "f.wts", "f.pl", "f.scl"}
+	for _, content := range wellFormed {
+		for i := range names {
+			f.Add(i, content)
+		}
+	}
+	f.Add(0, "a NaN 1\n")
+	f.Add(3, "a 10\n")
+	f.Add(4, "CoreRow\nHeight :\nEnd\n")
+	f.Fuzz(func(t *testing.T, which int, data string) {
+		dir := t.TempDir()
+		aux := filepath.Join(dir, "f.aux")
+		if err := os.WriteFile(aux,
+			[]byte("# TargetDensity : 0.9\nRowBasedPlacement : f.nodes f.nets f.wts f.pl f.scl\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		target := names[((which%len(names))+len(names))%len(names)]
+		for name, content := range wellFormed {
+			if name == target {
+				content = data
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d, err := ReadAux(aux)
+		if err != nil {
+			if strings.Count(err.Error(), "\n") != 0 {
+				t.Fatalf("multi-line error message: %q", err.Error())
+			}
+			return
+		}
+		checkDesignFinite(t, d)
+		// A design that parses must also convert (or fail cleanly).
+		if nl, err := d.ToNetlist(); err == nil && nl != nil {
+			if err := nl.Validate(); err != nil {
+				t.Fatalf("parsed design produced invalid netlist: %v", err)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -19,7 +20,13 @@ import (
 
 	"complx/internal/geom"
 	"complx/internal/netlist"
+	"complx/internal/perr"
 )
+
+// finite64 reports whether v is neither NaN nor infinite. strconv.ParseFloat
+// happily parses "NaN" and "Inf", so every numeric field read from a
+// Bookshelf file is checked before it can poison downstream solvers.
+func finite64(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Design holds the raw contents of a Bookshelf benchmark before conversion
 // to a netlist.
@@ -39,7 +46,10 @@ type Node struct {
 	W, H     float64
 	Terminal bool
 	X, Y     float64
-	Fixed    bool // from .pl "/FIXED"
+	Fixed    bool // from .pl "/FIXED" or "/FIXED_NI"
+	// FixedNI marks the ISPD-2006 "/FIXED_NI" variant: fixed, but other
+	// objects may overlap it (non-image obstruction). It implies Fixed.
+	FixedNI bool
 }
 
 // NetDecl is one .nets entry.
@@ -62,7 +72,7 @@ type PinDecl struct {
 func ReadAux(path string) (*Design, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, perr.WithFile(perr.Wrap(perr.StageIO, err), path)
 	}
 	dir := filepath.Dir(path)
 	d := &Design{
@@ -86,7 +96,7 @@ func ReadAux(path string) (*Design, error) {
 		files = append(files, strings.Fields(line)...)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("bookshelf: %s lists no files", path)
+		return nil, perr.WithFile(perr.New(perr.StageParse, "bookshelf: aux file lists no files"), path)
 	}
 	for _, f := range files {
 		full := filepath.Join(dir, f)
@@ -106,7 +116,7 @@ func ReadAux(path string) (*Design, error) {
 			continue
 		}
 		if err != nil {
-			return nil, fmt.Errorf("bookshelf: %s: %w", f, err)
+			return nil, perr.WithFile(perr.Wrap(perr.StageParse, err), f)
 		}
 	}
 	return d, nil
@@ -128,7 +138,7 @@ func parseDensityComment(line string, d *Design) {
 func withFile(path string, fn func(io.Reader) error) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return perr.Wrap(perr.StageIO, err)
 	}
 	defer f.Close()
 	return fn(bufio.NewReader(f))
@@ -173,8 +183,10 @@ func (ls *lineScanner) next() bool {
 	return false
 }
 
+// errf builds a structured parse error carrying the current line number; the
+// caller (ReadAux / ApplyPl) annotates the file name.
 func (ls *lineScanner) errf(format string, args ...any) error {
-	return fmt.Errorf("line %d: %s", ls.num, fmt.Sprintf(format, args...))
+	return &perr.Error{Stage: perr.StageParse, Line: ls.num, Err: fmt.Errorf(format, args...)}
 }
 
 // keyVal parses "Key : value" lines, returning ok=false otherwise.
@@ -200,6 +212,9 @@ func (d *Design) readNodes(r io.Reader) error {
 		h, err2 := strconv.ParseFloat(f[2], 64)
 		if err1 != nil || err2 != nil {
 			return ls.errf("bad node size in %q", ls.line)
+		}
+		if !finite64(w) || !finite64(h) || w < 0 || h < 0 {
+			return ls.errf("non-finite or negative node size in %q", ls.line)
 		}
 		n := Node{Name: f[0], W: w, H: h}
 		if len(f) > 3 {
@@ -252,6 +267,9 @@ func (d *Design) readNets(r io.Reader) error {
 				if err1 != nil || err2 != nil {
 					return ls.errf("bad pin offsets in %q", ls.line)
 				}
+				if !finite64(dx) || !finite64(dy) {
+					return ls.errf("non-finite pin offsets in %q", ls.line)
+				}
 			}
 			line = line[:i]
 		}
@@ -276,8 +294,10 @@ func (d *Design) readWts(r io.Reader) error {
 		if len(f) < 2 {
 			continue
 		}
+		// !(w > 0) rather than w <= 0: the latter is false for NaN, which
+		// ParseFloat happily produces from the literal "NaN".
 		w, err := strconv.ParseFloat(f[1], 64)
-		if err != nil || w <= 0 {
+		if err != nil || !(w > 0) || math.IsInf(w, 0) {
 			continue
 		}
 		weights[f[0]] = w
@@ -301,8 +321,13 @@ func (d *Design) readPl(r io.Reader) error {
 	ls := newLineScanner(r, d)
 	for ls.next() {
 		line := ls.line
-		fixed := false
-		if i := strings.Index(line, "/FIXED"); i >= 0 {
+		// Recognize the two fixity markers explicitly: "/FIXED_NI" (ISPD 2006
+		// non-image fixed objects) must be tested before its prefix "/FIXED".
+		fixed, fixedNI := false, false
+		if i := strings.Index(line, "/FIXED_NI"); i >= 0 {
+			fixed, fixedNI = true, true
+			line = line[:i]
+		} else if i := strings.Index(line, "/FIXED"); i >= 0 {
 			fixed = true
 			line = line[:i]
 		}
@@ -311,12 +336,17 @@ func (d *Design) readPl(r io.Reader) error {
 		}
 		f := strings.Fields(line)
 		if len(f) < 3 {
-			continue
+			// A truncated placement line is a corrupt file, not a line to
+			// skip: silently continuing here used to leave nodes at (0, 0).
+			return ls.errf("truncated placement line %q (want \"name x y ...\")", ls.line)
 		}
 		x, err1 := strconv.ParseFloat(f[1], 64)
 		y, err2 := strconv.ParseFloat(f[2], 64)
 		if err1 != nil || err2 != nil {
 			return ls.errf("bad placement in %q", ls.line)
+		}
+		if !finite64(x) || !finite64(y) {
+			return ls.errf("non-finite placement in %q", ls.line)
 		}
 		i, ok := pos[f[0]]
 		if !ok {
@@ -325,6 +355,9 @@ func (d *Design) readPl(r io.Reader) error {
 		d.Nodes[i].X, d.Nodes[i].Y = x, y
 		if fixed {
 			d.Nodes[i].Fixed = true
+		}
+		if fixedNI {
+			d.Nodes[i].FixedNI = true
 		}
 	}
 	return ls.s.Err()
@@ -360,6 +393,9 @@ func (d *Design) readScl(r io.Reader) error {
 					if err1 != nil || err2 != nil {
 						return ls.errf("bad subrow line %q", ls.line)
 					}
+					if !finite64(v1) || !finite64(v2) || v2 < 0 {
+						return ls.errf("non-finite subrow line %q", ls.line)
+					}
 					row.XMin = v1
 					numSites = v2
 					continue
@@ -369,9 +405,19 @@ func (d *Design) readScl(r io.Reader) error {
 			if !ok {
 				continue
 			}
-			val, err := strconv.ParseFloat(strings.Fields(v)[0], 64)
+			vf := strings.Fields(v)
+			if len(vf) == 0 {
+				continue // "Key :" with no value
+			}
+			val, err := strconv.ParseFloat(vf[0], 64)
 			if err != nil {
 				continue
+			}
+			switch k {
+			case "Coordinate", "Height", "Sitewidth":
+				if !finite64(val) {
+					return ls.errf("non-finite %s in %q", k, ls.line)
+				}
 			}
 			switch k {
 			case "Coordinate":
@@ -424,7 +470,8 @@ func (d *Design) ToNetlist() (*netlist.Netlist, error) {
 		for _, p := range nd.Pins {
 			id, ok := ids[p.Node]
 			if !ok {
-				return nil, fmt.Errorf("bookshelf: net %q references unknown node %q", nd.Name, p.Node)
+				return nil, perr.New(perr.StageValidate,
+					"bookshelf: net %q references unknown node %q", nd.Name, p.Node)
 			}
 			pins = append(pins, netlist.PinSpec{Cell: id, DX: p.DX, DY: p.DY})
 		}
@@ -475,6 +522,8 @@ func ApplyPl(path string, nl *netlist.Netlist) error {
 		ls := newLineScanner(r, nil)
 		for ls.next() {
 			line := ls.line
+			// "/FIXED_NI" shares the "/FIXED" prefix; stripping either marker
+			// is enough here since ApplyPl only overlays positions.
 			if i := strings.Index(line, "/FIXED"); i >= 0 {
 				line = line[:i]
 			}
@@ -483,12 +532,15 @@ func ApplyPl(path string, nl *netlist.Netlist) error {
 			}
 			f := strings.Fields(line)
 			if len(f) < 3 {
-				continue
+				return ls.errf("truncated placement line %q (want \"name x y ...\")", ls.line)
 			}
 			x, err1 := strconv.ParseFloat(f[1], 64)
 			y, err2 := strconv.ParseFloat(f[2], 64)
 			if err1 != nil || err2 != nil {
 				return ls.errf("bad placement in %q", ls.line)
+			}
+			if !finite64(x) || !finite64(y) {
+				return ls.errf("non-finite placement in %q", ls.line)
 			}
 			i, ok := idx[f[0]]
 			if !ok {
@@ -498,8 +550,5 @@ func ApplyPl(path string, nl *netlist.Netlist) error {
 		}
 		return ls.s.Err()
 	})
-	if err != nil {
-		return fmt.Errorf("bookshelf: %s: %w", path, err)
-	}
-	return nil
+	return perr.WithFile(err, path)
 }

@@ -1,0 +1,146 @@
+package bookshelf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"complx/internal/perr"
+)
+
+// writeVariantFixture writes the tiny fixture with one file's content
+// replaced, returning the .aux path.
+func writeVariantFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	aux := writeFixture(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return aux
+}
+
+func TestPlTruncatedLineIsError(t *testing.T) {
+	aux := writeVariantFixture(t, "tiny.pl", "UCLA pl 1.0\na 10 20 : N\nb 30\n")
+	_, err := ReadAux(aux)
+	if err == nil {
+		t.Fatal("truncated .pl line was silently accepted")
+	}
+	var pe *perr.Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *perr.Error: %v", err, err)
+	}
+	if pe.Stage != perr.StageParse {
+		t.Errorf("stage = %q, want %q", pe.Stage, perr.StageParse)
+	}
+	if pe.File != "tiny.pl" {
+		t.Errorf("file = %q, want tiny.pl", pe.File)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if strings.Count(err.Error(), "\n") != 0 {
+		t.Errorf("error message is not one line: %q", err.Error())
+	}
+}
+
+func TestPlFixedNIRecognized(t *testing.T) {
+	aux := writeVariantFixture(t, "tiny.pl",
+		"UCLA pl 1.0\na 10 20 : N\nb 30 40 : N\nmac 5 5 : N /FIXED_NI\npad 0 50 : N /FIXED\n")
+	d, err := ReadAux(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := d.Nodes[2]
+	if !mac.Fixed || !mac.FixedNI {
+		t.Errorf("mac fixity = Fixed=%v FixedNI=%v, want both true", mac.Fixed, mac.FixedNI)
+	}
+	pad := d.Nodes[3]
+	if !pad.Fixed || pad.FixedNI {
+		t.Errorf("pad fixity = Fixed=%v FixedNI=%v, want Fixed only", pad.Fixed, pad.FixedNI)
+	}
+}
+
+func TestPlNonFinitePositionRejected(t *testing.T) {
+	for _, bad := range []string{"NaN", "Inf", "-Inf"} {
+		aux := writeVariantFixture(t, "tiny.pl",
+			"UCLA pl 1.0\na 10 "+bad+" : N\nb 30 40 : N\nmac 5 5 : N\npad 0 50 : N /FIXED\n")
+		if _, err := ReadAux(aux); err == nil {
+			t.Errorf("%s position accepted", bad)
+		}
+	}
+}
+
+func TestNodesNonFiniteSizeRejected(t *testing.T) {
+	for _, bad := range []string{"a NaN 1\n", "a 2 Inf\n", "a -3 1\n"} {
+		aux := writeVariantFixture(t, "tiny.nodes", "UCLA nodes 1.0\n"+bad)
+		if _, err := ReadAux(aux); err == nil {
+			t.Errorf("node line %q accepted", bad)
+		}
+	}
+}
+
+func TestNetsNonFiniteOffsetRejected(t *testing.T) {
+	aux := writeVariantFixture(t, "tiny.nets",
+		"UCLA nets 1.0\nNetDegree : 2 n1\n a I : NaN 0\n b O\n")
+	if _, err := ReadAux(aux); err == nil {
+		t.Error("NaN pin offset accepted")
+	}
+}
+
+func TestWtsNaNWeightIgnored(t *testing.T) {
+	aux := writeVariantFixture(t, "tiny.wts", "UCLA wts 1.0\nn1 NaN\nnet1 Inf\n")
+	d, err := ReadAux(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nets[0].Weight != 1 || d.Nets[1].Weight != 1 {
+		t.Errorf("non-finite weights applied: %v %v", d.Nets[0].Weight, d.Nets[1].Weight)
+	}
+}
+
+func TestSclNonFiniteRejected(t *testing.T) {
+	aux := writeVariantFixture(t, "tiny.scl",
+		"UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n  Coordinate : NaN\n  Height : 1\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 100\nEnd\n")
+	if _, err := ReadAux(aux); err == nil {
+		t.Error("NaN row coordinate accepted")
+	}
+}
+
+func TestApplyPlTruncatedLineIsError(t *testing.T) {
+	dir := t.TempDir()
+	aux := writeFixture(t, dir)
+	d, err := ReadAux(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := d.ToNetlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.pl")
+	if err := os.WriteFile(bad, []byte("UCLA pl 1.0\na 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ApplyPl(bad, nl)
+	if err == nil {
+		t.Fatal("truncated ApplyPl line accepted")
+	}
+	var pe *perr.Error
+	if !errors.As(err, &pe) || pe.File == "" || pe.Line != 2 {
+		t.Errorf("unstructured ApplyPl error: %v", err)
+	}
+}
+
+func TestReadAuxMissingFileIsIOStage(t *testing.T) {
+	_, err := ReadAux(filepath.Join(t.TempDir(), "nope.aux"))
+	if err == nil {
+		t.Fatal("missing aux accepted")
+	}
+	var pe *perr.Error
+	if !errors.As(err, &pe) || pe.Stage != perr.StageIO {
+		t.Errorf("missing-file error not io stage: %v", err)
+	}
+}

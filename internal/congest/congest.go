@@ -11,6 +11,7 @@
 package congest
 
 import (
+	"fmt"
 	"math"
 
 	"complx/internal/geom"
@@ -28,12 +29,13 @@ type Map struct {
 	demand   []float64
 }
 
-// NewMap allocates a congestion map. capacity <= 0 selects 1.
-func NewMap(core geom.Rect, nx, ny int, capacity float64) *Map {
+// NewMap allocates a congestion map. capacity <= 0 (or NaN) selects 1. A
+// non-positive grid resolution returns an error instead of panicking.
+func NewMap(core geom.Rect, nx, ny int, capacity float64) (*Map, error) {
 	if nx < 1 || ny < 1 {
-		panic("congest: grid resolution must be positive")
+		return nil, fmt.Errorf("congest: grid resolution %dx%d must be positive", nx, ny)
 	}
-	if capacity <= 0 {
+	if !(capacity > 0) {
 		capacity = 1
 	}
 	return &Map{
@@ -41,7 +43,7 @@ func NewMap(core geom.Rect, nx, ny int, capacity float64) *Map {
 		BinW: core.Width() / float64(nx), BinH: core.Height() / float64(ny),
 		Capacity: capacity,
 		demand:   make([]float64, nx*ny),
-	}
+	}, nil
 }
 
 // Reset zeroes the demand map.

@@ -10,6 +10,14 @@ import (
 
 func core100() geom.Rect { return geom.Rect{XMax: 100, YMax: 100} }
 
+// mustMap unwraps the map constructor in tests with known-good inputs.
+func mustMap(m *Map, err error) *Map {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // twoNetDesign: one long net across the middle, one short net in a corner.
 func twoNetDesign(t *testing.T) *netlist.Netlist {
 	t.Helper()
@@ -34,7 +42,7 @@ func twoNetDesign(t *testing.T) *netlist.Netlist {
 
 func TestRUDYDemandDistribution(t *testing.T) {
 	nl := twoNetDesign(t)
-	m := NewMap(core100(), 10, 10, 1)
+	m := mustMap(NewMap(core100(), 10, 10, 1))
 	m.AddNetlist(nl)
 	// The long net crosses the middle band: bins along y=50 carry demand.
 	mid := m.CongestionAt(geom.Point{X: 50, Y: 50})
@@ -56,7 +64,7 @@ func TestRUDYDemandDistribution(t *testing.T) {
 
 func TestTotalDemandConserved(t *testing.T) {
 	nl := twoNetDesign(t)
-	m := NewMap(core100(), 10, 10, 1)
+	m := mustMap(NewMap(core100(), 10, 10, 1))
 	m.AddNetlist(nl)
 	var got float64
 	for iy := 0; iy < m.NY; iy++ {
@@ -80,7 +88,7 @@ func TestTotalDemandConserved(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	nl := twoNetDesign(t)
-	m := NewMap(core100(), 10, 10, 0.001) // tiny capacity: overflows
+	m := mustMap(NewMap(core100(), 10, 10, 0.001)) // tiny capacity: overflows
 	m.AddNetlist(nl)
 	st := m.Stats()
 	if st.Max <= 1 {
@@ -96,7 +104,7 @@ func TestStats(t *testing.T) {
 
 func TestInflationFactors(t *testing.T) {
 	nl := twoNetDesign(t)
-	m := NewMap(core100(), 10, 10, 0.01) // low capacity: congested
+	m := mustMap(NewMap(core100(), 10, 10, 0.01)) // low capacity: congested
 	m.AddNetlist(nl)
 	f := m.InflationFactors(nl, 1, 2)
 	if len(f) != nl.NumMovable() {
@@ -112,7 +120,7 @@ func TestInflationFactors(t *testing.T) {
 		t.Logf("f = %v (informational)", f)
 	}
 	// High capacity: no inflation anywhere.
-	m2 := NewMap(core100(), 10, 10, 1e6)
+	m2 := mustMap(NewMap(core100(), 10, 10, 1e6))
 	m2.AddNetlist(nl)
 	for i, v := range m2.InflationFactors(nl, 1, 2) {
 		if v != 1 {
@@ -121,13 +129,21 @@ func TestInflationFactors(t *testing.T) {
 	}
 }
 
-func TestNewMapPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	NewMap(core100(), 0, 5, 1)
+func TestNewMapRejectsBadGrid(t *testing.T) {
+	if _, err := NewMap(core100(), 0, 5, 1); err == nil {
+		t.Error("expected error for zero-column grid")
+	}
+	if _, err := NewMap(core100(), 5, 0, 1); err == nil {
+		t.Error("expected error for zero-row grid")
+	}
+	// NaN capacity falls back to the default rather than erroring.
+	m, err := NewMap(core100(), 4, 4, math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity != 1 {
+		t.Errorf("NaN capacity defaulted to %v, want 1", m.Capacity)
+	}
 }
 
 func TestSinglePinNetIgnored(t *testing.T) {
@@ -136,7 +152,7 @@ func TestSinglePinNetIgnored(t *testing.T) {
 	c := b.AddCell("c", 1, 1)
 	b.AddNet("n", 1, []netlist.PinSpec{{Cell: c}})
 	nl, _ := b.Build()
-	m := NewMap(core100(), 4, 4, 1)
+	m := mustMap(NewMap(core100(), 4, 4, 1))
 	m.AddNetlist(nl)
 	if st := m.Stats(); st.Max != 0 {
 		t.Errorf("single-pin net produced demand: %+v", st)

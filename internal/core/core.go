@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"complx/internal/lse"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
+	"complx/internal/perr"
 	"complx/internal/qp"
 	"complx/internal/region"
 	"complx/internal/shred"
@@ -201,15 +203,31 @@ type Result struct {
 // Place runs ComPLx global placement on nl in place. The final placement is
 // the best C-feasible (anchor) placement found; it is nearly overlap-free
 // and intended to be finished by legalization and detailed placement.
+//
+// Place follows the validate-then-place contract: nl is checked with
+// netlist.Validate before any numerics run, and all failures are returned
+// as *perr.Error values carrying the stage and iteration. When a primal
+// solve produces a non-finite system (sparse.ErrNotFinite), Place degrades
+// gracefully: it restores the last finite placement snapshot and retries
+// once with a relaxed linearization floor and CG tolerance before
+// surfacing the error.
 func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 	opt.fill()
+	if err := nl.Validate(); err != nil {
+		return nil, perr.Wrap(perr.StageValidate, err)
+	}
 	mov := nl.Movables()
 	if len(mov) == 0 {
-		return nil, fmt.Errorf("core: netlist %q has no movable cells", nl.Name)
+		return nil, perr.New(perr.StageValidate, "core: netlist %q has no movable cells", nl.Name)
 	}
 	if opt.CellPenalty != nil && len(opt.CellPenalty) != len(mov) {
-		return nil, fmt.Errorf("core: CellPenalty has %d entries for %d movables",
+		return nil, perr.New(perr.StageValidate, "core: CellPenalty has %d entries for %d movables",
 			len(opt.CellPenalty), len(mov))
+	}
+	for k, p := range opt.CellPenalty {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return nil, perr.New(perr.StageValidate, "core: CellPenalty[%d] = %g is not a finite non-negative weight", k, p)
+		}
 	}
 
 	// Per-cell λ scale: macro area ratio (paper §5) times criticality.
@@ -228,11 +246,17 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 	}
 
 	if opt.UseLSE && opt.UsePNorm {
-		return nil, fmt.Errorf("core: UseLSE and UsePNorm are mutually exclusive")
+		return nil, perr.New(perr.StageValidate, "core: UseLSE and UsePNorm are mutually exclusive")
 	}
 	// One reusable quadratic solver for the whole run: its incremental
-	// assembler and CG workspaces persist across iterations.
+	// assembler and CG workspaces persist across iterations. The solver
+	// variable is reassigned by the graceful-degradation retry, so the
+	// metrics of retired solvers are accumulated separately.
 	qsolver := qp.NewSolver(nl, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG})
+	var retired qp.Metrics
+	kernelTimes := func() (assembly, cg time.Duration) {
+		return retired.Assembly + qsolver.Metrics.Assembly, retired.CG + qsolver.Metrics.CG
+	}
 	solveWL := func(anchors []geom.Point, lambdas []float64) error {
 		switch {
 		case opt.UseLSE:
@@ -256,9 +280,50 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 		return err
 	}
 
+	// lastFinite snapshots the most recent all-finite placement so that a
+	// solve that goes non-finite (degenerate system, overflowing weights)
+	// can be rolled back instead of poisoning the rest of the run.
+	lastFinite := nl.SnapshotPositions()
+	relaxedRetry := false
+	solveStep := func(iter int, anchors []geom.Point, lambdas []float64) error {
+		err := solveWL(anchors, lambdas)
+		if err == nil && !finitePositions(nl, mov) {
+			err = fmt.Errorf("core: placement went non-finite after primal solve: %w", sparse.ErrNotFinite)
+		}
+		if err != nil && errors.Is(err, sparse.ErrNotFinite) && !relaxedRetry {
+			// Graceful degradation: restore the last finite snapshot and
+			// retry once with a relaxed linearization floor and a looser CG
+			// tolerance. This trades a little wirelength for survival on
+			// near-degenerate systems; a second failure is surfaced.
+			relaxedRetry = true
+			if rerr := nl.RestorePositions(lastFinite); rerr != nil {
+				return perr.WrapIter(perr.StageSolve, iter, rerr)
+			}
+			cg := opt.CG
+			if cg.Tol <= 0 {
+				cg.Tol = 1e-6
+			}
+			cg.Tol *= 100
+			eps := math.Max(qsolver.Eps(), nl.RowHeight()) * 10
+			retired.Assembly += qsolver.Metrics.Assembly
+			retired.CG += qsolver.Metrics.CG
+			retired.Solves += qsolver.Metrics.Solves
+			qsolver = qp.NewSolver(nl, qp.Options{Model: opt.Model, Eps: eps, CG: cg})
+			err = solveWL(anchors, lambdas)
+			if err == nil && !finitePositions(nl, mov) {
+				err = fmt.Errorf("core: placement still non-finite after relaxed retry: %w", sparse.ErrNotFinite)
+			}
+		}
+		if err != nil {
+			return perr.WrapIter(perr.StageSolve, iter, err)
+		}
+		lastFinite = nl.SnapshotPositions()
+		return nil
+	}
+
 	// Initial interconnect-only iterations.
 	for i := 0; i < opt.InitialSolves; i++ {
-		if err := solveWL(nil, nil); err != nil {
+		if err := solveStep(0, nil, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -281,13 +346,21 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 	for k := 1; k <= opt.MaxIterations; k++ {
 		tProj := time.Now()
 		nx := gridDim(k, finestNX, opt.FinestGrid)
-		grid := density.NewGridForNetlist(nl, nx, nx, opt.TargetDensity)
+		grid, err := density.NewGridForNetlist(nl, nx, nx, opt.TargetDensity)
+		if err != nil {
+			return nil, perr.WrapIter(perr.StageProject, k, err)
+		}
 		proj := spread.NewProjector(grid, spread.Options{OptimalLeaf: opt.OptimalLeafSpreading})
 		items := shredder.Items()
 		if opt.Routability {
-			inflateItems(nl, shredder, items, nx, &opt)
+			if err := inflateItems(nl, shredder, items, nx, &opt); err != nil {
+				return nil, perr.WrapIter(perr.StageProject, k, err)
+			}
 		}
-		anchors := shredder.Interpolate(proj.Project(items))
+		anchors, err := shredder.Interpolate(proj.Project(items))
+		if err != nil {
+			return nil, perr.WrapIter(perr.StageProject, k, err)
+		}
 		region.SnapAnchors(nl, anchors)
 		res.ProjectionTime += time.Since(tProj)
 		if opt.ProjectionRefine != nil {
@@ -299,7 +372,10 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 		curPos := nl.Positions()
 		pi := spread.L1Distance(curPos, anchors)
 		phi := netmodel.WeightedHPWL(nl)
-		phiUpper := evalAt(nl, anchors)
+		phiUpper, err := evalAt(nl, anchors)
+		if err != nil {
+			return nil, perr.WrapIter(perr.StageProject, k, err)
+		}
 
 		// Multiplier schedule.
 		switch {
@@ -308,9 +384,10 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 				// Already feasible: done before any penalized solve.
 				res.Converged = true
 				res.Iterations = 0
-				res.AssemblyTime = qsolver.Metrics.Assembly
-				res.SolveTime = qsolver.Metrics.CG
-				finalize(nl, res, curPos, anchors)
+				res.AssemblyTime, res.SolveTime = kernelTimes()
+				if err := finalize(nl, res, anchors); err != nil {
+					return nil, err
+				}
 				return res, nil
 			}
 			lambda = phi / (100 * pi)
@@ -370,7 +447,11 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 			// Rank finest-grid iterates by their ISPD-style scaled cost:
 			// anchor wirelength inflated by the anchors' own residual
 			// overflow (the approximate projection may leave some).
-			score := phiUpper * (1 + anchorOverflow(nl, grid, anchors))
+			ov, err := anchorOverflow(nl, grid, anchors)
+			if err != nil {
+				return nil, perr.WrapIter(perr.StageProject, k, err)
+			}
+			score := phiUpper * (1 + ov)
 			if score < bestFine {
 				bestFine = score
 				bestFineAnchors = anchors
@@ -393,7 +474,7 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 		for i := range lambdas {
 			lambdas[i] = lambda * scale[i]
 		}
-		if err := solveWL(anchors, lambdas); err != nil {
+		if err := solveStep(k, anchors, lambdas); err != nil {
 			return nil, err
 		}
 	}
@@ -411,34 +492,55 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 		final = nl.Positions()
 	}
 	res.BestUpper = bestUpper
-	res.AssemblyTime = qsolver.Metrics.Assembly
-	res.SolveTime = qsolver.Metrics.CG
-	finalize(nl, res, nl.Positions(), final)
+	res.AssemblyTime, res.SolveTime = kernelTimes()
+	if err := finalize(nl, res, final); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // finalize applies the chosen anchor placement and fills the result metrics.
-func finalize(nl *netlist.Netlist, res *Result, _, anchors []geom.Point) {
-	nl.SetPositions(anchors)
+func finalize(nl *netlist.Netlist, res *Result, anchors []geom.Point) error {
+	if err := nl.SetPositions(anchors); err != nil {
+		return perr.Wrap(perr.StageProject, err)
+	}
 	region.SnapPlacement(nl)
 	res.HPWL = netmodel.HPWL(nl)
 	res.WHPWL = netmodel.WeightedHPWL(nl)
+	return nil
+}
+
+// finitePositions reports whether every movable cell position is finite.
+func finitePositions(nl *netlist.Netlist, mov []int) bool {
+	for _, i := range mov {
+		c := &nl.Cells[i]
+		if math.IsNaN(c.X) || math.IsNaN(c.Y) || math.IsInf(c.X, 0) || math.IsInf(c.Y, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // inflateItems applies SimPLR-style congestion-driven inflation: item
 // dimensions are scaled by sqrt of the per-cell inflation factor, so item
 // area grows by the factor. The routing capacity self-calibrates on first
 // use so the initial average congestion is ~0.7.
-func inflateItems(nl *netlist.Netlist, sh *shred.Shredder, items []spread.Item, nx int, opt *Options) {
+func inflateItems(nl *netlist.Netlist, sh *shred.Shredder, items []spread.Item, nx int, opt *Options) error {
 	if opt.RoutingCapacity <= 0 {
 		// Calibrate against a unit-capacity map: congestion there equals raw
 		// demand density, so capacity = avg/0.7 yields ~0.7 average
 		// congestion.
-		probe := congest.NewMap(nl.Core, nx, nx, 1)
+		probe, err := congest.NewMap(nl.Core, nx, nx, 1)
+		if err != nil {
+			return err
+		}
 		probe.AddNetlist(nl)
 		opt.RoutingCapacity = math.Max(probe.Stats().Avg/0.7, 1e-12)
 	}
-	cm := congest.NewMap(nl.Core, nx, nx, opt.RoutingCapacity)
+	cm, err := congest.NewMap(nl.Core, nx, nx, opt.RoutingCapacity)
+	if err != nil {
+		return err
+	}
 	cm.AddNetlist(nl)
 	alpha := opt.RoutabilityAlpha
 	if alpha <= 0 {
@@ -450,39 +552,52 @@ func inflateItems(nl *netlist.Netlist, sh *shred.Shredder, items []spread.Item, 
 		items[i].W *= f
 		items[i].H *= f
 	}
+	return nil
 }
 
 // anchorOverflow measures the density overflow ratio of an anchor
 // placement on the given grid.
-func anchorOverflow(nl *netlist.Netlist, grid *density.Grid, anchors []geom.Point) float64 {
+func anchorOverflow(nl *netlist.Netlist, grid *density.Grid, anchors []geom.Point) (float64, error) {
 	saved := nl.Positions()
-	nl.SetPositions(anchors)
+	if err := nl.SetPositions(anchors); err != nil {
+		return 0, err
+	}
 	grid.AccumulateMovable(nl)
 	ov := grid.OverflowRatio()
-	nl.SetPositions(saved)
-	return ov
+	if err := nl.SetPositions(saved); err != nil {
+		return 0, err
+	}
+	return ov, nil
 }
 
 // evalAt returns the weighted HPWL with movable centers temporarily set to
 // the given positions.
-func evalAt(nl *netlist.Netlist, pos []geom.Point) float64 {
+func evalAt(nl *netlist.Netlist, pos []geom.Point) (float64, error) {
 	saved := nl.Positions()
-	nl.SetPositions(pos)
+	if err := nl.SetPositions(pos); err != nil {
+		return 0, err
+	}
 	v := netmodel.WeightedHPWL(nl)
-	nl.SetPositions(saved)
-	return v
+	if err := nl.SetPositions(saved); err != nil {
+		return 0, err
+	}
+	return v, nil
 }
 
 // refineAnchors runs the user hook on the netlist positioned at the anchors
 // and reads the refined locations back, restoring the working placement.
 func refineAnchors(nl *netlist.Netlist, anchors []geom.Point, hook func(*netlist.Netlist) error) error {
 	saved := nl.Positions()
-	nl.SetPositions(anchors)
+	if err := nl.SetPositions(anchors); err != nil {
+		return err
+	}
 	err := hook(nl)
 	if err == nil {
 		copy(anchors, nl.Positions())
 	}
-	nl.SetPositions(saved)
+	if rerr := nl.SetPositions(saved); rerr != nil && err == nil {
+		err = rerr
+	}
 	return err
 }
 

@@ -23,7 +23,10 @@ func genDesign(t *testing.T, spec gen.Spec) *netlist.Netlist {
 
 func overflowRatio(nl *netlist.Netlist, target float64) float64 {
 	nx, ny := density.AutoResolution(nl.NumMovable(), 4, 128)
-	g := density.NewGridForNetlist(nl, nx, ny, target)
+	g, err := density.NewGridForNetlist(nl, nx, ny, target)
+	if err != nil {
+		panic(err)
+	}
 	g.AccumulateMovable(nl)
 	return g.OverflowRatio()
 }
@@ -347,7 +350,10 @@ func TestNetModelVariants(t *testing.T) {
 func TestRoutabilityReducesCongestion(t *testing.T) {
 	spec := gen.Spec{Name: "t16", NumCells: 1200, Seed: 26, Utilization: 0.75, GlobalNetFrac: 0.12}
 	maxCong := func(nl *netlist.Netlist) float64 {
-		m := congest.NewMap(nl.Core, 24, 24, 1)
+		m, err := congest.NewMap(nl.Core, 24, 24, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		m.AddNetlist(nl)
 		st := m.Stats()
 		// Normalize by average so the comparison is capacity-free.

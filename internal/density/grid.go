@@ -5,6 +5,7 @@
 package density
 
 import (
+	"fmt"
 	"math"
 
 	"complx/internal/geom"
@@ -38,13 +39,20 @@ type Grid struct {
 }
 
 // NewGrid creates an empty grid with the given resolution and target
-// density. Obstacles must be added before capacities are read.
-func NewGrid(core geom.Rect, nx, ny int, target float64) *Grid {
+// density. Obstacles must be added before capacities are read. Invalid
+// parameters (non-positive resolution, target outside (0, 1], a NaN or
+// empty core) return an error instead of panicking.
+func NewGrid(core geom.Rect, nx, ny int, target float64) (*Grid, error) {
 	if nx < 1 || ny < 1 {
-		panic("density: grid resolution must be positive")
+		return nil, fmt.Errorf("density: grid resolution %dx%d must be positive", nx, ny)
 	}
-	if target <= 0 || target > 1 {
-		panic("density: target utilization must be in (0, 1]")
+	if math.IsNaN(target) || target <= 0 || target > 1 {
+		return nil, fmt.Errorf("density: target utilization %g must be in (0, 1]", target)
+	}
+	if core.Empty() || math.IsNaN(core.Width()) || math.IsNaN(core.Height()) ||
+		math.IsInf(core.Width(), 0) || math.IsInf(core.Height(), 0) {
+		return nil, fmt.Errorf("density: unusable core area (%g,%g)-(%g,%g)",
+			core.XMin, core.YMin, core.XMax, core.YMax)
 	}
 	g := &Grid{
 		Core:   core,
@@ -63,25 +71,28 @@ func NewGrid(core geom.Rect, nx, ny int, target float64) *Grid {
 		g.free[i] = binArea
 		g.capacity[i] = binArea * target
 	}
-	return g
+	return g, nil
 }
 
 // NewGridForNetlist builds a grid over the netlist core with the fixed
 // cells registered as obstacles.
-func NewGridForNetlist(nl *netlist.Netlist, nx, ny int, target float64) *Grid {
-	g := NewGrid(nl.Core, nx, ny, target)
+func NewGridForNetlist(nl *netlist.Netlist, nx, ny int, target float64) (*Grid, error) {
+	g, err := NewGrid(nl.Core, nx, ny, target)
+	if err != nil {
+		return nil, err
+	}
 	for i := range nl.Cells {
 		if nl.Cells[i].Fixed() {
 			g.AddObstacle(nl.Cells[i].Rect())
 		}
 	}
-	return g
+	return g, nil
 }
 
 // ContestGrid builds the ISPD-2006-style measurement grid over nl: square
 // bins of ten row heights on a side (the contest's overflow-evaluation
 // binning), with fixed cells registered as obstacles.
-func ContestGrid(nl *netlist.Netlist, target float64) *Grid {
+func ContestGrid(nl *netlist.Netlist, target float64) (*Grid, error) {
 	side := 10 * nl.RowHeight()
 	if side <= 0 {
 		side = 10

@@ -11,7 +11,7 @@ import (
 func core100() geom.Rect { return geom.Rect{XMax: 100, YMax: 100} }
 
 func TestNewGridGeometry(t *testing.T) {
-	g := NewGrid(core100(), 10, 5, 1.0)
+	g := mustGrid(NewGrid(core100(), 10, 5, 1.0))
 	if g.BinW != 10 || g.BinH != 20 {
 		t.Errorf("bin dims = %v x %v", g.BinW, g.BinH)
 	}
@@ -25,25 +25,34 @@ func TestNewGridGeometry(t *testing.T) {
 	}
 }
 
-func TestNewGridPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NewGrid(core100(), 0, 5, 1) },
-		func() { NewGrid(core100(), 5, 5, 0) },
-		func() { NewGrid(core100(), 5, 5, 1.5) },
+// mustGrid unwraps a grid constructor in tests where the inputs are known
+// good.
+func mustGrid(g *Grid, err error) *Grid {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewGridRejectsBadInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func() (*Grid, error)
+	}{
+		{"zero nx", func() (*Grid, error) { return NewGrid(core100(), 0, 5, 1) }},
+		{"zero target", func() (*Grid, error) { return NewGrid(core100(), 5, 5, 0) }},
+		{"target above 1", func() (*Grid, error) { return NewGrid(core100(), 5, 5, 1.5) }},
+		{"NaN target", func() (*Grid, error) { return NewGrid(core100(), 5, 5, math.NaN()) }},
+		{"empty core", func() (*Grid, error) { return NewGrid(geom.Rect{}, 5, 5, 1) }},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if _, err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
 	}
 }
 
 func TestTargetScalesCapacity(t *testing.T) {
-	g := NewGrid(core100(), 10, 10, 0.5)
+	g := mustGrid(NewGrid(core100(), 10, 10, 0.5))
 	if g.Capacity(3, 3) != 50 {
 		t.Errorf("capacity = %v, want 50", g.Capacity(3, 3))
 	}
@@ -53,7 +62,7 @@ func TestTargetScalesCapacity(t *testing.T) {
 }
 
 func TestAddObstacle(t *testing.T) {
-	g := NewGrid(core100(), 10, 10, 1.0)
+	g := mustGrid(NewGrid(core100(), 10, 10, 1.0))
 	// Obstacle covers bin (0,0) fully and half of bin (1,0).
 	g.AddObstacle(geom.Rect{XMin: 0, YMin: 0, XMax: 15, YMax: 10})
 	if g.Free(0, 0) != 0 || g.Capacity(0, 0) != 0 {
@@ -73,7 +82,7 @@ func TestAddObstacle(t *testing.T) {
 }
 
 func TestAddUsageSplitsAcrossBins(t *testing.T) {
-	g := NewGrid(core100(), 10, 10, 1.0)
+	g := mustGrid(NewGrid(core100(), 10, 10, 1.0))
 	// A 10x10 rect centered on the corner shared by 4 bins.
 	g.AddUsage(geom.Rect{XMin: 5, YMin: 5, XMax: 15, YMax: 15})
 	for _, c := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
@@ -87,7 +96,7 @@ func TestAddUsageSplitsAcrossBins(t *testing.T) {
 }
 
 func TestUsageOutsideCoreIsClipped(t *testing.T) {
-	g := NewGrid(core100(), 10, 10, 1.0)
+	g := mustGrid(NewGrid(core100(), 10, 10, 1.0))
 	g.AddUsage(geom.Rect{XMin: -20, YMin: -20, XMax: -10, YMax: -10})
 	if g.TotalUsage() != 0 {
 		t.Errorf("usage from outside rect = %v", g.TotalUsage())
@@ -100,7 +109,7 @@ func TestUsageOutsideCoreIsClipped(t *testing.T) {
 }
 
 func TestOverflow(t *testing.T) {
-	g := NewGrid(core100(), 10, 10, 1.0)
+	g := mustGrid(NewGrid(core100(), 10, 10, 1.0))
 	if g.Overflow() != 0 {
 		t.Error("empty grid overflow should be 0")
 	}
@@ -130,7 +139,7 @@ func TestOverflow(t *testing.T) {
 }
 
 func TestBinOfClamps(t *testing.T) {
-	g := NewGrid(core100(), 10, 10, 1.0)
+	g := mustGrid(NewGrid(core100(), 10, 10, 1.0))
 	if ix, iy := g.BinOf(geom.Point{X: -5, Y: 105}); ix != 0 || iy != 9 {
 		t.Errorf("BinOf clamp = (%d, %d)", ix, iy)
 	}
@@ -151,7 +160,7 @@ func TestNewGridForNetlist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := NewGridForNetlist(nl, 10, 10, 1.0)
+	g := mustGrid(NewGridForNetlist(nl, 10, 10, 1.0))
 	if g.Free(0, 0) != 0 {
 		t.Errorf("obstacle not registered: free = %v", g.Free(0, 0))
 	}
@@ -187,7 +196,7 @@ func TestAutoResolution(t *testing.T) {
 }
 
 func TestTotalCapacityWithTarget(t *testing.T) {
-	g := NewGrid(core100(), 4, 4, 0.25)
+	g := mustGrid(NewGrid(core100(), 4, 4, 0.25))
 	if math.Abs(g.TotalCapacity()-2500) > 1e-9 {
 		t.Errorf("TotalCapacity = %v", g.TotalCapacity())
 	}
@@ -203,7 +212,7 @@ func TestContestGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := ContestGrid(nl, 0.9)
+	g := mustGrid(ContestGrid(nl, 0.9))
 	if g.NX != 10 || g.NY != 10 {
 		t.Errorf("contest grid = %dx%d, want 10x10", g.NX, g.NY)
 	}

@@ -40,7 +40,7 @@ func TestAccumulateMovableBitwiseAcrossThreads(t *testing.T) {
 		var want []float64
 		for ti, threads := range []int{1, 2, 8} {
 			par.SetThreads(threads)
-			g := NewGridForNetlist(nl, 33, 29, 0.9)
+			g := mustGrid(NewGridForNetlist(nl, 33, 29, 0.9))
 			g.AccumulateMovable(nl)
 			if ti == 0 {
 				want = append([]float64(nil), g.usage...)

@@ -40,7 +40,11 @@ type AblationResult struct {
 //   - detailed placement passes: none/moves-only/full (flow substrate).
 func Ablation(w io.Writer, cfg Config) (*AblationResult, error) {
 	cfg.fill()
-	spec := gen.Scaled(mustSpec("adaptec1"), cfg.Scale)
+	base, err := specByName("adaptec1")
+	if err != nil {
+		return nil, err
+	}
+	spec := gen.Scaled(base, cfg.Scale)
 	res := &AblationResult{Benchmark: spec.Name}
 
 	runCore := func(group, name string, opt core.Options, dp *detailed.Options) error {
@@ -143,7 +147,11 @@ func Ablation(w io.Writer, cfg Config) (*AblationResult, error) {
 	}
 
 	// Per-macro λ scaling, on a mixed-size analog.
-	mixSpec := gen.Scaled(mustSpec("newblue1"), cfg.Scale)
+	mixBase, err := specByName("newblue1")
+	if err != nil {
+		return nil, err
+	}
+	mixSpec := gen.Scaled(mixBase, cfg.Scale)
 	runMix := func(name string, opt core.Options) error {
 		nl, err := fresh(mixSpec)
 		if err != nil {

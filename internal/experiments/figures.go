@@ -26,7 +26,11 @@ type Figure1Result struct {
 // Figure1 regenerates the convergence trace of paper Figure 1.
 func Figure1(w io.Writer, cfg Config) (*Figure1Result, error) {
 	cfg.fill()
-	spec := gen.Scaled(mustSpec("bigblue4"), cfg.Scale)
+	base, err := specByName("bigblue4")
+	if err != nil {
+		return nil, err
+	}
+	spec := gen.Scaled(base, cfg.Scale)
 	nl, err := fresh(spec)
 	if err != nil {
 		return nil, err
@@ -78,7 +82,11 @@ type Figure2Result struct {
 // the feasibility projection of the shredded macros is inspected.
 func Figure2(w io.Writer, cfg Config) (*Figure2Result, error) {
 	cfg.fill()
-	spec := gen.Scaled(mustSpec("newblue1"), cfg.Scale)
+	base, err := specByName("newblue1")
+	if err != nil {
+		return nil, err
+	}
+	spec := gen.Scaled(base, cfg.Scale)
 	nl, err := fresh(spec)
 	if err != nil {
 		return nil, err
@@ -95,10 +103,16 @@ func Figure2(w io.Writer, cfg Config) (*Figure2Result, error) {
 	// One more projection at the intermediate placement.
 	sh := shred.New(nl, spec.TargetDensity)
 	nx, _ := density.AutoResolution(sh.NumItems(), 2.5, 192)
-	grid := density.NewGridForNetlist(nl, nx, nx, spec.TargetDensity)
+	grid, err := density.NewGridForNetlist(nl, nx, nx, spec.TargetDensity)
+	if err != nil {
+		return nil, err
+	}
 	items := sh.Items()
 	proj := spread.NewProjector(grid, spread.Options{}).Project(items)
-	anchors := sh.Interpolate(proj)
+	anchors, err := sh.Interpolate(proj)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Figure2Result{Benchmark: spec.Name, Iteration: iter}
 	mov := nl.Movables()
@@ -306,7 +320,11 @@ type Figure5Result struct {
 // Figure5 regenerates the timing-driven net-weighting experiment.
 func Figure5(w io.Writer, cfg Config) (*Figure5Result, error) {
 	cfg.fill()
-	spec := gen.Scaled(mustSpec("bigblue1"), cfg.Scale)
+	base, err := specByName("bigblue1")
+	if err != nil {
+		return nil, err
+	}
+	spec := gen.Scaled(base, cfg.Scale)
 	res := &Figure5Result{Benchmark: spec.Name}
 
 	// Stable intermediate placement to estimate net lengths (paper: 30
@@ -411,10 +429,13 @@ func S2(w io.Writer, cfg Config) (*S2Result, error) {
 	return res, nil
 }
 
-func mustSpec(name string) gen.Spec {
+// specByName resolves a generator benchmark spec, returning an error (not a
+// panic) when the name is unknown so misconfigured experiment runs surface a
+// diagnosable failure.
+func specByName(name string) (gen.Spec, error) {
 	s, ok := gen.ByName(name)
 	if !ok {
-		panic("experiments: unknown benchmark " + name)
+		return gen.Spec{}, fmt.Errorf("experiments: unknown benchmark %q", name)
 	}
-	return s
+	return s, nil
 }

@@ -97,9 +97,13 @@ func runFlow(nl *netlist.Netlist, opt flowOptions) (flowResult, error) {
 }
 
 // scaledHPWL evaluates the ISPD 2006 contest metric on the contest's
-// ten-row-height bin grid.
+// ten-row-height bin grid. Designs too degenerate to carry a contest grid
+// (e.g. a zero-area core) report the plain HPWL with zero penalty.
 func scaledHPWL(nl *netlist.Netlist, target float64) (scaled, penaltyPercent float64) {
-	g := density.ContestGrid(nl, target)
+	g, err := density.ContestGrid(nl, target)
+	if err != nil {
+		return netmodel.HPWL(nl), 0
+	}
 	g.AccumulateMovable(nl)
 	return g.ScaledHPWL(netmodel.HPWL(nl)), g.PenaltyPercent()
 }

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"testing"
+
+	"complx/internal/gen"
+)
+
+// mustSpec is the test-side convenience over specByName: unknown benchmark
+// names are impossible in the test suite, so a failure is fatal.
+func mustSpec(name string) gen.Spec {
+	s, err := specByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestSpecByNameUnknown(t *testing.T) {
+	if _, err := specByName("no-such-benchmark"); err == nil {
+		t.Fatal("specByName accepted an unknown benchmark name")
+	}
+}

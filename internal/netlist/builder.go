@@ -36,6 +36,9 @@ func (b *Builder) addCell(name string, w, h float64, kind Kind) int {
 	if _, dup := b.cellIndex[name]; dup {
 		return b.fail("duplicate cell %q", name)
 	}
+	if !finite(w) || !finite(h) {
+		return b.fail("cell %q: non-finite size %gx%g", name, w, h)
+	}
 	if w <= 0 || h <= 0 {
 		return b.fail("cell %q: non-positive size %gx%g", name, w, h)
 	}
@@ -58,6 +61,9 @@ func (b *Builder) AddMacro(name string, w, h float64) int {
 // AddFixed adds a fixed terminal (pad or obstacle) with its lower-left
 // corner at (x, y) and returns its index.
 func (b *Builder) AddFixed(name string, x, y, w, h float64) int {
+	if !finite(x) || !finite(y) {
+		return b.fail("cell %q: non-finite position (%g, %g)", name, x, y)
+	}
 	id := b.addCell(name, w, h, Terminal)
 	if id >= 0 {
 		b.nl.Cells[id].X = x
@@ -80,6 +86,9 @@ func (b *Builder) AddNet(name string, weight float64, pins []PinSpec) int {
 	if _, dup := b.netIndex[name]; dup {
 		return b.fail("duplicate net %q", name)
 	}
+	if !finite(weight) {
+		return b.fail("net %q: non-finite weight %g", name, weight)
+	}
 	if weight <= 0 {
 		return b.fail("net %q: non-positive weight %g", name, weight)
 	}
@@ -91,6 +100,9 @@ func (b *Builder) AddNet(name string, weight float64, pins []PinSpec) int {
 	for _, ps := range pins {
 		if ps.Cell < 0 || ps.Cell >= len(b.nl.Cells) {
 			return b.fail("net %q: pin references unknown cell %d", name, ps.Cell)
+		}
+		if !finite(ps.DX) || !finite(ps.DY) {
+			return b.fail("net %q: non-finite pin offset (%g, %g)", name, ps.DX, ps.DY)
 		}
 		pinID := len(b.nl.Pins)
 		b.nl.Pins = append(b.nl.Pins, Pin{Cell: ps.Cell, Net: netID, DX: ps.DX, DY: ps.DY})

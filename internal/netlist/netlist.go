@@ -230,15 +230,17 @@ func (nl *Netlist) Positions() []geom.Point {
 }
 
 // SetPositions sets the centers of the movable cells from pts, which must
-// have NumMovable() entries in Movables() order.
-func (nl *Netlist) SetPositions(pts []geom.Point) {
+// have NumMovable() entries in Movables() order. A length mismatch returns
+// an error and leaves the netlist untouched.
+func (nl *Netlist) SetPositions(pts []geom.Point) error {
 	m := nl.Movables()
 	if len(pts) != len(m) {
-		panic(fmt.Sprintf("netlist: SetPositions got %d points for %d movables", len(pts), len(m)))
+		return fmt.Errorf("netlist: SetPositions got %d points for %d movables", len(pts), len(m))
 	}
 	for k, i := range m {
 		nl.Cells[i].SetCenter(pts[k])
 	}
+	return nil
 }
 
 // CellByName returns the index of the named cell, or -1.
@@ -251,17 +253,44 @@ func (nl *Netlist) CellByName(name string) int {
 	return -1
 }
 
-// Validate checks structural invariants: pin indices in range, every net has
-// >= 1 pin, every pin belongs to the net and cell that reference it, regions
-// in range, positive cell sizes, and a non-empty core.
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// finiteRect reports whether every coordinate of r is finite.
+func finiteRect(r geom.Rect) bool {
+	return finite(r.XMin) && finite(r.YMin) && finite(r.XMax) && finite(r.YMax)
+}
+
+// Validate checks structural and numerical invariants: pin indices in
+// range, every net has >= 1 pin, every pin belongs to the net and cell that
+// reference it, regions in range with usable rectangles, positive finite
+// cell sizes, finite positions, pin offsets and net weights, rows with
+// positive height/site width and a non-empty span, and a finite non-empty
+// core area.
+//
+// Single-pin nets are tolerated (they contribute nothing to the
+// interconnect model) but empty nets are rejected. Validate is the
+// validate-then-place contract boundary: every entry point of the placement
+// flow (core.Place and the complx facade) runs it before touching the
+// numerics, so the kernels below may assume these invariants.
 func (nl *Netlist) Validate() error {
+	if !finiteRect(nl.Core) {
+		return fmt.Errorf("netlist %q: non-finite core area (%g,%g)-(%g,%g)",
+			nl.Name, nl.Core.XMin, nl.Core.YMin, nl.Core.XMax, nl.Core.YMax)
+	}
 	if nl.Core.Empty() {
 		return fmt.Errorf("netlist %q: empty core area", nl.Name)
 	}
 	for i := range nl.Cells {
 		c := &nl.Cells[i]
+		if !finite(c.W) || !finite(c.H) {
+			return fmt.Errorf("cell %q: non-finite size %gx%g", c.Name, c.W, c.H)
+		}
 		if c.W <= 0 || c.H <= 0 {
 			return fmt.Errorf("cell %q: non-positive size %gx%g", c.Name, c.W, c.H)
+		}
+		if !finite(c.X) || !finite(c.Y) {
+			return fmt.Errorf("cell %q: non-finite position (%g, %g)", c.Name, c.X, c.Y)
 		}
 		if c.Region < -1 || c.Region >= len(nl.Regions) {
 			return fmt.Errorf("cell %q: region index %d out of range", c.Name, c.Region)
@@ -279,6 +308,9 @@ func (nl *Netlist) Validate() error {
 		n := &nl.Nets[i]
 		if len(n.Pins) == 0 {
 			return fmt.Errorf("net %q: no pins", n.Name)
+		}
+		if !finite(n.Weight) {
+			return fmt.Errorf("net %q: non-finite weight %g", n.Name, n.Weight)
 		}
 		if n.Weight <= 0 {
 			return fmt.Errorf("net %q: non-positive weight %g", n.Name, n.Weight)
@@ -299,6 +331,34 @@ func (nl *Netlist) Validate() error {
 		}
 		if p.Net < 0 || p.Net >= len(nl.Nets) {
 			return fmt.Errorf("pin %d: net index %d out of range", i, p.Net)
+		}
+		if !finite(p.DX) || !finite(p.DY) {
+			return fmt.Errorf("pin %d (cell %q): non-finite offset (%g, %g)",
+				i, nl.Cells[p.Cell].Name, p.DX, p.DY)
+		}
+	}
+	for i := range nl.Rows {
+		r := &nl.Rows[i]
+		if !finite(r.Y) || !finite(r.Height) || !finite(r.XMin) || !finite(r.XMax) || !finite(r.SiteWidth) {
+			return fmt.Errorf("row %d: non-finite geometry", i)
+		}
+		if r.Height <= 0 {
+			return fmt.Errorf("row %d: non-positive height %g", i, r.Height)
+		}
+		if r.SiteWidth <= 0 {
+			return fmt.Errorf("row %d: non-positive site width %g", i, r.SiteWidth)
+		}
+		if r.XMax <= r.XMin {
+			return fmt.Errorf("row %d: empty span [%g, %g]", i, r.XMin, r.XMax)
+		}
+	}
+	for i := range nl.Regions {
+		r := &nl.Regions[i]
+		if !finiteRect(r.Rect) {
+			return fmt.Errorf("region %q: non-finite rectangle", r.Name)
+		}
+		if r.Rect.Empty() {
+			return fmt.Errorf("region %q: empty rectangle", r.Name)
 		}
 	}
 	return nil
@@ -357,28 +417,31 @@ func (nl *Netlist) SnapshotPositions() []geom.Point {
 	return out
 }
 
-// RestorePositions restores positions captured by SnapshotPositions.
-func (nl *Netlist) RestorePositions(snap []geom.Point) {
+// RestorePositions restores positions captured by SnapshotPositions. A
+// length mismatch returns an error and leaves the netlist untouched.
+func (nl *Netlist) RestorePositions(snap []geom.Point) error {
 	if len(snap) != len(nl.Cells) {
-		panic("netlist: snapshot length mismatch")
+		return fmt.Errorf("netlist: RestorePositions got %d points for %d cells", len(snap), len(nl.Cells))
 	}
 	for i := range nl.Cells {
 		nl.Cells[i].X = snap[i].X
 		nl.Cells[i].Y = snap[i].Y
 	}
+	return nil
 }
 
 // TotalDisplacement returns the summed L1 displacement of movable-cell
-// centers between two position snapshots taken with Positions().
-func TotalDisplacement(a, b []geom.Point) float64 {
+// centers between two position snapshots taken with Positions(). A length
+// mismatch returns an error.
+func TotalDisplacement(a, b []geom.Point) (float64, error) {
 	if len(a) != len(b) {
-		panic("netlist: displacement length mismatch")
+		return 0, fmt.Errorf("netlist: TotalDisplacement got %d vs %d points", len(a), len(b))
 	}
 	var d float64
 	for i := range a {
 		d += math.Abs(a[i].X-b[i].X) + math.Abs(a[i].Y-b[i].Y)
 	}
-	return d
+	return d, nil
 }
 
 // Clone returns a deep copy of the netlist: mutations of cells, nets, pins,

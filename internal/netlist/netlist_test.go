@@ -127,7 +127,9 @@ func TestPositionsRoundTrip(t *testing.T) {
 		t.Fatalf("Positions len = %d", len(pts))
 	}
 	want := []geom.Point{{X: 7, Y: 8}, {X: 50, Y: 60}, {X: 20, Y: 20}}
-	nl.SetPositions(want)
+	if err := nl.SetPositions(want); err != nil {
+		t.Fatal(err)
+	}
 	got := nl.Positions()
 	for i := range want {
 		if got[i] != want[i] {
@@ -136,14 +138,11 @@ func TestPositionsRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSetPositionsPanicsOnMismatch(t *testing.T) {
+func TestSetPositionsRejectsMismatch(t *testing.T) {
 	nl := buildSmall(t)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	nl.SetPositions([]geom.Point{{}})
+	if err := nl.SetPositions([]geom.Point{{}}); err == nil {
+		t.Error("expected error for mismatched position slice")
+	}
 }
 
 func TestAreasAndUtilization(t *testing.T) {
@@ -197,7 +196,9 @@ func TestSnapshotRestore(t *testing.T) {
 	snap := nl.SnapshotPositions()
 	nl.Cells[0].X = 99
 	nl.Cells[3].Y = 7
-	nl.RestorePositions(snap)
+	if err := nl.RestorePositions(snap); err != nil {
+		t.Fatal(err)
+	}
 	if nl.Cells[0].X != 0 || nl.Cells[3].Y != 50 {
 		t.Error("restore did not revert positions")
 	}
@@ -206,8 +207,15 @@ func TestSnapshotRestore(t *testing.T) {
 func TestTotalDisplacement(t *testing.T) {
 	a := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
 	b := []geom.Point{{X: 3, Y: 4}, {X: 1, Y: 1}}
-	if got := TotalDisplacement(a, b); got != 7 {
+	got, err := TotalDisplacement(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
 		t.Errorf("TotalDisplacement = %v", got)
+	}
+	if _, err := TotalDisplacement(a, b[:1]); err == nil {
+		t.Error("expected error for mismatched slices")
 	}
 }
 
@@ -297,12 +305,9 @@ func TestUtilizationNoFreeArea(t *testing.T) {
 	}
 }
 
-func TestRestorePositionsPanics(t *testing.T) {
+func TestRestorePositionsRejectsMismatch(t *testing.T) {
 	nl := buildSmall(t)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	nl.RestorePositions(nil)
+	if err := nl.RestorePositions(nil); err == nil {
+		t.Error("expected error for nil snapshot")
+	}
 }

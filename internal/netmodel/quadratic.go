@@ -116,11 +116,23 @@ type Assembler struct {
 	shardsX, shardsY []*sparse.Builder // scratch: shX/shY + extra
 }
 
+// MinEps is the hard floor for the linearization denominator ε. Callers may
+// pass any positive ε — including denormals — and pins may coincide exactly,
+// in which case a weight 1/(|d|+ε) would overflow to +Inf and poison the
+// linear system. Clamping ε here bounds every B2B/clique/star weight. It
+// also covers row-less designs, where the 1.5×row-height default would
+// otherwise evaluate to zero.
+const MinEps = 1e-12
+
 // NewAssembler prepares an assembler for the given net model. eps is the
-// linearization denominator floor; when <= 0 it defaults to 1.5x row height.
+// linearization denominator floor; when <= 0 it defaults to 1.5x row height,
+// and it is never allowed below MinEps.
 func NewAssembler(nl *netlist.Netlist, model Model, eps float64) *Assembler {
 	if eps <= 0 {
 		eps = 1.5 * nl.RowHeight()
+	}
+	if !(eps >= MinEps) { // also catches NaN
+		eps = MinEps
 	}
 	a := &Assembler{nl: nl, model: model, eps: eps}
 	a.varOf = make([]int, len(nl.Cells))

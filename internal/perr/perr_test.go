@@ -1,0 +1,97 @@
+package perr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorRendersOneLine(t *testing.T) {
+	e := &Error{Stage: StageParse, File: "bad.pl", Line: 7, Err: errors.New("truncated line")}
+	got := e.Error()
+	want := "stage=parse file=bad.pl line=7: truncated line"
+	if got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	if strings.Count(got, "\n") != 0 {
+		t.Errorf("message is not one line: %q", got)
+	}
+}
+
+func TestErrorRendersIterAndDefaults(t *testing.T) {
+	e := &Error{Stage: StageSolve, Iter: 12, Err: errors.New("cg diverged")}
+	if got, want := e.Error(), "stage=solve iter=12: cg diverged"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	empty := &Error{}
+	if got, want := empty.Error(), "stage=unknown: unspecified error"; got != want {
+		t.Errorf("zero Error() = %q, want %q", got, want)
+	}
+}
+
+func TestWrapNilStaysNil(t *testing.T) {
+	if Wrap(StageSolve, nil) != nil || WrapIter(StageSolve, 3, nil) != nil || WithFile(nil, "f") != nil {
+		t.Error("nil error did not stay nil")
+	}
+}
+
+func TestWrapDoesNotDoubleWrap(t *testing.T) {
+	inner := New(StageParse, "bad token")
+	out := Wrap(StageValidate, inner)
+	pe, ok := out.(*Error)
+	if !ok {
+		t.Fatalf("Wrap returned %T", out)
+	}
+	if pe.Stage != StageParse {
+		t.Errorf("existing stage overwritten: %q", pe.Stage)
+	}
+	if strings.Count(out.Error(), "stage=") != 1 {
+		t.Errorf("double-wrapped message: %q", out.Error())
+	}
+}
+
+func TestWrapFillsEmptyStageInCopy(t *testing.T) {
+	inner := &Error{Line: 3, Err: errors.New("x")}
+	out := Wrap(StageParse, inner)
+	pe := out.(*Error)
+	if pe.Stage != StageParse || pe.Line != 3 {
+		t.Errorf("copy not filled: %+v", pe)
+	}
+	if inner.Stage != "" {
+		t.Error("Wrap mutated its argument")
+	}
+}
+
+func TestWithFileKeepsInnermostFile(t *testing.T) {
+	e := WithFile(WithFile(New(StageParse, "x"), "inner.pl"), "outer.aux")
+	pe := e.(*Error)
+	if pe.File != "inner.pl" {
+		t.Errorf("file = %q, want inner.pl", pe.File)
+	}
+}
+
+func TestWrapIterFillsBothFields(t *testing.T) {
+	e := WrapIter(StageSolve, 9, errors.New("boom"))
+	pe := e.(*Error)
+	if pe.Stage != StageSolve || pe.Iter != 9 {
+		t.Errorf("fields = %+v", pe)
+	}
+	// Pre-set iteration wins.
+	e2 := WrapIter(StageSolve, 9, &Error{Iter: 2, Err: errors.New("boom")})
+	if pe2 := e2.(*Error); pe2.Iter != 2 {
+		t.Errorf("iter overwritten: %d", pe2.Iter)
+	}
+}
+
+func TestUnwrapChain(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := Wrap(StageSolve, fmt.Errorf("context: %w", sentinel))
+	if !errors.Is(err, sentinel) {
+		t.Error("errors.Is lost the sentinel through Wrap")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Stage != StageSolve {
+		t.Errorf("errors.As failed: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ package qp
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -30,6 +31,14 @@ type Anchors struct {
 	Pos    []geom.Point
 	Lambda []float64
 }
+
+// MinPseudoDenom is the documented floor for the linearized pseudonet
+// denominator |coordinate distance| + ε. Callers may pass any positive Eps
+// — including denormals — and an anchor may coincide exactly with its cell,
+// in which case λ / denom would overflow to +Inf and poison the linear
+// system. Clamping the denominator here bounds every pseudonet weight by
+// λ / MinPseudoDenom, which stays finite for all finite λ.
+const MinPseudoDenom = 1e-12
 
 // Options configures a solve.
 type Options struct {
@@ -101,6 +110,18 @@ func (s *Solver) Solve(anchors *Anchors) (Result, error) {
 			return Result{}, fmt.Errorf("qp: anchors sized %d/%d for %d movables",
 				len(anchors.Pos), len(anchors.Lambda), len(mov))
 		}
+		// Reject non-finite anchors/multipliers before they are stamped
+		// into the SPD systems: a single NaN here would otherwise surface
+		// later as an opaque CG failure.
+		for k := range mov {
+			a, lam := anchors.Pos[k], anchors.Lambda[k]
+			if math.IsNaN(lam) || math.IsInf(lam, 0) || lam < 0 {
+				return Result{}, fmt.Errorf("qp: movable %d: invalid anchor multiplier %g", k, lam)
+			}
+			if math.IsNaN(a.X) || math.IsNaN(a.Y) || math.IsInf(a.X, 0) || math.IsInf(a.Y, 0) {
+				return Result{}, fmt.Errorf("qp: movable %d: non-finite anchor (%g, %g)", k, a.X, a.Y)
+			}
+		}
 	}
 
 	tAsm := time.Now()
@@ -115,9 +136,20 @@ func (s *Solver) Solve(anchors *Anchors) (Result, error) {
 				c := nl.Cells[i].Center()
 				a := anchors.Pos[k]
 				// Linearized L1 pseudonets (paper §5):
-				// w = λ / (|coordinate distance| + ε), per dimension.
-				wx := lam / (abs(c.X-a.X) + eps)
-				wy := lam / (abs(c.Y-a.Y) + eps)
+				// w = λ / (|coordinate distance| + ε), per dimension. The
+				// denominator is clamped to MinPseudoDenom so a denormal ε
+				// with a coinciding anchor cannot overflow the weight to
+				// +Inf (see the constant's doc comment).
+				dx := abs(c.X-a.X) + eps
+				dy := abs(c.Y-a.Y) + eps
+				if dx < MinPseudoDenom {
+					dx = MinPseudoDenom
+				}
+				if dy < MinPseudoDenom {
+					dy = MinPseudoDenom
+				}
+				wx := lam / dx
+				wy := lam / dy
 				bx.AddDiag(k, wx)
 				fx[k] += wx * a.X
 				by.AddDiag(k, wy)

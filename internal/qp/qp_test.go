@@ -207,3 +207,52 @@ func BenchmarkSolve(b *testing.B) {
 		}
 	}
 }
+
+// TestDenormalEpsCoincidentAnchor is the regression test for the pseudonet
+// denominator floor: with a denormal Eps and an anchor exactly on top of its
+// cell, w = λ/(|d|+ε) would overflow to +Inf without the MinPseudoDenom
+// clamp, poisoning the SPD system. The solve must stay finite and succeed.
+func TestDenormalEpsCoincidentAnchor(t *testing.T) {
+	nl := chainDesign(t)
+	free := nl.Positions()
+	anchors := &Anchors{
+		Pos:    []geom.Point{free[0], free[1], free[2]}, // exactly coincident
+		Lambda: []float64{1e6, 1e6, 1e6},
+	}
+	// 5e-324 is the smallest positive denormal: |d| + ε == 0 + 5e-324.
+	if _, err := Solve(nl, anchors, Options{Eps: 5e-324}); err != nil {
+		t.Fatalf("denormal-eps solve failed: %v", err)
+	}
+	for _, p := range nl.Positions() {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			t.Fatalf("non-finite position %v after denormal-eps solve", p)
+		}
+	}
+}
+
+// TestAnchorValidation: NaN/Inf anchors and negative or non-finite
+// multipliers are rejected up-front with a descriptive error rather than
+// surfacing later as an opaque CG failure.
+func TestAnchorValidation(t *testing.T) {
+	mk := func() *Anchors {
+		return &Anchors{Pos: make([]geom.Point, 3), Lambda: make([]float64, 3)}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Anchors)
+	}{
+		{"NaN lambda", func(a *Anchors) { a.Lambda[1] = math.NaN() }},
+		{"Inf lambda", func(a *Anchors) { a.Lambda[0] = math.Inf(1) }},
+		{"negative lambda", func(a *Anchors) { a.Lambda[2] = -1 }},
+		{"NaN anchor x", func(a *Anchors) { a.Pos[1].X = math.NaN() }},
+		{"Inf anchor y", func(a *Anchors) { a.Pos[2].Y = math.Inf(-1) }},
+	}
+	for _, tc := range cases {
+		nl := chainDesign(t)
+		a := mk()
+		tc.mut(a)
+		if _, err := Solve(nl, a, Options{}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

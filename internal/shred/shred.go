@@ -9,6 +9,7 @@
 package shred
 
 import (
+	"fmt"
 	"math"
 
 	"complx/internal/geom"
@@ -97,10 +98,12 @@ func (s *Shredder) Items() []spread.Item {
 
 // Interpolate converts projected item positions back to per-movable centers:
 // a standard cell takes its item position; a macro takes its current center
-// plus the average displacement of its shreds (paper §5).
-func (s *Shredder) Interpolate(projected []geom.Point) []geom.Point {
+// plus the average displacement of its shreds (paper §5). A projected slice
+// whose length disagrees with the shredder's item count returns an error.
+func (s *Shredder) Interpolate(projected []geom.Point) ([]geom.Point, error) {
 	if len(projected) != len(s.owner) {
-		panic("shred: projected length mismatch")
+		return nil, fmt.Errorf("shred: Interpolate got %d projected points for %d items",
+			len(projected), len(s.owner))
 	}
 	mov := s.nl.Movables()
 	out := make([]geom.Point, len(mov))
@@ -130,7 +133,7 @@ func (s *Shredder) Interpolate(projected []geom.Point) []geom.Point {
 		out[k].X = geom.Clamp(out[k].X, core.XMin+hw, core.XMax-hw)
 		out[k].Y = geom.Clamp(out[k].Y, core.YMin+hh, core.YMax-hh)
 	}
-	return out
+	return out, nil
 }
 
 // ShredBBox returns the bounding box of the projected shreds of movable k —

@@ -91,7 +91,10 @@ func TestInterpolateIdentity(t *testing.T) {
 	for i := range items {
 		proj[i] = items[i].Pos
 	}
-	out := s.Interpolate(proj)
+	out, err := s.Interpolate(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out[0] != (geom.Point{X: 20, Y: 20}) || out[1] != (geom.Point{X: 50, Y: 50}) {
 		t.Errorf("identity interpolation moved cells: %v", out)
 	}
@@ -110,7 +113,10 @@ func TestInterpolateAveragesDisplacement(t *testing.T) {
 	for i := 1; i < len(proj); i++ {
 		proj[i] = proj[i].Add(geom.Point{X: 10, Y: -5})
 	}
-	out := s.Interpolate(proj)
+	out, err := s.Interpolate(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out[0] != (geom.Point{X: 21, Y: 22}) {
 		t.Errorf("std moved to %v", out[0])
 	}
@@ -133,7 +139,10 @@ func TestInterpolatePartialDisplacement(t *testing.T) {
 		proj[i] = proj[i].Add(geom.Point{X: 8})
 		moved++
 	}
-	out := s.Interpolate(proj)
+	out, err := s.Interpolate(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(out[1].X-54) > 1e-9 {
 		t.Errorf("macro x = %v, want 54", out[1].X)
 	}
@@ -147,22 +156,22 @@ func TestInterpolateClampsToCore(t *testing.T) {
 	for i := range items {
 		proj[i] = items[i].Pos.Add(geom.Point{X: 1000}) // far outside
 	}
-	out := s.Interpolate(proj)
+	out, err := s.Interpolate(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Macro is 8 wide: center can be at most 96.
 	if out[1].X > 96+1e-9 {
 		t.Errorf("macro center %v beyond clamp", out[1].X)
 	}
 }
 
-func TestInterpolateLengthMismatchPanics(t *testing.T) {
+func TestInterpolateLengthMismatchErrors(t *testing.T) {
 	nl := mixedDesign(t)
 	s := New(nl, 1.0)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	s.Interpolate(make([]geom.Point, 2))
+	if _, err := s.Interpolate(make([]geom.Point, 2)); err == nil {
+		t.Error("expected error for mismatched projection slice")
+	}
 }
 
 func TestShredBBox(t *testing.T) {

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"complx/internal/par"
@@ -26,6 +27,13 @@ type CGResult struct {
 // ErrNotSPD is returned when CG detects the matrix is not positive definite
 // (a non-positive curvature direction).
 var ErrNotSPD = errors.New("sparse: matrix is not positive definite")
+
+// ErrNotFinite is returned when CG encounters a NaN or Inf in the
+// right-hand side, the matrix, or an intermediate scalar. Without this
+// check a single non-finite entry makes every convergence comparison
+// false (NaN compares false with everything), so the solve would silently
+// burn MaxIter iterations and return garbage.
+var ErrNotFinite = errors.New("sparse: non-finite value (NaN or Inf) in linear system")
 
 // CGWorkspace holds the five work vectors of a Jacobi-PCG solve. Reusing a
 // workspace across the repeated per-iteration solves of the placement outer
@@ -61,7 +69,8 @@ func SolvePCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult, error) {
 	n := a.N
 	if len(x) != n || len(b) != n {
-		panic("sparse: SolvePCG dimension mismatch")
+		return CGResult{}, fmt.Errorf("sparse: SolvePCG dimension mismatch: len(x)=%d len(b)=%d n=%d",
+			len(x), len(b), n)
 	}
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-6
@@ -101,6 +110,9 @@ func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult
 		})
 	}
 	bNorm := math.Sqrt(Norm2Sq(b))
+	if !isFinite(bNorm) {
+		return CGResult{}, ErrNotFinite
+	}
 	if bNorm == 0 {
 		// Solution of A x = 0 is x = 0 for SPD A.
 		for i := range x {
@@ -127,6 +139,13 @@ func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult
 		}
 		a.MulVec(ap, p)
 		pap := Dot(p, ap)
+		// Order matters: NaN compares false with everything, so a plain
+		// "pap <= 0" guard lets a NaN system iterate to MaxIter. Detect
+		// non-finite curvature (NaN/Inf in A, b or the initial guess)
+		// explicitly before the SPD check.
+		if !isFinite(pap) {
+			return res, ErrNotFinite
+		}
 		if pap <= 0 {
 			return res, ErrNotSPD
 		}
@@ -139,6 +158,9 @@ func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult
 			}
 		})
 		rzNew := Dot(r, z)
+		if !isFinite(rzNew) {
+			return res, ErrNotFinite
+		}
 		beta := rzNew / rz
 		rz = rzNew
 		par.For(n, axpyGrain, func(lo, hi int) {
@@ -151,6 +173,11 @@ func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult
 	res.Residual = math.Sqrt(Norm2Sq(r)) / bNorm
 	res.Converged = res.Residual <= opt.Tol
 	return res, nil
+}
+
+// isFinite reports whether v is neither NaN nor infinite.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // isZero reports whether every element of v is exactly zero.

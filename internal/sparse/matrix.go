@@ -68,6 +68,12 @@ func (b *Builder) Reset() {
 }
 
 // Add accumulates v into entry (i, j).
+//
+// Indices out of range panic rather than return an error: Add sits on the
+// innermost assembly loop and its indices are derived from a validated
+// netlist, so an out-of-range index is a provable programmer bug (a broken
+// variable-numbering invariant), never a data error. The library-facing
+// robustness contract is enforced one level up by netlist.Validate.
 func (b *Builder) Add(i, j int, v float64) {
 	if i < 0 || i >= b.n || j < 0 || j >= b.n {
 		panic(fmt.Sprintf("sparse: Add(%d, %d) out of range for n=%d", i, j, b.n))
@@ -145,6 +151,10 @@ func growF64(s []float64, n int) []float64 {
 // m and ws may be nil (fresh allocations) or carry buffers from a previous
 // call, which are reused when large enough — the incremental-assembly path
 // reuses both across placement iterations. The shards are not reset.
+//
+// Shards whose dimension disagrees with n panic (documented programmer
+// bug): shard dimensions are fixed when the assembler is constructed and
+// never depend on external input.
 func BuildMergedInto(m *CSR, ws *BuildScratch, n int, shards ...*Builder) *CSR {
 	if m == nil {
 		m = &CSR{}
@@ -341,6 +351,10 @@ func (m *CSR) mulRows(dst, x []float64, lo, hi int32) {
 // Rows are processed in parallel over nnz-balanced chunks; since each output
 // element is produced by exactly one chunk, the result is independent of the
 // partition and bitwise identical to the serial product.
+//
+// A dimension mismatch panics (documented programmer bug): MulVec is a hot
+// kernel whose operand sizes are fixed by the caller-owned workspaces, never
+// by external input.
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(dst) != m.N || len(x) != m.N {
 		panic("sparse: MulVec dimension mismatch")
@@ -363,7 +377,8 @@ func (m *CSR) MulVec(dst, x []float64) {
 }
 
 // Diag extracts the diagonal into dst (length N). Missing diagonal entries
-// yield zero.
+// yield zero. A dimension mismatch panics (documented programmer bug, same
+// contract as MulVec).
 func (m *CSR) Diag(dst []float64) {
 	if len(dst) != m.N {
 		panic("sparse: Diag dimension mismatch")

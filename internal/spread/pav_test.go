@@ -120,10 +120,16 @@ func TestOptimalLeafReducesDisplacement(t *testing.T) {
 		}
 		return items
 	}
-	g1 := density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, 10, 10, 0.9)
+	g1, err := density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, 10, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	items := mk()
 	uni := NewProjector(g1, Options{}).Project(items)
-	g2 := density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, 10, 10, 0.9)
+	g2, err := density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, 10, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opt := NewProjector(g2, Options{OptimalLeaf: true}).Project(mk())
 
 	orig := positions(items)

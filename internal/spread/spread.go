@@ -571,6 +571,11 @@ func (p *Projector) clampToCore(items []Item) {
 
 // L1Distance returns Σ|a−b| over item centers: the Π term of the paper when
 // applied to (placement, projection) pairs.
+//
+// A length mismatch panics (documented programmer bug): both arguments are
+// always produced by Positions()/Interpolate over the same movable set
+// within one iteration, so unequal lengths can only come from a broken
+// internal invariant, never from external input.
 func L1Distance(a, b []geom.Point) float64 {
 	if len(a) != len(b) {
 		panic("spread: L1Distance length mismatch")

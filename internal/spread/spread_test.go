@@ -11,7 +11,11 @@ import (
 )
 
 func grid(nx, ny int, target float64) *density.Grid {
-	return density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, nx, ny, target)
+	g, err := density.NewGrid(geom.Rect{XMax: 100, YMax: 100}, nx, ny, target)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // overflowOf measures center-based overflow of items on a fresh grid.
@@ -111,7 +115,10 @@ func TestSpreadAvoidsObstacleCapacity(t *testing.T) {
 func TestOrderPreservedIn1D(t *testing.T) {
 	// One-row grid forces horizontal splits only; the relative x order of
 	// items must be preserved (the projection is monotone per SimPL).
-	g := density.NewGrid(geom.Rect{XMax: 100, YMax: 10}, 20, 1, 1.0)
+	g, err := density.NewGrid(geom.Rect{XMax: 100, YMax: 10}, 20, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(2))
 	var items []Item
 	for i := 0; i < 60; i++ {
@@ -295,7 +302,10 @@ func TestSelfConsistencyFormula11(t *testing.T) {
 }
 
 func BenchmarkProject(b *testing.B) {
-	g := density.NewGrid(geom.Rect{XMax: 200, YMax: 200}, 48, 48, 0.9)
+	g, err := density.NewGrid(geom.Rect{XMax: 200, YMax: 200}, 48, 48, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(1))
 	var items []Item
 	for i := 0; i < 10000; i++ {

@@ -13,6 +13,7 @@
 package timing
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -342,11 +343,14 @@ func CellCriticalities(nl *netlist.Netlist, r *Report, boost float64) []float64 
 // ActivityNetWeights implements power-driven net weighting (the SimPL
 // power-aware extension the paper cites): each net's weight is scaled by
 // 1 + alpha·activity(driver), where activity is a per-cell switching
-// activity factor in [0, 1]. Returns the previous weights for restoration
-// via SetNetWeights over all nets.
-func ActivityNetWeights(nl *netlist.Netlist, activity []float64, alpha float64) []float64 {
+// activity factor in [0, 1] (values outside that range, including NaN, are
+// clamped). Returns the previous weights for restoration via SetNetWeights
+// over all nets. An activity slice whose length disagrees with the cell
+// count returns an error and leaves the weights untouched.
+func ActivityNetWeights(nl *netlist.Netlist, activity []float64, alpha float64) ([]float64, error) {
 	if len(activity) != len(nl.Cells) {
-		panic("timing: activity length mismatch")
+		return nil, fmt.Errorf("timing: ActivityNetWeights got %d activities for %d cells",
+			len(activity), len(nl.Cells))
 	}
 	old := make([]float64, len(nl.Nets))
 	for ni := range nl.Nets {
@@ -357,7 +361,7 @@ func ActivityNetWeights(nl *netlist.Netlist, activity []float64, alpha float64) 
 		}
 		drv := nl.Pins[net.Pins[0]].Cell
 		a := activity[drv]
-		if a < 0 {
+		if !(a > 0) { // also catches NaN
 			a = 0
 		}
 		if a > 1 {
@@ -365,7 +369,7 @@ func ActivityNetWeights(nl *netlist.Netlist, activity []float64, alpha float64) 
 		}
 		net.Weight *= 1 + alpha*a
 	}
-	return old
+	return old, nil
 }
 
 // AllNets returns 0..NumNets-1, for use with SetNetWeights after

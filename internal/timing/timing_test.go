@@ -184,7 +184,10 @@ func TestActivityNetWeights(t *testing.T) {
 	// The driver of net n0 is "in"; give it full activity.
 	act[nl.CellByName("in")] = 1.0
 	act[nl.CellByName("c0")] = 2.0 // clamped to 1
-	old := ActivityNetWeights(nl, act, 0.5)
+	old, err := ActivityNetWeights(nl, act, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if nl.Nets[0].Weight != 1.5 {
 		t.Errorf("n0 weight = %v, want 1.5", nl.Nets[0].Weight)
 	}
@@ -203,12 +206,14 @@ func TestActivityNetWeights(t *testing.T) {
 	}
 }
 
-func TestActivityNetWeightsPanics(t *testing.T) {
+func TestActivityNetWeightsRejectsMismatch(t *testing.T) {
 	nl := chain(t, 2)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	if _, err := ActivityNetWeights(nl, []float64{1}, 1); err == nil {
+		t.Error("expected error for mismatched activity slice")
+	}
+	for i := range nl.Nets {
+		if nl.Nets[i].Weight != 1 {
+			t.Errorf("weight %d modified on failed call", i)
 		}
-	}()
-	ActivityNetWeights(nl, []float64{1}, 1)
+	}
 }

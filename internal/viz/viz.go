@@ -42,7 +42,11 @@ func DensityMap(w io.Writer, nl *netlist.Netlist, cols, rows int, target float64
 	if target <= 0 || target > 1 {
 		target = 1
 	}
-	g := density.NewGridForNetlist(nl, cols, rows, target)
+	g, err := density.NewGridForNetlist(nl, cols, rows, target)
+	if err != nil {
+		fmt.Fprintf(w, "density map unavailable: %v\n", err)
+		return
+	}
 	g.AccumulateMovable(nl)
 	fmt.Fprintf(w, "density map %dx%d (target %.2f), '@'=overfull, 'X'=blocked\n", cols, rows, target)
 	var b strings.Builder
@@ -93,7 +97,11 @@ func MacroMap(w io.Writer, nl *netlist.Netlist, cols, rows int) {
 		}
 	}
 	// Standard-cell density as light background.
-	g := density.NewGridForNetlist(nl, cols, rows, 1)
+	g, err := density.NewGridForNetlist(nl, cols, rows, 1)
+	if err != nil {
+		fmt.Fprintf(w, "macro map unavailable: %v\n", err)
+		return
+	}
 	g.ResetUsage()
 	for _, i := range nl.Movables() {
 		if nl.Cells[i].Kind == netlist.Std {
@@ -130,14 +138,20 @@ func CongestionMap(w io.Writer, nl *netlist.Netlist, cols, rows int, capacity fl
 	if rows < 1 {
 		rows = 24
 	}
-	m := congest.NewMap(nl.Core, cols, rows, capacity)
+	m, err := congest.NewMap(nl.Core, cols, rows, capacity)
+	if err != nil {
+		fmt.Fprintf(w, "congestion map unavailable: %v\n", err)
+		return
+	}
 	m.AddNetlist(nl)
 	if capacity <= 0 {
 		// Self-calibrate to the average so mid-gray is the mean.
 		st := m.Stats()
 		if st.Avg > 0 {
-			m = congest.NewMap(nl.Core, cols, rows, 2*st.Avg)
-			m.AddNetlist(nl)
+			if m2, err := congest.NewMap(nl.Core, cols, rows, 2*st.Avg); err == nil {
+				m2.AddNetlist(nl)
+				m = m2
+			}
 		}
 	}
 	st := m.Stats()
