@@ -10,12 +10,21 @@
 //	complx -bench adaptec1
 //	complx -bench newblue7 -scale 0.25 -algo simpl
 //	complx -aux ./ibm01.aux -target 0.8 -pl out.pl -v
+//	complx -bench adaptec1 -timeout 30s -pl out.pl
+//
+// A -timeout budget or an interrupt (Ctrl-C) does not abort the run: the
+// flow stops at the best placement found so far, finishes legalization on
+// it, writes the requested outputs and exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"complx"
 )
@@ -41,15 +50,22 @@ func main() {
 		abacus    = flag.Bool("abacus", false, "use the Abacus legalizer instead of Tetris")
 		routab    = flag.Bool("routability", false, "congestion-driven cell inflation (SimPLR-style)")
 		threads   = flag.Int("threads", 0, "worker-pool size for the parallel kernels (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best placement so far is legalized and written (exit 0)")
 	)
 	flag.Parse()
 	complx.SetThreads(*threads)
-	if err := run(runCfg{
+	// Ctrl-C / SIGTERM cancel the run cooperatively: the flow keeps its
+	// best placement, finishes legally and writes the outputs. A second
+	// interrupt kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, runCfg{
 		aux: *aux, bench: *bench, scale: *scale, algo: *algo, target: *target,
 		finest: *finest, projDP: *projDP, useLSE: *useLSE,
 		skipLegal: *skipLegal, skipDP: *skipDP, maxIter: *maxIter,
 		plOut: *plOut, outDir: *outDir, verbose: *verbose, plot: *plot,
 		clustered: *clustered, abacus: *abacus, routability: *routab,
+		timeout: *timeout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "complx:", err)
 		os.Exit(1)
@@ -63,9 +79,15 @@ type runCfg struct {
 	finest, projDP, useLSE, skipLegal, skipDP     bool
 	verbose, plot, clustered, abacus, routability bool
 	maxIter                                       int
+	timeout                                       time.Duration
 }
 
-func run(cfg runCfg) error {
+func run(ctx context.Context, cfg runCfg) error {
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
 	aux, bench, algo := cfg.aux, cfg.bench, cfg.algo
 	scale, target := cfg.scale, cfg.target
 	var nl *complx.Netlist
@@ -127,9 +149,15 @@ func run(cfg runCfg) error {
 				it.Iter, it.Lambda, it.Phi, it.Pi, (it.PhiUpper-it.Phi)/it.PhiUpper, it.GridNX)
 		}
 	}
-	res, err := complx.Place(nl, opt)
+	res, err := complx.PlaceContext(ctx, nl, opt)
 	if err != nil {
-		return err
+		if res == nil || !res.Cancelled {
+			return err
+		}
+		// Cancelled (timeout or interrupt): the flow already finished
+		// legalization on its best placement — report it and write the
+		// outputs as usual.
+		fmt.Printf("cancelled:        %v\n", err)
 	}
 
 	fmt.Printf("algorithm:        %s\n", alg)

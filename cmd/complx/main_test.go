@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"complx"
 )
@@ -12,7 +14,7 @@ import (
 func TestRunBench(t *testing.T) {
 	dir := t.TempDir()
 	pl := filepath.Join(dir, "out.pl")
-	err := run(runCfg{bench: "adaptec1", scale: 0.05, algo: "complx", maxIter: 20, plOut: pl})
+	err := run(context.Background(), runCfg{bench: "adaptec1", scale: 0.05, algo: "complx", maxIter: 20, plOut: pl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,12 +39,34 @@ func TestRunAuxRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "placed")
-	err = run(runCfg{aux: filepath.Join(dir, "newblue1.aux"), scale: 1, algo: "simpl", maxIter: 20, outDir: out})
+	err = run(context.Background(), runCfg{aux: filepath.Join(dir, "newblue1.aux"), scale: 1, algo: "simpl", maxIter: 20, outDir: out})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "newblue1.aux")); err != nil {
 		t.Error("placed benchmark not written")
+	}
+}
+
+// TestRunTimeout exercises the -timeout path: a budget far too small to
+// finish global placement must still produce a written, well-formed .pl
+// file and a nil error (the CLI exits 0 on graceful cancellation).
+func TestRunTimeout(t *testing.T) {
+	dir := t.TempDir()
+	pl := filepath.Join(dir, "out.pl")
+	err := run(context.Background(), runCfg{
+		bench: "adaptec1", scale: 0.2, algo: "complx", plOut: pl,
+		timeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("timed-out run must exit cleanly, got %v", err)
+	}
+	data, err := os.ReadFile(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "UCLA pl 1.0") {
+		t.Error("placement file malformed")
 	}
 }
 
@@ -52,19 +76,19 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"no input", func() error {
-			return run(runCfg{scale: 1, algo: "complx"})
+			return run(context.Background(), runCfg{scale: 1, algo: "complx"})
 		}},
 		{"both inputs", func() error {
-			return run(runCfg{aux: "x.aux", bench: "adaptec1", scale: 1, algo: "complx"})
+			return run(context.Background(), runCfg{aux: "x.aux", bench: "adaptec1", scale: 1, algo: "complx"})
 		}},
 		{"unknown bench", func() error {
-			return run(runCfg{bench: "nope", scale: 1, algo: "complx"})
+			return run(context.Background(), runCfg{bench: "nope", scale: 1, algo: "complx"})
 		}},
 		{"unknown algo", func() error {
-			return run(runCfg{bench: "adaptec1", scale: 0.05, algo: "magic"})
+			return run(context.Background(), runCfg{bench: "adaptec1", scale: 0.05, algo: "magic"})
 		}},
 		{"missing aux", func() error {
-			return run(runCfg{aux: "/does/not/exist.aux", scale: 1, algo: "complx"})
+			return run(context.Background(), runCfg{aux: "/does/not/exist.aux", scale: 1, algo: "complx"})
 		}},
 	}
 	for _, tc := range cases {

@@ -22,6 +22,8 @@
 package complx
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -75,6 +77,12 @@ func Validate(nl *Netlist) error {
 // every parallel decomposition is a pure function of problem size — never
 // of worker count — placements are bitwise identical at any setting; the
 // knob trades wall-clock time only.
+//
+// SetThreads may be called at any time, even while placements are running
+// on other goroutines: the resize is atomic, kernels already in flight
+// finish with the parallelism they started with, and the new cap applies
+// from the next kernel launch on. A mid-run resize never changes placement
+// results (see TestSetThreadsDuringRun in internal/par).
 func SetThreads(n int) { par.SetThreads(n) }
 
 // Threads reports the current worker-pool size.
@@ -306,6 +314,13 @@ type Result struct {
 	History          []IterStats
 	SelfConsistency  SelfConsistency
 
+	// Cancelled reports that the run was cut short by context cancellation
+	// or deadline expiry (see PlaceContext). The result then describes the
+	// best placement found before the cancel — finished legally when
+	// legalization was requested — and the accompanying error carries the
+	// stage and iteration at which the cancel was observed.
+	Cancelled bool
+
 	// Flow stages actually run and their wall-clock durations.
 	Legalized, Detailed   bool
 	GlobalTime, LegalTime time.Duration
@@ -314,27 +329,19 @@ type Result struct {
 	// SimPL engines only): linear-system assembly, preconditioned-CG
 	// solves, and the feasibility projection.
 	AssemblyTime, SolveTime, ProjectionTime time.Duration
-	DetailedRefine        DetailedStats
+	DetailedRefine                          DetailedStats
 	// LegalViolations counts remaining legality violations (0 after a
 	// successful legalization).
 	LegalViolations int
 }
 
-// Place runs the full flow on nl in place and reports final metrics. The
-// netlist is validated up-front (see Validate); malformed inputs return a
-// *PlaceError instead of panicking deep inside a solver.
-func Place(nl *Netlist, opt Options) (*Result, error) {
-	start := time.Now()
-	if err := Validate(nl); err != nil {
-		return nil, err
-	}
-	if opt.TargetDensity <= 0 || opt.TargetDensity > 1 {
-		opt.TargetDensity = 1
-	}
-	res := &Result{}
-
-	gpStart := time.Now()
-	coreOpt := core.Options{
+// coreOptions converts the public facade Options into the global placement
+// engine's core.Options. Every facade knob with a core counterpart is
+// forwarded here and nowhere else — TestCoreOptionsForwarding fails when a
+// new core.Options field appears without either a forwarding line below or
+// an entry in that test's engine-internal allowlist.
+func coreOptions(opt Options) core.Options {
+	return core.Options{
 		Model:            opt.Model,
 		TargetDensity:    opt.TargetDensity,
 		MaxIterations:    opt.MaxIterations,
@@ -346,6 +353,57 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 		CellPenalty:      opt.CellPenalty,
 		OnIteration:      opt.OnIteration,
 	}
+}
+
+// isCancellation reports whether err stems from context cancellation or
+// deadline expiry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Place runs the full flow on nl in place and reports final metrics. The
+// netlist is validated up-front (see Validate); malformed inputs return a
+// *PlaceError instead of panicking deep inside a solver.
+func Place(nl *Netlist, opt Options) (*Result, error) {
+	return PlaceContext(context.Background(), nl, opt)
+}
+
+// PlaceContext is Place with cooperative cancellation. The context is
+// observed deep inside the numerics — per CG iteration, per nonlinear line
+// search, per projection region sweep and per legalization stripe — so the
+// flow reacts within one inner sweep of cancellation or deadline expiry.
+//
+// Cancellation does not discard work: the best placement found so far is
+// kept, and if legalization (and detailed placement) were requested they
+// still run to completion on it, so the returned placement is legal and
+// directly usable. The Result has Cancelled set and is returned together
+// with a *PlaceError that wraps context.Canceled or
+// context.DeadlineExceeded and records the stage and iteration at which
+// the cancel was observed. Non-cancellation failures return a nil Result
+// exactly as Place does.
+func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error) {
+	start := time.Now()
+	if err := Validate(nl); err != nil {
+		return nil, err
+	}
+	if opt.TargetDensity <= 0 || opt.TargetDensity > 1 {
+		opt.TargetDensity = 1
+	}
+	res := &Result{}
+	var cancelErr error
+	// markCancelled records the first observed cancellation and strips
+	// cancellation from the context so the remaining stages still run to
+	// completion on the best-so-far placement.
+	markCancelled := func(err error) {
+		if cancelErr == nil {
+			cancelErr = err
+		}
+		res.Cancelled = true
+		ctx = context.WithoutCancel(ctx)
+	}
+
+	gpStart := time.Now()
+	coreOpt := coreOptions(opt)
 	if opt.ProjectionDP {
 		coreOpt.ProjectionRefine = func(n *Netlist) error {
 			// Best-effort: a projection that cannot be legalized this early
@@ -371,7 +429,10 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 		if opt.Algorithm == AlgSimPL {
 			coarseOpt.Schedule = core.ScheduleSimPL
 		}
-		if _, cerr := core.Place(cl.Coarse, coarseOpt); cerr != nil {
+		// A cancelled coarse pass is not fatal: its best-so-far placement
+		// is expanded and the fine pass below immediately takes the cancel
+		// path on the same context, preserving the expanded positions.
+		if _, cerr := core.PlaceContext(ctx, cl.Coarse, coarseOpt); cerr != nil && !isCancellation(cerr) {
 			return nil, cerr
 		}
 		cl.Expand()
@@ -383,7 +444,7 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 	switch opt.Algorithm {
 	case AlgComPLx:
 		var r *core.Result
-		r, err = core.Place(nl, coreOpt)
+		r, err = core.PlaceContext(ctx, nl, coreOpt)
 		if r != nil {
 			res.GlobalIterations = r.Iterations
 			res.Converged = r.Converged
@@ -397,7 +458,7 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 		}
 	case AlgSimPL:
 		var r *core.Result
-		r, err = baseline.SimPL(nl, coreOpt)
+		r, err = baseline.SimPLContext(ctx, nl, coreOpt)
 		if r != nil {
 			res.GlobalIterations = r.Iterations
 			res.Converged = r.Converged
@@ -411,7 +472,7 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 		}
 	case AlgFastPlaceCS:
 		var r *baseline.FPResult
-		r, err = baseline.FastPlaceCS(nl, baseline.FPOptions{
+		r, err = baseline.FastPlaceCSContext(ctx, nl, baseline.FPOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
 		})
@@ -421,7 +482,7 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 		}
 	case AlgNLP:
 		var r *baseline.NLPResult
-		r, err = baseline.NLP(nl, baseline.NLPOptions{
+		r, err = baseline.NLPContext(ctx, nl, baseline.NLPOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
 		})
@@ -431,7 +492,7 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 		}
 	case AlgRQL:
 		var r *baseline.RQLResult
-		r, err = baseline.RQL(nl, baseline.RQLOptions{
+		r, err = baseline.RQLContext(ctx, nl, baseline.RQLOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
 		})
@@ -443,18 +504,32 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("complx: unknown algorithm %v", opt.Algorithm)
 	}
 	if err != nil {
-		return nil, err
+		if !isCancellation(err) {
+			return nil, err
+		}
+		// Global placement was cancelled but applied its best-so-far
+		// placement; finish the remaining stages uninterrupted.
+		markCancelled(err)
 	}
 	res.GlobalTime = time.Since(gpStart)
 
 	if !opt.SkipLegalize && len(nl.Rows) > 0 {
 		lgStart := time.Now()
-		lg := legalize.Legalize
+		lg := legalize.LegalizeCtx
 		if opt.AbacusLegalizer {
-			lg = legalize.LegalizeAbacus
+			lg = legalize.LegalizeAbacusCtx
 		}
-		if err := lg(nl, legalize.Options{}); err != nil {
-			return nil, perr.Wrap(perr.StageLegalize, fmt.Errorf("complx: legalization: %w", err))
+		if err := lg(ctx, nl, legalize.Options{}); err != nil {
+			if !isCancellation(err) {
+				return nil, perr.Wrap(perr.StageLegalize, fmt.Errorf("complx: legalization: %w", err))
+			}
+			// Cancelled mid-legalization: rerun it uninterrupted (ctx is
+			// cancellation-free after markCancelled) so the returned
+			// placement is still legal.
+			markCancelled(err)
+			if err := lg(ctx, nl, legalize.Options{}); err != nil {
+				return nil, perr.Wrap(perr.StageLegalize, fmt.Errorf("complx: legalization: %w", err))
+			}
 		}
 		res.LegalTime = time.Since(lgStart)
 		res.Legalized = true
@@ -476,6 +551,9 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 	res.WHPWL = netmodel.WeightedHPWL(nl)
 	res.ScaledHPWL, res.OverflowPercent = ScaledHPWL(nl, opt.TargetDensity)
 	res.Total = time.Since(start)
+	if cancelErr != nil {
+		return res, cancelErr
+	}
 	return res, nil
 }
 

@@ -1,10 +1,12 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"complx/internal/density"
+	"complx/internal/engine"
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
@@ -58,59 +60,79 @@ type RQLResult struct {
 	Overflow   float64
 }
 
+// rqlStepper is the RQL dual step: diffusion-based local spreading of
+// overfilled bins, then hold anchors whose strongest forces are relaxed
+// (capped) rather than applied in full.
+type rqlStepper struct {
+	nl         *netlist.Netlist
+	nMov       int
+	target     float64
+	nx, ny     int
+	sweeps     int
+	percentile float64
+	hold       float64
+	holdStep   float64
+}
+
+func (s *rqlStepper) Step(ctx context.Context, iter int, _ *density.Grid) (engine.DualStep, error) {
+	prev := s.nl.Positions()
+	for i := 0; i < s.sweeps; i++ {
+		if err := ctx.Err(); err != nil {
+			return engine.DualStep{}, err
+		}
+		if err := diffuseOverflow(s.nl, s.target, s.nx, s.ny); err != nil {
+			return engine.DualStep{}, err
+		}
+	}
+	anchors := s.nl.Positions()
+	if s.holdStep == 0 {
+		s.holdStep = netmodel.WeightedHPWL(s.nl) / (50 * float64(s.nMov) * math.Max(1, s.nl.RowHeight()))
+	}
+	s.hold += s.holdStep
+	// Force modulation: the per-cell anchor force is λ·|displacement|
+	// after linearization; relax (cap) the strongest ForcePercentile of
+	// displacements to the percentile value.
+	lambdas := relaxedLambdas(prev, anchors, s.hold, s.percentile)
+	return engine.DualStep{Anchors: anchors, Lambdas: lambdas}, nil
+}
+
 // RQL places nl in the style of Viswanathan et al.'s RQL (DAC 2007):
 // iterative B2B quadratic solves, local diffusion-based spreading of
 // overfilled bins, and hold anchors whose strongest forces are relaxed
 // (capped) rather than applied in full — the "ad hoc thresholding" force
 // modulation the ComPLx paper contrasts itself against.
 func RQL(nl *netlist.Netlist, opt RQLOptions) (*RQLResult, error) {
+	return RQLContext(context.Background(), nl, opt)
+}
+
+// RQLContext is RQL with cooperative cancellation. On cancellation the
+// result so far is returned together with the wrapped context error.
+func RQLContext(ctx context.Context, nl *netlist.Netlist, opt RQLOptions) (*RQLResult, error) {
 	opt.fill()
 	mov := nl.Movables()
-	// One reusable solver for the whole run (incremental assembly + CG
-	// workspace reuse).
-	solver := qp.NewSolver(nl, qp.Options{})
-	for i := 0; i < 5; i++ {
-		if _, err := solver.Solve(nil); err != nil {
-			return nil, err
-		}
-	}
 	nx, ny := density.AutoResolution(len(mov), 4, opt.GridMax)
-	res := &RQLResult{}
-	hold := 0.0
-	holdStep := 0.0
-	for k := 1; k <= opt.MaxIterations; k++ {
-		grid, err := density.NewGridForNetlist(nl, nx, ny, opt.TargetDensity)
-		if err != nil {
-			return nil, err
-		}
-		grid.AccumulateMovable(nl)
-		res.Overflow = grid.OverflowRatio()
-		res.Iterations = k
-		if res.Overflow < opt.StopOverflow {
-			res.Converged = true
-			break
-		}
-		prev := nl.Positions()
-		for s := 0; s < opt.DiffusionSweeps; s++ {
-			if err := diffuseOverflow(nl, opt.TargetDensity, nx, ny); err != nil {
-				return nil, err
-			}
-		}
-		anchors := nl.Positions()
-		if holdStep == 0 {
-			holdStep = netmodel.WeightedHPWL(nl) / (50 * float64(len(mov)) * math.Max(1, nl.RowHeight()))
-		}
-		hold += holdStep
-		// Force modulation: the per-cell anchor force is λ·|displacement|
-		// after linearization; relax (cap) the strongest ForcePercentile of
-		// displacements to the percentile value.
-		lambdas := relaxedLambdas(prev, anchors, hold, opt.ForcePercentile)
-		if _, err := solver.Solve(&qp.Anchors{Pos: anchors, Lambda: lambdas}); err != nil {
-			return nil, err
-		}
+	loop := &engine.OverflowLoop{
+		Netlist: nl,
+		// One reusable solver for the whole run (incremental assembly + CG
+		// workspace reuse).
+		Primal: engine.NewQuadraticPrimal(nl, qp.Options{}),
+		Dual: &rqlStepper{
+			nl: nl, nMov: len(mov), target: opt.TargetDensity,
+			nx: nx, ny: ny,
+			sweeps:     opt.DiffusionSweeps,
+			percentile: opt.ForcePercentile,
+		},
+		MaxIterations: opt.MaxIterations,
+		StopOverflow:  opt.StopOverflow,
+		TargetDensity: opt.TargetDensity,
+		NX:            nx, NY: ny,
+		InitialSolves: 5,
 	}
-	res.HPWL = netmodel.HPWL(nl)
-	return res, nil
+	r, err := loop.Run(ctx)
+	if r == nil {
+		return nil, err
+	}
+	return &RQLResult{Iterations: r.Iterations, Converged: r.Converged, HPWL: r.HPWL, Overflow: r.Overflow}, err
 }
 
 // relaxedLambdas assigns the hold weight per cell but scales down the cells

@@ -16,26 +16,26 @@
 // ΔΦ = Φ(x°, y°) − Φ(x, y) (Formula 8) or when the penalty Π nearly
 // vanishes. Per-macro multipliers are scaled by macro area (paper §5) and
 // the penalty term can be weighted by per-cell criticalities (Formula 13).
+//
+// The iteration skeleton itself lives in internal/engine; this package maps
+// placement Options onto the engine's pluggable pieces — quadratic / LSE /
+// p-norm primal solvers, the spreading projector (optionally decorated with
+// a refinement hook), and the ComPLx / SimPL multiplier schedules — and
+// keeps the public Place API stable. PlaceContext adds cooperative
+// cancellation on the same engine.
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
-	"time"
 
-	"complx/internal/congest"
-	"complx/internal/density"
-	"complx/internal/geom"
-	"complx/internal/lse"
+	"complx/internal/engine"
 	"complx/internal/netlist"
-	"complx/internal/netmodel"
 	"complx/internal/perr"
 	"complx/internal/qp"
-	"complx/internal/region"
-	"complx/internal/shred"
 	"complx/internal/sparse"
-	"complx/internal/spread"
+
+	"complx/internal/netmodel"
 )
 
 // Schedule selects the multiplier update rule.
@@ -146,59 +146,15 @@ func (o *Options) fill() {
 	}
 }
 
-// IterStats records one global placement iteration (Figure 1 data).
-type IterStats struct {
-	Iter   int
-	Lambda float64
-	// Phi is the interconnect cost Φ (weighted HPWL) of the lower-bound
-	// placement; PhiUpper of the anchor (C-feasible) placement.
-	Phi, PhiUpper float64
-	// Pi is the L1 distance to the projection, L the Lagrangian Φ + λΠ.
-	Pi, L float64
-	// Overflow is the density overflow ratio of the lower-bound placement.
-	Overflow float64
-	// GridNX is the projection grid resolution used.
-	GridNX int
-}
+// IterStats records one global placement iteration (Figure 1 data). It is
+// the engine's statistics record; see engine.IterStats for the fields.
+type IterStats = engine.IterStats
 
 // SelfConsistency aggregates the Formula 11 check (paper §S2).
-type SelfConsistency struct {
-	// Total checks performed (one per iteration after the first).
-	Total int
-	// Consistent: premise and conclusion both held.
-	Consistent int
-	// Inconsistent: premise held, conclusion failed.
-	Inconsistent int
-	// PremiseFailed: the sufficient condition was not satisfied.
-	PremiseFailed int
-}
-
-// ConsistentFrac returns the fraction of checks that were self-consistent.
-func (s SelfConsistency) ConsistentFrac() float64 {
-	if s.Total == 0 {
-		return 1
-	}
-	return float64(s.Consistent) / float64(s.Total)
-}
+type SelfConsistency = engine.SelfConsistency
 
 // Result summarizes a placement run.
-type Result struct {
-	Iterations  int
-	Converged   bool
-	FinalLambda float64
-	// HPWL is the unweighted HPWL of the final placement; WHPWL the
-	// net-weighted value.
-	HPWL, WHPWL float64
-	// GapFinal is the last relative duality gap; BestUpper the lowest
-	// anchor-placement Φ seen during the run.
-	GapFinal, BestUpper float64
-	History             []IterStats
-	SelfCons            SelfConsistency
-	// Kernel timing breakdown: system assembly, CG solves, and feasibility
-	// projection (grid build + spreading + interpolation). Zero for the
-	// LSE/PNorm primal steps, which do not use the quadratic solver.
-	AssemblyTime, SolveTime, ProjectionTime time.Duration
-}
+type Result = engine.Result
 
 // Place runs ComPLx global placement on nl in place. The final placement is
 // the best C-feasible (anchor) placement found; it is nearly overlap-free
@@ -212,6 +168,17 @@ type Result struct {
 // once with a relaxed linearization floor and CG tolerance before
 // surfacing the error.
 func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
+	return PlaceContext(context.Background(), nl, opt)
+}
+
+// PlaceContext is Place with cooperative cancellation: the context is
+// observed by the CG inner iterations, the nonlinear line searches and the
+// projection's per-region sweeps, so the run stops within one inner sweep
+// of cancellation. On cancellation the best C-feasible placement found so
+// far is still applied to nl (the same selection rule as a completed run),
+// Result.Cancelled is set, and the returned error wraps ctx.Err() in a
+// *perr.Error carrying the stage and iteration.
+func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Result, error) {
 	opt.fill()
 	if err := nl.Validate(); err != nil {
 		return nil, perr.Wrap(perr.StageValidate, err)
@@ -248,378 +215,55 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 	if opt.UseLSE && opt.UsePNorm {
 		return nil, perr.New(perr.StageValidate, "core: UseLSE and UsePNorm are mutually exclusive")
 	}
-	// One reusable quadratic solver for the whole run: its incremental
-	// assembler and CG workspaces persist across iterations. The solver
-	// variable is reassigned by the graceful-degradation retry, so the
-	// metrics of retired solvers are accumulated separately.
-	qsolver := qp.NewSolver(nl, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG})
-	var retired qp.Metrics
-	kernelTimes := func() (assembly, cg time.Duration) {
-		return retired.Assembly + qsolver.Metrics.Assembly, retired.CG + qsolver.Metrics.CG
-	}
-	solveWL := func(anchors []geom.Point, lambdas []float64) error {
-		switch {
-		case opt.UseLSE:
-			o := lse.NewObjective(nl, opt.LSEGamma)
-			o.Anchors = anchors
-			o.Lambda = lambdas
-			lse.Solve(o, lse.MinimizeOptions{MaxIter: 60})
-			return nil
-		case opt.UsePNorm:
-			o := lse.NewPNorm(nl, opt.PNormP)
-			o.Anchors = anchors
-			o.Lambda = lambdas
-			lse.SolveWith(nl, o, lse.MinimizeOptions{MaxIter: 60})
-			return nil
-		}
-		var qa *qp.Anchors
-		if anchors != nil {
-			qa = &qp.Anchors{Pos: anchors, Lambda: lambdas}
-		}
-		_, err := qsolver.Solve(qa)
-		return err
+	// Primal step: the anchored quadratic solver with its incremental
+	// assembler and CG workspaces reused across iterations, or one of the
+	// nonlinear instantiations.
+	var primal engine.PrimalSolver
+	switch {
+	case opt.UseLSE:
+		primal = &engine.LSEPrimal{NL: nl, Gamma: opt.LSEGamma}
+	case opt.UsePNorm:
+		primal = &engine.PNormPrimal{NL: nl, P: opt.PNormP}
+	default:
+		primal = engine.NewQuadraticPrimal(nl, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG})
 	}
 
-	// lastFinite snapshots the most recent all-finite placement so that a
-	// solve that goes non-finite (degenerate system, overflowing weights)
-	// can be rolled back instead of poisoning the rest of the run.
-	lastFinite := nl.SnapshotPositions()
-	relaxedRetry := false
-	solveStep := func(iter int, anchors []geom.Point, lambdas []float64) error {
-		err := solveWL(anchors, lambdas)
-		if err == nil && !finitePositions(nl, mov) {
-			err = fmt.Errorf("core: placement went non-finite after primal solve: %w", sparse.ErrNotFinite)
-		}
-		if err != nil && errors.Is(err, sparse.ErrNotFinite) && !relaxedRetry {
-			// Graceful degradation: restore the last finite snapshot and
-			// retry once with a relaxed linearization floor and a looser CG
-			// tolerance. This trades a little wirelength for survival on
-			// near-degenerate systems; a second failure is surfaced.
-			relaxedRetry = true
-			if rerr := nl.RestorePositions(lastFinite); rerr != nil {
-				return perr.WrapIter(perr.StageSolve, iter, rerr)
-			}
-			cg := opt.CG
-			if cg.Tol <= 0 {
-				cg.Tol = 1e-6
-			}
-			cg.Tol *= 100
-			eps := math.Max(qsolver.Eps(), nl.RowHeight()) * 10
-			retired.Assembly += qsolver.Metrics.Assembly
-			retired.CG += qsolver.Metrics.CG
-			retired.Solves += qsolver.Metrics.Solves
-			qsolver = qp.NewSolver(nl, qp.Options{Model: opt.Model, Eps: eps, CG: cg})
-			err = solveWL(anchors, lambdas)
-			if err == nil && !finitePositions(nl, mov) {
-				err = fmt.Errorf("core: placement still non-finite after relaxed retry: %w", sparse.ErrNotFinite)
-			}
-		}
-		if err != nil {
-			return perr.WrapIter(perr.StageSolve, iter, err)
-		}
-		lastFinite = nl.SnapshotPositions()
-		return nil
+	// Dual step: the spreading projector, optionally decorated with the
+	// refinement hook.
+	sp := engine.NewSpreadProjector(nl, opt.TargetDensity, opt.GridMax)
+	sp.FinestGrid = opt.FinestGrid
+	sp.OptimalLeaf = opt.OptimalLeafSpreading
+	sp.Routability = opt.Routability
+	sp.RoutingCapacity = opt.RoutingCapacity
+	sp.RoutabilityAlpha = opt.RoutabilityAlpha
+	var projector engine.Projector = sp
+	if opt.ProjectionRefine != nil {
+		projector = &engine.RefineProjector{Inner: sp, NL: nl, Refine: opt.ProjectionRefine}
 	}
 
-	// Initial interconnect-only iterations.
-	for i := 0; i < opt.InitialSolves; i++ {
-		if err := solveStep(0, nil, nil); err != nil {
-			return nil, err
-		}
+	var sched engine.Schedule = engine.ComPLxSchedule{}
+	if opt.Schedule == ScheduleSimPL {
+		sched = engine.SimPLSchedule{}
+	}
+	var mon engine.Monitor
+	if opt.OnIteration != nil {
+		mon = engine.MonitorFunc(opt.OnIteration)
 	}
 
-	shredder := shred.New(nl, opt.TargetDensity)
-	finestNX, _ := density.AutoResolution(shredder.NumItems(), 2.5, opt.GridMax)
-
-	res := &Result{}
-	var lambda, h, piFirst, piPrev float64
-	bestUpper := math.Inf(1)
-	// bestFine tracks the lowest-Φ anchor placement among finest-grid
-	// iterations: the projection there measures feasibility at full
-	// accuracy, so that iterate is the best C-feasible result of the run
-	// (the paper's refined convergence criterion reads the result from the
-	// best upper bound).
-	bestFine := math.Inf(1)
-	var bestFineAnchors []geom.Point
-	var prevPos, prevAnchors []geom.Point
-
-	for k := 1; k <= opt.MaxIterations; k++ {
-		tProj := time.Now()
-		nx := gridDim(k, finestNX, opt.FinestGrid)
-		grid, err := density.NewGridForNetlist(nl, nx, nx, opt.TargetDensity)
-		if err != nil {
-			return nil, perr.WrapIter(perr.StageProject, k, err)
-		}
-		proj := spread.NewProjector(grid, spread.Options{OptimalLeaf: opt.OptimalLeafSpreading})
-		items := shredder.Items()
-		if opt.Routability {
-			if err := inflateItems(nl, shredder, items, nx, &opt); err != nil {
-				return nil, perr.WrapIter(perr.StageProject, k, err)
-			}
-		}
-		anchors, err := shredder.Interpolate(proj.Project(items))
-		if err != nil {
-			return nil, perr.WrapIter(perr.StageProject, k, err)
-		}
-		region.SnapAnchors(nl, anchors)
-		res.ProjectionTime += time.Since(tProj)
-		if opt.ProjectionRefine != nil {
-			if err := refineAnchors(nl, anchors, opt.ProjectionRefine); err != nil {
-				return nil, err
-			}
-		}
-
-		curPos := nl.Positions()
-		pi := spread.L1Distance(curPos, anchors)
-		phi := netmodel.WeightedHPWL(nl)
-		phiUpper, err := evalAt(nl, anchors)
-		if err != nil {
-			return nil, perr.WrapIter(perr.StageProject, k, err)
-		}
-
-		// Multiplier schedule.
-		switch {
-		case k == 1:
-			if pi <= 1e-12 {
-				// Already feasible: done before any penalized solve.
-				res.Converged = true
-				res.Iterations = 0
-				res.AssemblyTime, res.SolveTime = kernelTimes()
-				if err := finalize(nl, res, anchors); err != nil {
-					return nil, err
-				}
-				return res, nil
-			}
-			lambda = phi / (100 * pi)
-			// h is the additive scale of Formula 12. Setting it to Φ/Π (=
-			// 100·λ₁) makes the 2× cap govern the early iterations and the
-			// Π-proportional term self-regulate the later ones.
-			h = 100 * lambda
-			piFirst = pi
-		case opt.Schedule == ScheduleSimPL:
-			// SimPL's pseudonet weights ramp linearly with the iteration
-			// number; h/12 reproduces that gentler, non-adaptive growth at
-			// the ~40-60 iteration convergence range SimPL reports.
-			lambda += h / 12
-		default: // Formula 12
-			ratio := 1.0
-			if piPrev > 0 {
-				ratio = pi / piPrev
-			}
-			// The paper suggests capping λ growth at, e.g., 100% per
-			// iteration; 50% converges to slightly better wirelength on the
-			// synthetic suites at the same iteration counts.
-			lambda = math.Min(1.5*lambda, lambda+ratio*h)
-		}
-		piPrev = pi
-
-		// Self-consistency check (Formula 11) against the previous iterate.
-		if prevPos != nil {
-			res.SelfCons.Total++
-			premise := spread.L1Distance(prevPos, prevAnchors) > spread.L1Distance(curPos, prevAnchors)
-			if !premise {
-				res.SelfCons.PremiseFailed++
-			} else if spread.L1Distance(prevPos, anchors) > spread.L1Distance(curPos, anchors) {
-				res.SelfCons.Consistent++
-			} else {
-				res.SelfCons.Inconsistent++
-			}
-		}
-		prevPos, prevAnchors = curPos, anchors
-
-		grid.AccumulateMovable(nl)
-		st := IterStats{
-			Iter: k, Lambda: lambda,
-			Phi: phi, PhiUpper: phiUpper,
-			Pi: pi, L: phi + lambda*pi,
-			Overflow: grid.OverflowRatio(),
-			GridNX:   nx,
-		}
-		res.History = append(res.History, st)
-		if opt.OnIteration != nil {
-			opt.OnIteration(st)
-		}
-
-		if phiUpper < bestUpper {
-			bestUpper = phiUpper
-		}
-		if nx == finestNX {
-			// Rank finest-grid iterates by their ISPD-style scaled cost:
-			// anchor wirelength inflated by the anchors' own residual
-			// overflow (the approximate projection may leave some).
-			ov, err := anchorOverflow(nl, grid, anchors)
-			if err != nil {
-				return nil, perr.WrapIter(perr.StageProject, k, err)
-			}
-			score := phiUpper * (1 + ov)
-			if score < bestFine {
-				bestFine = score
-				bestFineAnchors = anchors
-			}
-		}
-		gap := 0.0
-		if phiUpper > 0 {
-			gap = (phiUpper - phi) / phiUpper
-		}
-		res.GapFinal = gap
-		res.Iterations = k
-		res.FinalLambda = lambda
-		if k >= opt.MinIterations && (gap < opt.GapTol || pi < opt.PiTol*piFirst) {
-			res.Converged = true
-			break
-		}
-
-		// Primal step: anchored interconnect solve.
-		lambdas := make([]float64, len(mov))
-		for i := range lambdas {
-			lambdas[i] = lambda * scale[i]
-		}
-		if err := solveStep(k, anchors, lambdas); err != nil {
-			return nil, err
-		}
+	loop := &engine.Loop{
+		Netlist:       nl,
+		Primal:        primal,
+		Projector:     projector,
+		Schedule:      sched,
+		Monitor:       mon,
+		MaxIterations: opt.MaxIterations,
+		InitialSolves: opt.InitialSolves,
+		MinIterations: opt.MinIterations,
+		GapTol:        opt.GapTol,
+		PiTol:         opt.PiTol,
+		LambdaScale:   scale,
 	}
-
-	// The result is read from the best C-feasible iterate measured at the
-	// finest projection grid (paper §4's refined criterion); earlier
-	// coarse-grid upper bounds under-measure infeasibility and are tracked
-	// only for statistics. Runs that never reach the finest grid fall back
-	// to the last anchors.
-	final := bestFineAnchors
-	if final == nil {
-		final = prevAnchors
-	}
-	if final == nil {
-		final = nl.Positions()
-	}
-	res.BestUpper = bestUpper
-	res.AssemblyTime, res.SolveTime = kernelTimes()
-	if err := finalize(nl, res, final); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// finalize applies the chosen anchor placement and fills the result metrics.
-func finalize(nl *netlist.Netlist, res *Result, anchors []geom.Point) error {
-	if err := nl.SetPositions(anchors); err != nil {
-		return perr.Wrap(perr.StageProject, err)
-	}
-	region.SnapPlacement(nl)
-	res.HPWL = netmodel.HPWL(nl)
-	res.WHPWL = netmodel.WeightedHPWL(nl)
-	return nil
-}
-
-// finitePositions reports whether every movable cell position is finite.
-func finitePositions(nl *netlist.Netlist, mov []int) bool {
-	for _, i := range mov {
-		c := &nl.Cells[i]
-		if math.IsNaN(c.X) || math.IsNaN(c.Y) || math.IsInf(c.X, 0) || math.IsInf(c.Y, 0) {
-			return false
-		}
-	}
-	return true
-}
-
-// inflateItems applies SimPLR-style congestion-driven inflation: item
-// dimensions are scaled by sqrt of the per-cell inflation factor, so item
-// area grows by the factor. The routing capacity self-calibrates on first
-// use so the initial average congestion is ~0.7.
-func inflateItems(nl *netlist.Netlist, sh *shred.Shredder, items []spread.Item, nx int, opt *Options) error {
-	if opt.RoutingCapacity <= 0 {
-		// Calibrate against a unit-capacity map: congestion there equals raw
-		// demand density, so capacity = avg/0.7 yields ~0.7 average
-		// congestion.
-		probe, err := congest.NewMap(nl.Core, nx, nx, 1)
-		if err != nil {
-			return err
-		}
-		probe.AddNetlist(nl)
-		opt.RoutingCapacity = math.Max(probe.Stats().Avg/0.7, 1e-12)
-	}
-	cm, err := congest.NewMap(nl.Core, nx, nx, opt.RoutingCapacity)
-	if err != nil {
-		return err
-	}
-	cm.AddNetlist(nl)
-	alpha := opt.RoutabilityAlpha
-	if alpha <= 0 {
-		alpha = 1
-	}
-	factors := cm.InflationFactors(nl, alpha, 2)
-	for i := range items {
-		f := math.Sqrt(factors[sh.Owner(i)])
-		items[i].W *= f
-		items[i].H *= f
-	}
-	return nil
-}
-
-// anchorOverflow measures the density overflow ratio of an anchor
-// placement on the given grid.
-func anchorOverflow(nl *netlist.Netlist, grid *density.Grid, anchors []geom.Point) (float64, error) {
-	saved := nl.Positions()
-	if err := nl.SetPositions(anchors); err != nil {
-		return 0, err
-	}
-	grid.AccumulateMovable(nl)
-	ov := grid.OverflowRatio()
-	if err := nl.SetPositions(saved); err != nil {
-		return 0, err
-	}
-	return ov, nil
-}
-
-// evalAt returns the weighted HPWL with movable centers temporarily set to
-// the given positions.
-func evalAt(nl *netlist.Netlist, pos []geom.Point) (float64, error) {
-	saved := nl.Positions()
-	if err := nl.SetPositions(pos); err != nil {
-		return 0, err
-	}
-	v := netmodel.WeightedHPWL(nl)
-	if err := nl.SetPositions(saved); err != nil {
-		return 0, err
-	}
-	return v, nil
-}
-
-// refineAnchors runs the user hook on the netlist positioned at the anchors
-// and reads the refined locations back, restoring the working placement.
-func refineAnchors(nl *netlist.Netlist, anchors []geom.Point, hook func(*netlist.Netlist) error) error {
-	saved := nl.Positions()
-	if err := nl.SetPositions(anchors); err != nil {
-		return err
-	}
-	err := hook(nl)
-	if err == nil {
-		copy(anchors, nl.Positions())
-	}
-	if rerr := nl.SetPositions(saved); rerr != nil && err == nil {
-		err = rerr
-	}
-	return err
-}
-
-// gridDim implements the coarse-to-fine grid schedule: the projection grid
-// starts at 1/8 of the finest resolution and doubles every six iterations
-// (SimPL's accuracy ramp); FinestGrid pins it to the finest resolution.
-func gridDim(iter, finest int, finestOnly bool) int {
-	if finestOnly {
-		return finest
-	}
-	shift := 3 - (iter-1)/6
-	if shift < 0 {
-		shift = 0
-	}
-	nx := finest >> uint(shift)
-	if nx < 8 {
-		nx = 8
-	}
-	if nx > finest {
-		nx = finest
-	}
-	return nx
+	return loop.Run(ctx)
 }
 
 func avgStdArea(nl *netlist.Netlist) float64 {

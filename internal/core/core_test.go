@@ -244,24 +244,6 @@ func TestOnIterationCallback(t *testing.T) {
 	}
 }
 
-func TestGridDimSchedule(t *testing.T) {
-	if gridDim(1, 64, false) != 8 {
-		t.Errorf("iter1 = %d", gridDim(1, 64, false))
-	}
-	if gridDim(7, 64, false) != 16 {
-		t.Errorf("iter7 = %d", gridDim(7, 64, false))
-	}
-	if gridDim(25, 64, false) != 64 {
-		t.Errorf("iter25 = %d", gridDim(25, 64, false))
-	}
-	if gridDim(1, 64, true) != 64 {
-		t.Errorf("finest = %d", gridDim(1, 64, true))
-	}
-	if gridDim(1, 32, false) != 8 {
-		t.Errorf("min clamp = %d", gridDim(1, 32, false))
-	}
-}
-
 func TestAlreadyFeasibleReturnsImmediately(t *testing.T) {
 	// A tiny, sparse design whose initial solve is already feasible.
 	b := netlist.NewBuilder("feas")

@@ -1,0 +1,512 @@
+// Package engine provides the pluggable primal-dual placement engine that
+// underlies both the ComPLx placer (internal/core) and the baseline placers
+// (internal/baseline).
+//
+// The package owns the iteration skeleton of the paper's Algorithm 1 —
+// dual step (feasibility projection), primal step (anchored interconnect
+// minimization), multiplier update, convergence test and statistics
+// emission — and delegates every policy decision to a small interface:
+//
+//   - PrimalSolver minimizes the Lagrangian at fixed anchors (quadratic
+//     B2B, log-sum-exp, or p-norm instantiations live in primal.go);
+//   - Projector produces the C-feasible anchor placement P_C (the
+//     spreading-based projector and the FastPlace-DP refinement decorator
+//     live in projector.go);
+//   - Schedule updates the multiplier λ (ComPLx Formula 12 and the SimPL
+//     linear ramp live in schedule.go);
+//   - Monitor observes per-iteration statistics.
+//
+// Loop is the full ComPLx-style loop with duality-gap convergence;
+// OverflowLoop (overflow.go) is the simpler overflow-driven skeleton shared
+// by the quadratic + local-spreading baselines (FastPlace-CS, RQL, NLP).
+//
+// Both loops are fully reentrant — all state lives in the loop value — and
+// cancellable: the context is observed by the CG inner iterations, the
+// nonlinear line searches and the projection's per-region sweeps, so a run
+// stops within one inner sweep of cancellation. On cancellation Loop.Run
+// still finalizes the best C-feasible placement found so far and returns it
+// together with the wrapped context error, so callers always hold a usable
+// placement.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+	"complx/internal/perr"
+	"complx/internal/region"
+	"complx/internal/sparse"
+	"complx/internal/spread"
+)
+
+// PrimalSolver minimizes the simplified Lagrangian
+// L°(x, y, λ) = Φ(x, y) + Σ λ_i ‖(x_i, y_i) − (x°_i, y°_i)‖₁ over the
+// movable cells of its netlist, updating positions in place. anchors and
+// lambdas are indexed in netlist.Movables order; both nil requests the
+// unconstrained interconnect-only solve (λ = 0). Implementations must honor
+// ctx cooperatively (at worst once per inner iteration).
+type PrimalSolver interface {
+	Solve(ctx context.Context, anchors []geom.Point, lambdas []float64) error
+}
+
+// Relaxer is optionally implemented by primal solvers that can retry with
+// relaxed numerics after a non-finite failure (see Loop's graceful
+// degradation). Relax reconfigures the solver for the retry.
+type Relaxer interface {
+	Relax()
+}
+
+// KernelTimer is optionally implemented by primal solvers that track kernel
+// wall-clock time. KernelTimes returns the cumulative system-assembly and
+// linear/nonlinear solve durations since construction.
+type KernelTimer interface {
+	KernelTimes() (assembly, solve time.Duration)
+}
+
+// Projection is the result of one dual step: the C-feasible anchor
+// placement plus lazy measurement closures bound to the projection grid.
+// The closures are lazy because the loop must interleave them with other
+// measurements in a fixed order (overflow is measured at the lower-bound
+// placement after the multiplier update, anchor overflow only on
+// finest-grid iterations) without re-deriving the grid.
+type Projection struct {
+	// Anchors are the projected movable-cell centers, in Movables order.
+	Anchors []geom.Point
+	// GridNX is the projection grid resolution used this iteration.
+	GridNX int
+	// Finest reports whether this iteration ran at the finest grid
+	// resolution (where the upper bound is trusted for result selection).
+	Finest bool
+	// Overflow accumulates the current placement on the projection grid
+	// and returns its density overflow ratio.
+	Overflow func() float64
+	// AnchorOverflow measures the residual overflow of the anchor
+	// placement itself on the projection grid.
+	AnchorOverflow func() (float64, error)
+}
+
+// Projector produces the feasibility projection P_C for one iteration.
+// Implementations read the current placement from the netlist they were
+// constructed over.
+type Projector interface {
+	Project(ctx context.Context, iter int) (*Projection, error)
+}
+
+// Schedule is the multiplier update policy. First computes the initial
+// (λ₁, h) from the first iteration's interconnect cost Φ and penalty Π;
+// Next maps the previous λ to the next using the additive scale h and the
+// current and previous penalties.
+type Schedule interface {
+	First(phi, pi float64) (lambda, h float64)
+	Next(lambda, h, pi, piPrev float64) float64
+}
+
+// Monitor observes per-iteration statistics.
+type Monitor interface {
+	OnIteration(IterStats)
+}
+
+// MonitorFunc adapts a function to the Monitor interface.
+type MonitorFunc func(IterStats)
+
+// OnIteration calls f.
+func (f MonitorFunc) OnIteration(st IterStats) { f(st) }
+
+// IterStats records one global placement iteration (Figure 1 data).
+type IterStats struct {
+	Iter   int
+	Lambda float64
+	// Phi is the interconnect cost Φ (weighted HPWL) of the lower-bound
+	// placement; PhiUpper of the anchor (C-feasible) placement.
+	Phi, PhiUpper float64
+	// Pi is the L1 distance to the projection, L the Lagrangian Φ + λΠ.
+	Pi, L float64
+	// Overflow is the density overflow ratio of the lower-bound placement.
+	Overflow float64
+	// GridNX is the projection grid resolution used.
+	GridNX int
+
+	// ProjectTime is the wall-clock of this iteration's feasibility
+	// projection (grid build, spreading, interpolation, refinement).
+	ProjectTime time.Duration
+	// AssemblyTime and SolveTime are the kernel durations spent since the
+	// previous iteration's stats emission (so iteration k reports the
+	// primal solve that ended iteration k−1; iteration 1 reports the
+	// initial interconnect-only solves). Zero when the primal solver does
+	// not implement KernelTimer.
+	AssemblyTime, SolveTime time.Duration
+}
+
+// SelfConsistency aggregates the Formula 11 check (paper §S2).
+type SelfConsistency struct {
+	// Total checks performed (one per iteration after the first).
+	Total int
+	// Consistent: premise and conclusion both held.
+	Consistent int
+	// Inconsistent: premise held, conclusion failed.
+	Inconsistent int
+	// PremiseFailed: the sufficient condition was not satisfied.
+	PremiseFailed int
+}
+
+// ConsistentFrac returns the fraction of checks that were self-consistent.
+func (s SelfConsistency) ConsistentFrac() float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	return float64(s.Consistent) / float64(s.Total)
+}
+
+// Result summarizes a placement run.
+type Result struct {
+	Iterations  int
+	Converged   bool
+	FinalLambda float64
+	// HPWL is the unweighted HPWL of the final placement; WHPWL the
+	// net-weighted value.
+	HPWL, WHPWL float64
+	// GapFinal is the last relative duality gap; BestUpper the lowest
+	// anchor-placement Φ seen during the run.
+	GapFinal, BestUpper float64
+	History             []IterStats
+	SelfCons            SelfConsistency
+	// Kernel timing breakdown: system assembly, CG solves, and feasibility
+	// projection (grid build + spreading + interpolation). Zero for the
+	// LSE/PNorm primal steps, which do not use the quadratic solver.
+	AssemblyTime, SolveTime, ProjectionTime time.Duration
+	// Cancelled reports that the run was stopped by context cancellation;
+	// the placement holds the best C-feasible iterate reached before the
+	// cancellation (the same selection rule as a completed run).
+	Cancelled bool
+}
+
+// Loop is the pluggable ComPLx-style primal-dual loop. Every field with a
+// zero default is filled by Run; Netlist, Primal, Projector and Schedule
+// are required. A Loop value holds all run state, so distinct Loop values
+// may run concurrently on distinct netlists; a single Loop must not be
+// shared between goroutines.
+type Loop struct {
+	Netlist   *netlist.Netlist
+	Primal    PrimalSolver
+	Projector Projector
+	Schedule  Schedule
+	// Monitor observes per-iteration statistics; nil disables.
+	Monitor Monitor
+
+	// MaxIterations bounds global placement iterations (default 80).
+	MaxIterations int
+	// InitialSolves is the number of unconstrained interconnect solves
+	// before the first projection (default 5).
+	InitialSolves int
+	// MinIterations before convergence may be declared (default 8).
+	MinIterations int
+	// GapTol is the relative duality-gap convergence threshold (default
+	// 0.08); PiTol stops when Π falls below PiTol·Π₁ (default 0.02).
+	GapTol, PiTol float64
+	// LambdaScale is the per-movable multiplier scale (macro area ratio ×
+	// criticality, paper §5); nil means uniform 1.
+	LambdaScale []float64
+
+	// run state
+	mov        []int
+	lastFinite []geom.Point
+	relaxed    bool
+}
+
+func (l *Loop) fill() {
+	if l.MaxIterations <= 0 {
+		l.MaxIterations = 80
+	}
+	if l.InitialSolves <= 0 {
+		l.InitialSolves = 5
+	}
+	if l.MinIterations <= 0 {
+		l.MinIterations = 8
+	}
+	if l.GapTol <= 0 {
+		l.GapTol = 0.08
+	}
+	if l.PiTol <= 0 {
+		l.PiTol = 0.02
+	}
+}
+
+// kernelTimes reads the primal solver's cumulative kernel durations, when
+// it exposes them.
+func (l *Loop) kernelTimes() (assembly, solve time.Duration) {
+	if kt, ok := l.Primal.(KernelTimer); ok {
+		return kt.KernelTimes()
+	}
+	return 0, 0
+}
+
+// solveStep runs one primal solve with graceful degradation: when the solve
+// reports (or produces) non-finite values, the last finite placement
+// snapshot is restored and the solve retried once with relaxed numerics
+// (PrimalSolver.Relax, when implemented) before the error is surfaced.
+func (l *Loop) solveStep(ctx context.Context, iter int, anchors []geom.Point, lambdas []float64) error {
+	nl := l.Netlist
+	err := l.Primal.Solve(ctx, anchors, lambdas)
+	if err == nil && !finitePositions(nl, l.mov) {
+		err = fmt.Errorf("engine: placement went non-finite after primal solve: %w", sparse.ErrNotFinite)
+	}
+	if err != nil && errors.Is(err, sparse.ErrNotFinite) && !l.relaxed {
+		// Graceful degradation: restore the last finite snapshot and retry
+		// once with relaxed numerics. This trades a little wirelength for
+		// survival on near-degenerate systems; a second failure surfaces.
+		l.relaxed = true
+		if rerr := nl.RestorePositions(l.lastFinite); rerr != nil {
+			return perr.WrapIter(perr.StageSolve, iter, rerr)
+		}
+		if r, ok := l.Primal.(Relaxer); ok {
+			r.Relax()
+		}
+		err = l.Primal.Solve(ctx, anchors, lambdas)
+		if err == nil && !finitePositions(nl, l.mov) {
+			err = fmt.Errorf("engine: placement still non-finite after relaxed retry: %w", sparse.ErrNotFinite)
+		}
+	}
+	if err != nil {
+		return perr.WrapIter(perr.StageSolve, iter, err)
+	}
+	l.lastFinite = nl.SnapshotPositions()
+	return nil
+}
+
+// Run executes the primal-dual loop until convergence, iteration
+// exhaustion, error, or cancellation, and leaves the netlist at the best
+// C-feasible placement. On ordinary errors it returns (nil, err); on
+// cancellation it finalizes the best placement reached so far and returns
+// it together with the wrapped context error (Result.Cancelled is set), so
+// the caller can still use — and legalize — the partial result.
+func (l *Loop) Run(ctx context.Context) (*Result, error) {
+	l.fill()
+	nl := l.Netlist
+	l.mov = nl.Movables()
+	l.relaxed = false
+	if l.LambdaScale != nil && len(l.LambdaScale) != len(l.mov) {
+		return nil, perr.New(perr.StageValidate, "engine: LambdaScale has %d entries for %d movables",
+			len(l.LambdaScale), len(l.mov))
+	}
+
+	res := &Result{}
+	var lambda, h, piFirst, piPrev float64
+	bestUpper := math.Inf(1)
+	// bestFine tracks the lowest-Φ anchor placement among finest-grid
+	// iterations: the projection there measures feasibility at full
+	// accuracy, so that iterate is the best C-feasible result of the run
+	// (the paper's refined convergence criterion reads the result from the
+	// best upper bound).
+	bestFine := math.Inf(1)
+	var bestFineAnchors []geom.Point
+	var prevPos, prevAnchors []geom.Point
+
+	// finish applies the run's result-selection rule — best finest-grid
+	// anchors, else the last anchors, else the current positions — and
+	// fills the final metrics. Shared by the normal exit and the
+	// cancellation exit.
+	finish := func() error {
+		final := bestFineAnchors
+		if final == nil {
+			final = prevAnchors
+		}
+		if final == nil {
+			final = nl.Positions()
+		}
+		res.BestUpper = bestUpper
+		res.AssemblyTime, res.SolveTime = l.kernelTimes()
+		return finalize(nl, res, final)
+	}
+	// cancelExit finalizes the best-so-far placement and reports the
+	// cancellation cause, wrapped with the stage and iteration.
+	cancelExit := func(iter int, cause error) (*Result, error) {
+		res.Cancelled = true
+		if err := finish(); err != nil {
+			return nil, err
+		}
+		return res, perr.WrapIter(perr.StageCancel, iter, cause)
+	}
+
+	l.lastFinite = nl.SnapshotPositions()
+	// Initial interconnect-only iterations.
+	for i := 0; i < l.InitialSolves; i++ {
+		if err := l.solveStep(ctx, 0, nil, nil); err != nil {
+			if ctx.Err() != nil {
+				return cancelExit(0, err)
+			}
+			return nil, err
+		}
+	}
+
+	var lastAsm, lastSolve time.Duration
+
+	for k := 1; k <= l.MaxIterations; k++ {
+		tProj := time.Now()
+		pr, err := l.Projector.Project(ctx, k)
+		if err != nil {
+			if ctx.Err() != nil {
+				return cancelExit(k, err)
+			}
+			return nil, perr.WrapIter(perr.StageProject, k, err)
+		}
+		projTime := time.Since(tProj)
+		res.ProjectionTime += projTime
+		anchors := pr.Anchors
+
+		curPos := nl.Positions()
+		pi := spread.L1Distance(curPos, anchors)
+		phi := netmodel.WeightedHPWL(nl)
+		phiUpper, err := evalAt(nl, anchors)
+		if err != nil {
+			return nil, perr.WrapIter(perr.StageProject, k, err)
+		}
+
+		// Multiplier schedule.
+		if k == 1 {
+			if pi <= 1e-12 {
+				// Already feasible: done before any penalized solve.
+				res.Converged = true
+				res.Iterations = 0
+				res.AssemblyTime, res.SolveTime = l.kernelTimes()
+				if err := finalize(nl, res, anchors); err != nil {
+					return nil, err
+				}
+				return res, nil
+			}
+			lambda, h = l.Schedule.First(phi, pi)
+			piFirst = pi
+		} else {
+			lambda = l.Schedule.Next(lambda, h, pi, piPrev)
+		}
+		piPrev = pi
+
+		// Self-consistency check (Formula 11) against the previous iterate.
+		if prevPos != nil {
+			res.SelfCons.Total++
+			premise := spread.L1Distance(prevPos, prevAnchors) > spread.L1Distance(curPos, prevAnchors)
+			if !premise {
+				res.SelfCons.PremiseFailed++
+			} else if spread.L1Distance(prevPos, anchors) > spread.L1Distance(curPos, anchors) {
+				res.SelfCons.Consistent++
+			} else {
+				res.SelfCons.Inconsistent++
+			}
+		}
+		prevPos, prevAnchors = curPos, anchors
+
+		asm, slv := l.kernelTimes()
+		st := IterStats{
+			Iter: k, Lambda: lambda,
+			Phi: phi, PhiUpper: phiUpper,
+			Pi: pi, L: phi + lambda*pi,
+			Overflow: pr.Overflow(),
+			GridNX:   pr.GridNX,
+
+			ProjectTime:  projTime,
+			AssemblyTime: asm - lastAsm,
+			SolveTime:    slv - lastSolve,
+		}
+		lastAsm, lastSolve = asm, slv
+		res.History = append(res.History, st)
+		if l.Monitor != nil {
+			l.Monitor.OnIteration(st)
+		}
+
+		if phiUpper < bestUpper {
+			bestUpper = phiUpper
+		}
+		if pr.Finest {
+			// Rank finest-grid iterates by their ISPD-style scaled cost:
+			// anchor wirelength inflated by the anchors' own residual
+			// overflow (the approximate projection may leave some).
+			ov, err := pr.AnchorOverflow()
+			if err != nil {
+				return nil, perr.WrapIter(perr.StageProject, k, err)
+			}
+			score := phiUpper * (1 + ov)
+			if score < bestFine {
+				bestFine = score
+				bestFineAnchors = anchors
+			}
+		}
+		gap := 0.0
+		if phiUpper > 0 {
+			gap = (phiUpper - phi) / phiUpper
+		}
+		res.GapFinal = gap
+		res.Iterations = k
+		res.FinalLambda = lambda
+		if k >= l.MinIterations && (gap < l.GapTol || pi < l.PiTol*piFirst) {
+			res.Converged = true
+			break
+		}
+
+		// Primal step: anchored interconnect solve.
+		lambdas := make([]float64, len(l.mov))
+		for i := range lambdas {
+			s := 1.0
+			if l.LambdaScale != nil {
+				s = l.LambdaScale[i]
+			}
+			lambdas[i] = lambda * s
+		}
+		if err := l.solveStep(ctx, k, anchors, lambdas); err != nil {
+			if ctx.Err() != nil {
+				return cancelExit(k, err)
+			}
+			return nil, err
+		}
+	}
+
+	// The result is read from the best C-feasible iterate measured at the
+	// finest projection grid (paper §4's refined criterion); earlier
+	// coarse-grid upper bounds under-measure infeasibility and are tracked
+	// only for statistics. Runs that never reach the finest grid fall back
+	// to the last anchors.
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// finalize applies the chosen anchor placement and fills the result metrics.
+func finalize(nl *netlist.Netlist, res *Result, anchors []geom.Point) error {
+	if err := nl.SetPositions(anchors); err != nil {
+		return perr.Wrap(perr.StageProject, err)
+	}
+	region.SnapPlacement(nl)
+	res.HPWL = netmodel.HPWL(nl)
+	res.WHPWL = netmodel.WeightedHPWL(nl)
+	return nil
+}
+
+// finitePositions reports whether every movable cell position is finite.
+func finitePositions(nl *netlist.Netlist, mov []int) bool {
+	for _, i := range mov {
+		c := &nl.Cells[i]
+		if math.IsNaN(c.X) || math.IsNaN(c.Y) || math.IsInf(c.X, 0) || math.IsInf(c.Y, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalAt returns the weighted HPWL with movable centers temporarily set to
+// the given positions.
+func evalAt(nl *netlist.Netlist, pos []geom.Point) (float64, error) {
+	saved := nl.Positions()
+	if err := nl.SetPositions(pos); err != nil {
+		return 0, err
+	}
+	v := netmodel.WeightedHPWL(nl)
+	if err := nl.SetPositions(saved); err != nil {
+		return 0, err
+	}
+	return v, nil
+}

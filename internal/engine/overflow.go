@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"context"
+
+	"complx/internal/density"
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+	"complx/internal/perr"
+)
+
+// DualStep is one dual step of the overflow-driven loop: the anchor
+// placement and per-movable multipliers for the next primal solve, or Done
+// when the dual step itself declares convergence (e.g. the NLP baseline's
+// vanishing projection distance).
+type DualStep struct {
+	Anchors []geom.Point
+	Lambdas []float64
+	Done    bool
+}
+
+// DualStepper produces the dual step for an overflow-driven iteration. The
+// grid is the iteration's measurement grid, already accumulated at the
+// current placement, so steppers that spread on the same resolution (the
+// FastPlace-CS cell shifter) can reuse it. Steppers hold per-run state
+// (hold weights, penalty multipliers) and must not be shared between runs.
+type DualStepper interface {
+	Step(ctx context.Context, iter int, grid *density.Grid) (DualStep, error)
+}
+
+// OverflowResult reports an overflow-driven run.
+type OverflowResult struct {
+	Iterations int
+	Converged  bool
+	HPWL       float64
+	Overflow   float64
+	// Cancelled reports that the run was stopped by context cancellation;
+	// the placement holds the last completed iterate.
+	Cancelled bool
+}
+
+// OverflowLoop is the iteration skeleton shared by the quadratic +
+// local-spreading placer family (FastPlace-CS, RQL) and the nonlinear
+// penalty method (NLP): per iteration, measure the density overflow on a
+// fresh grid, stop when it falls below the threshold, otherwise take a
+// dual step (spreading producing anchors and multipliers) and an anchored
+// primal solve. All run state lives in the loop value and its stepper, so
+// distinct loops may run concurrently on distinct netlists.
+type OverflowLoop struct {
+	Netlist *netlist.Netlist
+	Primal  PrimalSolver
+	Dual    DualStepper
+
+	// MaxIterations bounds the measure/spread/solve loop (required > 0).
+	MaxIterations int
+	// StopOverflow ends the loop when the overflow ratio drops below it.
+	StopOverflow float64
+	// TargetDensity is the utilization limit γ of the measurement grid.
+	TargetDensity float64
+	// NX, NY are the measurement grid dimensions.
+	NX, NY int
+	// InitialSolves is the number of unconstrained primal solves before
+	// the loop (0 = none).
+	InitialSolves int
+}
+
+// Run executes the overflow-driven loop. On ordinary errors it returns
+// (nil, err); on cancellation it returns the result so far — with HPWL
+// measured and Cancelled set — together with the wrapped context error.
+func (l *OverflowLoop) Run(ctx context.Context) (*OverflowResult, error) {
+	nl := l.Netlist
+	res := &OverflowResult{}
+	cancelExit := func(iter int, cause error) (*OverflowResult, error) {
+		res.Cancelled = true
+		res.HPWL = netmodel.HPWL(nl)
+		return res, perr.WrapIter(perr.StageCancel, iter, cause)
+	}
+	for i := 0; i < l.InitialSolves; i++ {
+		if err := l.Primal.Solve(ctx, nil, nil); err != nil {
+			if ctx.Err() != nil {
+				return cancelExit(0, err)
+			}
+			return nil, perr.Wrap(perr.StageSolve, err)
+		}
+	}
+	for k := 1; k <= l.MaxIterations; k++ {
+		grid, err := density.NewGridForNetlist(nl, l.NX, l.NY, l.TargetDensity)
+		if err != nil {
+			return nil, perr.WrapIter(perr.StageProject, k, err)
+		}
+		grid.AccumulateMovable(nl)
+		res.Overflow = grid.OverflowRatio()
+		res.Iterations = k
+		if res.Overflow < l.StopOverflow {
+			res.Converged = true
+			break
+		}
+		step, err := l.Dual.Step(ctx, k, grid)
+		if err != nil {
+			if ctx.Err() != nil {
+				return cancelExit(k, err)
+			}
+			return nil, perr.WrapIter(perr.StageProject, k, err)
+		}
+		if step.Done {
+			res.Converged = true
+			break
+		}
+		if err := l.Primal.Solve(ctx, step.Anchors, step.Lambdas); err != nil {
+			if ctx.Err() != nil {
+				return cancelExit(k, err)
+			}
+			return nil, perr.WrapIter(perr.StageSolve, k, err)
+		}
+	}
+	res.HPWL = netmodel.HPWL(nl)
+	return res, nil
+}

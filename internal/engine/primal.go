@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"complx/internal/geom"
+	"complx/internal/lse"
+	"complx/internal/netlist"
+	"complx/internal/qp"
+)
+
+// QuadraticPrimal is the anchored quadratic primal solver (paper §5): one
+// B2B (or clique/star) linearized system per dimension, solved by
+// Jacobi-PCG with the L1 anchor penalty stamped as pseudonets. It owns a
+// reusable qp.Solver — incremental assembly and CG workspaces persist
+// across iterations — and implements Relaxer by rebuilding the solver with
+// a relaxed linearization floor and CG tolerance (the engine's graceful
+// degradation after a non-finite solve), and KernelTimer by accumulating
+// the solver's metrics including those of retired (pre-relaxation) solvers.
+type QuadraticPrimal struct {
+	nl      *netlist.Netlist
+	opt     qp.Options
+	solver  *qp.Solver
+	retired qp.Metrics
+}
+
+// NewQuadraticPrimal builds the quadratic primal solver for nl. The
+// netlist's structure must not change afterwards; positions may.
+func NewQuadraticPrimal(nl *netlist.Netlist, opt qp.Options) *QuadraticPrimal {
+	return &QuadraticPrimal{nl: nl, opt: opt, solver: qp.NewSolver(nl, opt)}
+}
+
+// Solve runs one anchored quadratic step. Both anchors and lambdas nil
+// requests the unconstrained interconnect solve.
+func (q *QuadraticPrimal) Solve(ctx context.Context, anchors []geom.Point, lambdas []float64) error {
+	var qa *qp.Anchors
+	if anchors != nil {
+		qa = &qp.Anchors{Pos: anchors, Lambda: lambdas}
+	}
+	_, err := q.solver.SolveCtx(ctx, qa)
+	return err
+}
+
+// Relax rebuilds the solver with a 10× relaxed linearization floor (at
+// least 10 row heights) and a 100× looser CG tolerance. The retiring
+// solver's kernel metrics are preserved in the KernelTimes totals.
+func (q *QuadraticPrimal) Relax() {
+	cg := q.opt.CG
+	if cg.Tol <= 0 {
+		cg.Tol = 1e-6
+	}
+	cg.Tol *= 100
+	eps := math.Max(q.solver.Eps(), q.nl.RowHeight()) * 10
+	q.retired.Assembly += q.solver.Metrics.Assembly
+	q.retired.CG += q.solver.Metrics.CG
+	q.retired.Solves += q.solver.Metrics.Solves
+	q.solver = qp.NewSolver(q.nl, qp.Options{Model: q.opt.Model, Eps: eps, CG: cg})
+}
+
+// KernelTimes returns the cumulative assembly and CG wall-clock across all
+// solves, including retired pre-relaxation solvers.
+func (q *QuadraticPrimal) KernelTimes() (assembly, solve time.Duration) {
+	return q.retired.Assembly + q.solver.Metrics.Assembly, q.retired.CG + q.solver.Metrics.CG
+}
+
+// LSEPrimal minimizes the log-sum-exp instantiation of the Lagrangian
+// (paper §S1) by nonlinear Conjugate Gradient. By default a fresh objective
+// is built per solve (matching the historical core behavior); Reuse keeps
+// one objective alive across solves, as the NLP baseline's persistent
+// penalty method requires.
+type LSEPrimal struct {
+	NL *netlist.Netlist
+	// Gamma is the LSE smoothing parameter (0 → 1% of core width).
+	Gamma float64
+	// MaxIter bounds each nonlinear CG solve (default 60).
+	MaxIter int
+	// InitMaxIter, when positive, bounds unconstrained solves (anchors ==
+	// nil) instead of MaxIter — the NLP baseline's longer initial solve.
+	InitMaxIter int
+	// Reuse keeps a single objective across solves.
+	Reuse bool
+
+	obj *lse.Objective
+}
+
+// Solve minimizes the LSE Lagrangian at the given anchors, writing the
+// optimized centers back to the netlist.
+func (p *LSEPrimal) Solve(ctx context.Context, anchors []geom.Point, lambdas []float64) error {
+	o := p.obj
+	if o == nil {
+		o = lse.NewObjective(p.NL, p.Gamma)
+		if p.Reuse {
+			p.obj = o
+		}
+	}
+	o.Anchors = anchors
+	o.Lambda = lambdas
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 60
+	}
+	if anchors == nil && p.InitMaxIter > 0 {
+		maxIter = p.InitMaxIter
+	}
+	_, err := lse.SolveCtx(ctx, o, lse.MinimizeOptions{MaxIter: maxIter})
+	return err
+}
+
+// PNormPrimal minimizes the p,β-regularized instantiation of the
+// Lagrangian (paper §S1). A fresh objective is built per solve, matching
+// the historical core behavior.
+type PNormPrimal struct {
+	NL *netlist.Netlist
+	// P is the norm exponent (0 → 8).
+	P float64
+	// MaxIter bounds each nonlinear CG solve (default 60).
+	MaxIter int
+}
+
+// Solve minimizes the p-norm Lagrangian at the given anchors, writing the
+// optimized centers back to the netlist.
+func (p *PNormPrimal) Solve(ctx context.Context, anchors []geom.Point, lambdas []float64) error {
+	o := lse.NewPNorm(p.NL, p.P)
+	o.Anchors = anchors
+	o.Lambda = lambdas
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 60
+	}
+	_, err := lse.SolveWithCtx(ctx, p.NL, o, lse.MinimizeOptions{MaxIter: maxIter})
+	return err
+}

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"context"
+	"math"
+
+	"complx/internal/congest"
+	"complx/internal/density"
+	"complx/internal/geom"
+	"complx/internal/netlist"
+	"complx/internal/region"
+	"complx/internal/shred"
+	"complx/internal/spread"
+)
+
+// SpreadProjector is the paper's feasibility projection P_C (Formula 9): a
+// SimPL-style look-ahead legalization over a density grid, with macro
+// shredding, optional SimPLR-style congestion-driven inflation, and region
+// snapping. The grid follows a coarse-to-fine schedule (1/8 of the finest
+// resolution, doubling every six iterations) unless pinned to the finest
+// grid. A SpreadProjector holds per-run state (the shredder and the
+// routing-capacity calibration) and must not be shared between concurrent
+// runs; build one per run with NewSpreadProjector.
+type SpreadProjector struct {
+	// TargetDensity is the utilization limit γ in (0, 1].
+	TargetDensity float64
+	// FinestGrid disables grid coarsening (Table 1 ablation).
+	FinestGrid bool
+	// OptimalLeaf selects the exact 1-D PAV spreading in projection leaves.
+	OptimalLeaf bool
+	// Routability enables congestion-driven item inflation before each
+	// projection; RoutingCapacity is the routing supply per unit area (0
+	// self-calibrates on first use and persists); RoutabilityAlpha scales
+	// the inflation (0 → 1).
+	Routability      bool
+	RoutingCapacity  float64
+	RoutabilityAlpha float64
+
+	nl       *netlist.Netlist
+	shredder *shred.Shredder
+	finestNX int
+}
+
+// NewSpreadProjector builds the projector for nl: movable macros are
+// shredded into row-height pieces and the finest grid resolution is derived
+// from the item count, capped at gridMax (0 → 192).
+func NewSpreadProjector(nl *netlist.Netlist, targetDensity float64, gridMax int) *SpreadProjector {
+	if targetDensity <= 0 || targetDensity > 1 {
+		targetDensity = 1
+	}
+	if gridMax <= 0 {
+		gridMax = 192
+	}
+	shredder := shred.New(nl, targetDensity)
+	finestNX, _ := density.AutoResolution(shredder.NumItems(), 2.5, gridMax)
+	return &SpreadProjector{
+		TargetDensity: targetDensity,
+		nl:            nl,
+		shredder:      shredder,
+		finestNX:      finestNX,
+	}
+}
+
+// FinestNX returns the finest grid resolution of the schedule.
+func (p *SpreadProjector) FinestNX() int { return p.finestNX }
+
+// Project runs one feasibility projection at the iteration's grid
+// resolution and returns the anchors plus grid-bound overflow closures.
+func (p *SpreadProjector) Project(ctx context.Context, iter int) (*Projection, error) {
+	nl := p.nl
+	nx := gridDim(iter, p.finestNX, p.FinestGrid)
+	grid, err := density.NewGridForNetlist(nl, nx, nx, p.TargetDensity)
+	if err != nil {
+		return nil, err
+	}
+	proj := spread.NewProjector(grid, spread.Options{OptimalLeaf: p.OptimalLeaf})
+	items := p.shredder.Items()
+	if p.Routability {
+		if err := p.inflateItems(items, nx); err != nil {
+			return nil, err
+		}
+	}
+	pts, err := proj.ProjectCtx(ctx, items)
+	if err != nil {
+		return nil, err
+	}
+	anchors, err := p.shredder.Interpolate(pts)
+	if err != nil {
+		return nil, err
+	}
+	region.SnapAnchors(nl, anchors)
+	return &Projection{
+		Anchors: anchors,
+		GridNX:  nx,
+		Finest:  nx == p.finestNX,
+		Overflow: func() float64 {
+			grid.AccumulateMovable(nl)
+			return grid.OverflowRatio()
+		},
+		AnchorOverflow: func() (float64, error) {
+			return anchorOverflow(nl, grid, anchors)
+		},
+	}, nil
+}
+
+// inflateItems applies SimPLR-style congestion-driven inflation: item
+// dimensions are scaled by sqrt of the per-cell inflation factor, so item
+// area grows by the factor. The routing capacity self-calibrates on first
+// use so the initial average congestion is ~0.7, and the calibrated value
+// persists in p for the rest of the run.
+func (p *SpreadProjector) inflateItems(items []spread.Item, nx int) error {
+	nl := p.nl
+	if p.RoutingCapacity <= 0 {
+		// Calibrate against a unit-capacity map: congestion there equals raw
+		// demand density, so capacity = avg/0.7 yields ~0.7 average
+		// congestion.
+		probe, err := congest.NewMap(nl.Core, nx, nx, 1)
+		if err != nil {
+			return err
+		}
+		probe.AddNetlist(nl)
+		p.RoutingCapacity = math.Max(probe.Stats().Avg/0.7, 1e-12)
+	}
+	cm, err := congest.NewMap(nl.Core, nx, nx, p.RoutingCapacity)
+	if err != nil {
+		return err
+	}
+	cm.AddNetlist(nl)
+	alpha := p.RoutabilityAlpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	factors := cm.InflationFactors(nl, alpha, 2)
+	for i := range items {
+		f := math.Sqrt(factors[p.shredder.Owner(i)])
+		items[i].W *= f
+		items[i].H *= f
+	}
+	return nil
+}
+
+// RefineProjector decorates a Projector with a post-projection refinement
+// hook (the "P_C += FastPlace-DP" ablation of Table 1): after the inner
+// projection, the netlist is temporarily positioned at the anchors, the
+// hook may improve them in place, and the refined anchors replace the
+// originals. The working placement is restored afterwards.
+type RefineProjector struct {
+	Inner Projector
+	NL    *netlist.Netlist
+	// Refine is called with the netlist positioned at the anchors.
+	Refine func(nl *netlist.Netlist) error
+}
+
+// Project runs the inner projection, then the refinement hook.
+func (r *RefineProjector) Project(ctx context.Context, iter int) (*Projection, error) {
+	pr, err := r.Inner.Project(ctx, iter)
+	if err != nil {
+		return pr, err
+	}
+	if err := refineAnchors(r.NL, pr.Anchors, r.Refine); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// refineAnchors runs the hook on the netlist positioned at the anchors and
+// reads the refined locations back, restoring the working placement.
+func refineAnchors(nl *netlist.Netlist, anchors []geom.Point, hook func(*netlist.Netlist) error) error {
+	saved := nl.Positions()
+	if err := nl.SetPositions(anchors); err != nil {
+		return err
+	}
+	err := hook(nl)
+	if err == nil {
+		copy(anchors, nl.Positions())
+	}
+	if rerr := nl.SetPositions(saved); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// anchorOverflow measures the density overflow ratio of an anchor
+// placement on the given grid.
+func anchorOverflow(nl *netlist.Netlist, grid *density.Grid, anchors []geom.Point) (float64, error) {
+	saved := nl.Positions()
+	if err := nl.SetPositions(anchors); err != nil {
+		return 0, err
+	}
+	grid.AccumulateMovable(nl)
+	ov := grid.OverflowRatio()
+	if err := nl.SetPositions(saved); err != nil {
+		return 0, err
+	}
+	return ov, nil
+}
+
+// gridDim implements the coarse-to-fine grid schedule: the projection grid
+// starts at 1/8 of the finest resolution and doubles every six iterations
+// (SimPL's accuracy ramp); FinestGrid pins it to the finest resolution.
+func gridDim(iter, finest int, finestOnly bool) int {
+	if finestOnly {
+		return finest
+	}
+	shift := 3 - (iter-1)/6
+	if shift < 0 {
+		shift = 0
+	}
+	nx := finest >> uint(shift)
+	if nx < 8 {
+		nx = 8
+	}
+	if nx > finest {
+		nx = finest
+	}
+	return nx
+}

@@ -1,6 +1,7 @@
 package legalize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -19,18 +20,25 @@ import (
 // Macros are packed first exactly as in Legalize; fixed cells split rows
 // into independent segments.
 func LegalizeAbacus(nl *netlist.Netlist, opt Options) error {
+	return LegalizeAbacusCtx(context.Background(), nl, opt)
+}
+
+// LegalizeAbacusCtx is LegalizeAbacus with cooperative cancellation, on the
+// same contract as LegalizeCtx: polled per macro and every ctxCheckStride
+// cells, partial results keep their positions, the error wraps ctx.Err().
+func LegalizeAbacusCtx(ctx context.Context, nl *netlist.Netlist, opt Options) error {
 	if len(nl.Rows) == 0 {
 		return fmt.Errorf("legalize: netlist %q has no rows", nl.Name)
 	}
 	obstacles := fixedObstacles(nl)
 	macros := movableMacros(nl)
-	if err := packMacros(nl, macros, obstacles); err != nil {
+	if err := packMacros(ctx, nl, macros, obstacles); err != nil {
 		return err
 	}
 	for _, m := range macros {
 		obstacles = append(obstacles, nl.Cells[m].Rect())
 	}
-	return abacusPlace(nl, obstacles, opt)
+	return abacusPlace(ctx, nl, obstacles, opt)
 }
 
 // segment is an obstacle-free stretch of one row holding an ordered list of
@@ -51,7 +59,7 @@ type abacusRow struct {
 	segs []*segment
 }
 
-func abacusPlace(nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error {
+func abacusPlace(ctx context.Context, nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error {
 	// Build segments per row.
 	rows := make([]*abacusRow, len(nl.Rows))
 	for ri, r := range nl.Rows {
@@ -93,7 +101,22 @@ func abacusPlace(nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error 
 		return ca.X < cb.X
 	})
 
-	for _, ci := range cells {
+	for n, ci := range cells {
+		if n%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				// Write back what is already committed so the partial result
+				// is at least row-aligned before returning.
+				for _, ar := range rows {
+					for _, seg := range ar.segs {
+						for k, cj := range seg.cells {
+							nl.Cells[cj].X = seg.pos[k]
+							nl.Cells[cj].Y = seg.rowY
+						}
+					}
+				}
+				return fmt.Errorf("legalize: abacus cancelled after %d of %d cells: %w", n, len(cells), err)
+			}
+		}
 		c := &nl.Cells[ci]
 		var allowX, allowY *geom.Interval
 		if c.Region >= 0 {

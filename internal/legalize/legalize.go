@@ -7,6 +7,7 @@
 package legalize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,18 +28,34 @@ type Options struct {
 // and sites. Fixed cells are obstacles. Returns an error when a cell cannot
 // be placed.
 func Legalize(nl *netlist.Netlist, opt Options) error {
+	return LegalizeCtx(context.Background(), nl, opt)
+}
+
+// ctxCheckStride is how many cells (or macros) are legalized between
+// cooperative cancellation checks. Small enough that even modest netlists
+// observe a done context within a fraction of the total legalization time,
+// large enough that the atomic ctx.Err() load never shows up in profiles.
+const ctxCheckStride = 256
+
+// LegalizeCtx is Legalize with cooperative cancellation: the context is
+// polled per macro and every ctxCheckStride standard cells. On cancellation
+// the cells placed so far keep their legal positions, the rest keep their
+// global-placement positions, and the returned error wraps ctx.Err().
+// Callers that must deliver a fully legal placement after cancellation can
+// rerun under context.WithoutCancel.
+func LegalizeCtx(ctx context.Context, nl *netlist.Netlist, opt Options) error {
 	if len(nl.Rows) == 0 {
 		return fmt.Errorf("legalize: netlist %q has no rows", nl.Name)
 	}
 	obstacles := fixedObstacles(nl)
 	macros := movableMacros(nl)
-	if err := packMacros(nl, macros, obstacles); err != nil {
+	if err := packMacros(ctx, nl, macros, obstacles); err != nil {
 		return err
 	}
 	for _, m := range macros {
 		obstacles = append(obstacles, nl.Cells[m].Rect())
 	}
-	return placeCells(nl, obstacles, opt)
+	return placeCells(ctx, nl, obstacles, opt)
 }
 
 func fixedObstacles(nl *netlist.Netlist) []geom.Rect {
@@ -70,7 +87,7 @@ func movableMacros(nl *netlist.Netlist) []int {
 
 // packMacros places movable macros one by one at the nearest overlap-free
 // location found by an expanding ring search on a row-height lattice.
-func packMacros(nl *netlist.Netlist, macros []int, fixed []geom.Rect) error {
+func packMacros(ctx context.Context, nl *netlist.Netlist, macros []int, fixed []geom.Rect) error {
 	step := nl.RowHeight()
 	if step <= 0 {
 		step = 1
@@ -90,6 +107,9 @@ func packMacros(nl *netlist.Netlist, macros []int, fixed []geom.Rect) error {
 		return false
 	}
 	for _, m := range macros {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("legalize: cancelled while packing macros: %w", err)
+		}
 		c := &nl.Cells[m]
 		want := nl.Core.ClampRect(c.Rect())
 		// Snap to the row lattice.
@@ -197,7 +217,7 @@ func (rs *rowState) bestSlot(wantX, w float64, allow *geom.Interval) (float64, b
 }
 
 // placeCells runs the Tetris greedy over standard cells.
-func placeCells(nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error {
+func placeCells(ctx context.Context, nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error {
 	rows := make([]*rowState, len(nl.Rows))
 	for i, r := range nl.Rows {
 		rs := &rowState{row: r, free: []geom.Interval{{Lo: r.XMin, Hi: r.XMax}}}
@@ -232,7 +252,12 @@ func placeCells(nl *netlist.Netlist, obstacles []geom.Rect, opt Options) error {
 	})
 
 	maxDisp := opt.MaxDisplacement
-	for _, ci := range cells {
+	for n, ci := range cells {
+		if n%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("legalize: cancelled after %d of %d cells: %w", n, len(cells), err)
+			}
+		}
 		c := &nl.Cells[ci]
 		// Region constraints restrict the allowed rows and x interval; if
 		// no constrained slot exists the cell falls back to unconstrained

@@ -12,6 +12,7 @@
 package lse
 
 import (
+	"context"
 	"math"
 
 	"complx/internal/geom"
@@ -220,6 +221,15 @@ type Function interface {
 // Minimize runs Polak–Ribière nonlinear CG with Armijo backtracking from the
 // given starting point, updating xs/ys in place.
 func Minimize(o Function, xs, ys []float64, opt MinimizeOptions) MinimizeResult {
+	res, _ := MinimizeCtx(context.Background(), o, xs, ys, opt)
+	return res
+}
+
+// MinimizeCtx is Minimize with cooperative cancellation: ctx is polled once
+// per outer nonlinear-CG iteration. On cancellation xs/ys hold the best
+// iterate reached so far (every accepted step is monotone non-increasing in
+// the objective) and the returned error wraps ctx.Err().
+func MinimizeCtx(ctx context.Context, o Function, xs, ys []float64, opt MinimizeOptions) (MinimizeResult, error) {
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 100
 	}
@@ -240,6 +250,10 @@ func Minimize(o Function, xs, ys []float64, opt MinimizeOptions) MinimizeResult 
 	res := MinimizeResult{Value: f}
 	step := 1.0
 	for it := 0; it < opt.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			res.Value = f
+			return res, err
+		}
 		gInf := 0.0
 		for i := 0; i < n; i++ {
 			gInf = math.Max(gInf, math.Max(math.Abs(gx[i]), math.Abs(gy[i])))
@@ -307,7 +321,7 @@ func Minimize(o Function, xs, ys []float64, opt MinimizeOptions) MinimizeResult 
 		}
 	}
 	res.Value = f
-	return res
+	return res, nil
 }
 
 // Solve minimizes the objective starting from the current netlist placement
@@ -317,9 +331,23 @@ func Solve(o *Objective, opt MinimizeOptions) MinimizeResult {
 	return SolveWith(o.NL, o, opt)
 }
 
+// SolveCtx is Solve with cooperative cancellation (see SolveWithCtx).
+func SolveCtx(ctx context.Context, o *Objective, opt MinimizeOptions) (MinimizeResult, error) {
+	return SolveWithCtx(ctx, o.NL, o, opt)
+}
+
 // SolveWith minimizes any Function over nl's movable-cell coordinates,
 // writing the optimized centers back (clamped to the core).
 func SolveWith(nl *netlist.Netlist, o Function, opt MinimizeOptions) MinimizeResult {
+	res, _ := SolveWithCtx(context.Background(), nl, o, opt)
+	return res
+}
+
+// SolveWithCtx is SolveWith with cooperative cancellation: ctx is polled
+// once per outer nonlinear-CG iteration. On cancellation the best iterate
+// reached so far is still written back to the netlist (it is usable as a
+// best-so-far placement) and the returned error wraps ctx.Err().
+func SolveWithCtx(ctx context.Context, nl *netlist.Netlist, o Function, opt MinimizeOptions) (MinimizeResult, error) {
 	mov := nl.Movables()
 	xs := make([]float64, len(mov))
 	ys := make([]float64, len(mov))
@@ -328,7 +356,7 @@ func SolveWith(nl *netlist.Netlist, o Function, opt MinimizeOptions) MinimizeRes
 		xs[k] = c.X
 		ys[k] = c.Y
 	}
-	res := Minimize(o, xs, ys, opt)
+	res, err := MinimizeCtx(ctx, o, xs, ys, opt)
 	for k, i := range mov {
 		c := &nl.Cells[i]
 		hw, hh := c.W/2, c.H/2
@@ -338,5 +366,5 @@ func SolveWith(nl *netlist.Netlist, o Function, opt MinimizeOptions) MinimizeRes
 		}
 		c.SetCenter(p)
 	}
-	return res
+	return res, err
 }

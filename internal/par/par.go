@@ -81,6 +81,15 @@ func Threads() int {
 // default (GOMAXPROCS). SetThreads(1) makes every kernel run strictly on the
 // calling goroutine. Raising the cap spawns additional workers as needed.
 // Changing the cap never changes results, only scheduling.
+//
+// SetThreads is safe to call at any time, including concurrently with
+// running kernels and from multiple goroutines: the cap is an atomic that
+// each Run invocation reads exactly once on entry, worker spawning is
+// mutex-guarded, and workers are never torn down (lowering the cap merely
+// parks the surplus). A kernel already in flight finishes with the
+// parallelism it started with; the new cap applies from the next Run on.
+// Because work decompositions are pure functions of problem size (see the
+// package comment), a mid-run resize cannot change any numeric result.
 func SetThreads(n int) {
 	ensureInit()
 	if n <= 0 {

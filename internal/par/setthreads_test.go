@@ -1,0 +1,74 @@
+package par
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSetThreadsDuringRun hammers SetThreads from a resizer goroutine while
+// several goroutines execute reduction kernels through For, asserting every
+// result stays bitwise identical to the serial reference. Under -race this
+// is the proof that mid-run resizes are data-race free; the equality check
+// is the proof they cannot change numerics.
+func TestSetThreadsDuringRun(t *testing.T) {
+	defer SetThreads(0) // restore the default for other tests
+
+	const n = 1 << 15
+	const grain = 128
+	// kernel mimics the callers' determinism pattern: per-chunk partials
+	// indexed by lo/grain, merged in fixed index order.
+	kernel := func() float64 {
+		parts := make([]float64, Chunks(n, grain))
+		For(n, grain, func(lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += math.Sqrt(float64(i%97)) * 0.125
+			}
+			parts[lo/grain] = s
+		})
+		total := 0.0
+		for _, p := range parts {
+			total += p
+		}
+		return total
+	}
+
+	SetThreads(1)
+	want := kernel()
+
+	var stop atomic.Bool
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		for i := 0; !stop.Load(); i++ {
+			SetThreads(1 + i%8)
+		}
+	}()
+
+	const workers = 4
+	const rounds = 200
+	errc := make(chan string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if got := kernel(); got != want {
+					errc <- "kernel result changed under concurrent SetThreads"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+	resizer.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}

@@ -29,6 +29,7 @@ const (
 	StageProject  = "project"  // feasibility projection
 	StageLegalize = "legalize" // legalization
 	StageDetailed = "detailed" // detailed placement
+	StageCancel   = "cancel"   // run stopped by context cancellation
 )
 
 // Error is a structured placement-pipeline error.

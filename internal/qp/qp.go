@@ -13,6 +13,7 @@
 package qp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -103,7 +104,19 @@ func (s *Solver) Eps() float64 { return s.asm.Eps() }
 // cell positions of s's netlist in place. anchors may be nil for the
 // unconstrained interconnect solve (λ = 0).
 func (s *Solver) Solve(anchors *Anchors) (Result, error) {
+	return s.SolveCtx(context.Background(), anchors)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// before assembly and polled by both CG solves once per inner iteration. On
+// cancellation the netlist positions are left at the last completed solve
+// (the partial CG iterate is discarded) and the returned error wraps
+// ctx.Err().
+func (s *Solver) SolveCtx(ctx context.Context, anchors *Anchors) (Result, error) {
 	nl, opt := s.nl, s.opt
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("qp: solve cancelled: %w", err)
+	}
 	mov := nl.Movables()
 	if anchors != nil {
 		if len(anchors.Pos) != len(mov) || len(anchors.Lambda) != len(mov) {
@@ -196,9 +209,9 @@ func (s *Solver) Solve(anchors *Anchors) (Result, error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res.Y, errY = sparse.SolvePCGWS(sy.A, ys, sy.B, opt.CG, &s.cgY)
+		res.Y, errY = sparse.SolvePCGCtx(ctx, sy.A, ys, sy.B, opt.CG, &s.cgY)
 	}()
-	res.X, errX = sparse.SolvePCGWS(sx.A, xs, sx.B, opt.CG, &s.cgX)
+	res.X, errX = sparse.SolvePCGCtx(ctx, sx.A, xs, sx.B, opt.CG, &s.cgX)
 	wg.Wait()
 	s.Metrics.CG += time.Since(tCG)
 	s.Metrics.Solves++

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -67,6 +68,15 @@ func SolvePCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 // from b, skipping one matrix-vector product (warm-start fast path for
 // cold solves).
 func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult, error) {
+	return SolvePCGCtx(context.Background(), a, x, b, opt, w)
+}
+
+// SolvePCGCtx is SolvePCGWS with cooperative cancellation: ctx is polled
+// once per CG iteration (each iteration is at least one O(nnz) product, so
+// the check never dominates), and a done context stops the solve with
+// ctx.Err() wrapped by the iterate reached so far. x holds the best iterate
+// at the moment of cancellation, so callers can roll forward from it.
+func SolvePCGCtx(ctx context.Context, a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult, error) {
 	n := a.N
 	if len(x) != n || len(b) != n {
 		return CGResult{}, fmt.Errorf("sparse: SolvePCG dimension mismatch: len(x)=%d len(b)=%d n=%d",
@@ -131,6 +141,9 @@ func SolvePCGWS(a *CSR, x, b []float64, opt CGOptions, w *CGWorkspace) (CGResult
 
 	res := CGResult{}
 	for k := 0; k < opt.MaxIter; k++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("sparse: CG cancelled after %d iterations: %w", res.Iterations, err)
+		}
 		rNorm := math.Sqrt(Norm2Sq(r))
 		res.Residual = rNorm / bNorm
 		if res.Residual <= opt.Tol {

@@ -1,0 +1,88 @@
+package sparse
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestSolvePCGCtxPreCancelled proves the CG inner loop observes the context
+// before every iteration: a pre-cancelled context returns immediately with
+// zero iterations performed and an error wrapping context.Canceled.
+func TestSolvePCGCtxPreCancelled(t *testing.T) {
+	n := 50
+	a := laplacianPlusDiag(n, 0.1)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i))
+	}
+	bvec := make([]float64, n)
+	a.MulVec(bvec, want)
+	x := make([]float64, n)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var w CGWorkspace
+	res, err := SolvePCGCtx(ctx, a, x, bvec, CGOptions{Tol: 1e-10}, &w)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("CG ran %d iterations under a pre-cancelled context", res.Iterations)
+	}
+	if res.Converged {
+		t.Error("cancelled solve reported convergence")
+	}
+}
+
+// TestSolvePCGCtxMidSolve cancels after a fixed number of iterations (via a
+// context that flips when polled) and checks the loop stops within one
+// iteration of the flip, leaving x finite.
+func TestSolvePCGCtxMidSolve(t *testing.T) {
+	n := 400
+	a := laplacianPlusDiag(n, 1e-4) // ill-conditioned: needs many iterations
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.7)
+	}
+	bvec := make([]float64, n)
+	a.MulVec(bvec, want)
+	x := make([]float64, n)
+
+	const stopAfter = 3
+	ctx := &countingCtx{Context: context.Background(), stopAfter: stopAfter}
+	var w CGWorkspace
+	res, err := SolvePCGCtx(ctx, a, x, bvec, CGOptions{Tol: 1e-12}, &w)
+	if err == nil {
+		t.Fatalf("expected cancellation, got convergence after %d iterations", res.Iterations)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if res.Iterations > stopAfter {
+		t.Errorf("CG performed %d iterations, want <= %d (one poll per iteration)", res.Iterations, stopAfter)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("x[%d] = %v after cancellation", i, v)
+		}
+	}
+}
+
+// countingCtx reports context.Canceled from the stopAfter-th Err poll on.
+type countingCtx struct {
+	context.Context
+	polls, stopAfter int
+}
+
+func (c *countingCtx) Err() error {
+	c.polls++
+	if c.polls > c.stopAfter {
+		return context.Canceled
+	}
+	return nil
+}

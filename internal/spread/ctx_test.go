@@ -1,0 +1,87 @@
+package spread
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"complx/internal/geom"
+)
+
+func stackedItems(n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Pos: geom.Point{X: 50, Y: 50}, W: 4, H: 4}
+	}
+	return items
+}
+
+// TestProjectCtxPreCancelled proves the projection observes the context
+// before the first region sweep: a pre-cancelled context returns an error
+// wrapping context.Canceled together with finite, in-core positions.
+func TestProjectCtxPreCancelled(t *testing.T) {
+	g := grid(10, 10, 1.0)
+	items := stackedItems(100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := NewProjector(g, Options{}).ProjectCtx(ctx, items)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(out) != len(items) {
+		t.Fatalf("got %d positions for %d items", len(out), len(items))
+	}
+	for i, p := range out {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("position %d is NaN after cancellation", i)
+		}
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("position %d = %v escaped the core", i, p)
+		}
+	}
+}
+
+// TestProjectCtxMidSweep cancels after a bounded number of context polls and
+// checks the sweep stops within one additional cluster region, still
+// returning clamped finite positions for every item.
+func TestProjectCtxMidSweep(t *testing.T) {
+	g := grid(10, 10, 1.0)
+	items := stackedItems(400)
+	const stopAfter = 2
+	ctx := &countingCtx{Context: context.Background(), stopAfter: stopAfter}
+	out, err := NewProjector(g, Options{}).ProjectCtx(ctx, items)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	// Within one region of the flip: at most one poll after the cancel.
+	if ctx.polls > stopAfter+1 {
+		t.Errorf("projection polled the context %d times, want <= %d (one region past the cancel)",
+			ctx.polls, stopAfter+1)
+	}
+	for i, p := range out {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("position %d = %v invalid after cancellation", i, p)
+		}
+	}
+}
+
+// countingCtx reports context.Canceled from the stopAfter-th Err poll on.
+type countingCtx struct {
+	context.Context
+	polls, stopAfter int
+}
+
+func (c *countingCtx) Err() error {
+	c.polls++
+	if c.polls > c.stopAfter {
+		return context.Canceled
+	}
+	return nil
+}

@@ -14,6 +14,8 @@
 package spread
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -89,6 +91,17 @@ func NewProjector(g *density.Grid, opt Options) *Projector {
 // is not modified. Projected positions satisfy the per-bin density targets
 // approximately; items in feasible areas are left in place.
 func (p *Projector) Project(items []Item) []geom.Point {
+	out, _ := p.ProjectCtx(context.Background(), items)
+	return out
+}
+
+// ProjectCtx is Project with cooperative cancellation: the context is polled
+// between passes and once per cluster region inside each pass, so even a
+// single sweep over a pathological placement observes cancellation within
+// one region. On cancellation the positions projected so far are clamped to
+// the core and returned together with the wrapped ctx error; they remain a
+// usable (if less feasible) placement.
+func (p *Projector) ProjectCtx(ctx context.Context, items []Item) ([]geom.Point, error) {
 	out := make([]geom.Point, len(items))
 	for i := range items {
 		out[i] = items[i].Pos
@@ -98,18 +111,23 @@ func (p *Projector) Project(items []Item) []geom.Point {
 		p.claimed = make([]bool, len(items))
 	}
 	p.pos = out
+	var err error
 	for pass := 0; pass < p.opt.MaxPasses; pass++ {
-		if !p.sweep(items) {
+		var again bool
+		again, err = p.sweep(ctx, items)
+		if err != nil || !again {
 			break
 		}
 	}
 	p.clampToCore(items)
-	return out
+	return out, err
 }
 
 // sweep performs one cluster-and-spread pass; it reports whether any
-// overfilled region was processed.
-func (p *Projector) sweep(items []Item) bool {
+// overfilled region was processed. The context is checked once per cluster
+// region; on cancellation the sweep stops between regions and returns the
+// wrapped ctx error.
+func (p *Projector) sweep(ctx context.Context, items []Item) (bool, error) {
 	g := p.g
 	nBins := g.NX * g.NY
 	for i := 0; i < nBins; i++ {
@@ -168,11 +186,14 @@ func (p *Projector) sweep(items []Item) bool {
 		clusters = append(clusters, ci)
 	}
 	if len(clusters) == 0 {
-		return false
+		return false, nil
 	}
 	sort.Slice(clusters, func(a, b int) bool { return clusters[a].overflow > clusters[b].overflow })
 
 	for _, ci := range clusters {
+		if err := ctx.Err(); err != nil {
+			return true, fmt.Errorf("spread: projection cancelled: %w", err)
+		}
 		region := p.expandRegion(ci.x0, ci.y0, ci.x1+1, ci.y1+1)
 		sel := p.itemsIn(items, region)
 		if len(sel) == 0 {
@@ -193,7 +214,7 @@ func (p *Projector) sweep(items []Item) bool {
 			p.usage[k] += items[i].Area()
 		}
 	}
-	return true
+	return true, nil
 }
 
 func (p *Projector) capOf(bin int) float64 {

@@ -1,0 +1,90 @@
+package complx
+
+import (
+	"reflect"
+	"testing"
+)
+
+// engineInternalCoreOptions lists the core.Options fields that the facade
+// deliberately does not expose, each with the reason. Every other
+// core.Options field must be forwarded by coreOptions —
+// TestCoreOptionsForwarding fails when a new core field is neither
+// forwarded nor recorded here.
+var engineInternalCoreOptions = map[string]string{
+	"LSEGamma":             "LSE smoothing is self-calibrated from the core width",
+	"PNormP":               "p exponent is fixed to the paper's default",
+	"InitialSolves":        "engine default; overridden internally by the clustered flow",
+	"GapTol":               "convergence tolerance is the paper's default",
+	"PiTol":                "convergence tolerance is the paper's default",
+	"MinIterations":        "engine default",
+	"Schedule":             "derived from Options.Algorithm (AlgSimPL), not a facade knob",
+	"OptimalLeafSpreading": "Table 1 ablation knob, exercised via internal/core only",
+	"GridMax":              "engine default projection grid cap",
+	"ProjectionRefine":     "constructed by the facade from Options.ProjectionDP",
+	"RoutingCapacity":      "self-calibrated RUDY supply",
+	"NoMacroLambdaScale":   "paper §5 ablation knob, exercised via internal/core only",
+	"Eps":                  "linearization floor is derived from the row height",
+	"CG":                   "CG solver tuning stays internal",
+}
+
+// TestCoreOptionsForwarding is the contract test for the single
+// Options→core.Options conversion point: it fills every facade Options
+// field with a non-zero value, runs coreOptions, and requires each
+// core.Options field to be either non-zero (forwarded) or explicitly
+// allowlisted above. Adding a field to core.Options without updating
+// coreOptions or the allowlist fails this test.
+func TestCoreOptionsForwarding(t *testing.T) {
+	var opt Options
+	fillNonZero(t, reflect.ValueOf(&opt).Elem())
+	got := reflect.ValueOf(coreOptions(opt))
+	typ := got.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if _, internal := engineInternalCoreOptions[f.Name]; internal {
+			if !got.Field(i).IsZero() {
+				t.Errorf("core.Options.%s is allowlisted as engine-internal but coreOptions sets it; remove the allowlist entry", f.Name)
+			}
+			continue
+		}
+		if got.Field(i).IsZero() {
+			t.Errorf("core.Options.%s is not forwarded by coreOptions; forward the matching facade option or add an engineInternalCoreOptions entry explaining why not", f.Name)
+		}
+	}
+	// Reject stale allowlist entries so the map tracks core.Options.
+	for name := range engineInternalCoreOptions {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("engineInternalCoreOptions lists %q, which is no longer a core.Options field", name)
+		}
+	}
+}
+
+// fillNonZero sets every field of a struct value to a non-zero value of its
+// kind so that a pure field-copy is detectable as non-zero output.
+func fillNonZero(t *testing.T, v reflect.Value) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(3)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(3)
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(0.5)
+		case reflect.String:
+			f.SetString("x")
+		case reflect.Slice:
+			f.Set(reflect.MakeSlice(f.Type(), 1, 1))
+		case reflect.Func:
+			f.Set(reflect.MakeFunc(f.Type(), func([]reflect.Value) []reflect.Value {
+				return nil
+			}))
+		case reflect.Struct:
+			fillNonZero(t, f)
+		default:
+			t.Fatalf("fillNonZero: unhandled kind %v for field %s", f.Kind(), v.Type().Field(i).Name)
+		}
+	}
+}
