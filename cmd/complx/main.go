@@ -21,6 +21,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +53,8 @@ func main() {
 		routab    = flag.Bool("routability", false, "congestion-driven cell inflation (SimPLR-style)")
 		threads   = flag.Int("threads", 0, "worker-pool size for the parallel kernels (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best placement so far is legalized and written (exit 0)")
+		obsAddr   = flag.String("obs", "", "serve live observability HTTP on this address (e.g. :6060): /metrics, /status, /report, /debug/pprof/")
+		report    = flag.String("report", "", "write a JSON run report to BASE.json and a CSV convergence trace to BASE.csv")
 	)
 	flag.Parse()
 	complx.SetThreads(*threads)
@@ -65,7 +69,7 @@ func main() {
 		skipLegal: *skipLegal, skipDP: *skipDP, maxIter: *maxIter,
 		plOut: *plOut, outDir: *outDir, verbose: *verbose, plot: *plot,
 		clustered: *clustered, abacus: *abacus, routability: *routab,
-		timeout: *timeout,
+		timeout: *timeout, obsAddr: *obsAddr, reportBase: *report,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "complx:", err)
 		os.Exit(1)
@@ -75,11 +79,49 @@ func main() {
 // runCfg carries the parsed command-line configuration.
 type runCfg struct {
 	aux, bench, algo, plOut, outDir               string
+	obsAddr, reportBase                           string
 	scale, target                                 float64
 	finest, projDP, useLSE, skipLegal, skipDP     bool
 	verbose, plot, clustered, abacus, routability bool
 	maxIter                                       int
 	timeout                                       time.Duration
+}
+
+// loadInput parses (-aux) or generates (-bench) the input design and returns
+// the netlist together with the effective target density.
+func loadInput(cfg runCfg) (*complx.Netlist, float64, error) {
+	target := cfg.target
+	switch {
+	case cfg.aux != "" && cfg.bench != "":
+		return nil, 0, fmt.Errorf("use either -aux or -bench, not both")
+	case cfg.aux != "":
+		nl, density, err := complx.ReadBookshelf(cfg.aux)
+		if err != nil {
+			return nil, 0, err
+		}
+		if target == 0 {
+			target = density
+		}
+		return nl, target, nil
+	case cfg.bench != "":
+		spec, ok := complx.BenchmarkByName(cfg.bench)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown benchmark %q", cfg.bench)
+		}
+		if cfg.scale != 1.0 {
+			spec = complx.ScaleBenchmark(spec, cfg.scale)
+		}
+		if target == 0 {
+			target = spec.TargetDensity
+		}
+		nl, err := complx.Generate(spec)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nl, target, nil
+	default:
+		return nil, 0, fmt.Errorf("specify -aux or -bench (see -help)")
+	}
 }
 
 func run(ctx context.Context, cfg runCfg) error {
@@ -88,42 +130,31 @@ func run(ctx context.Context, cfg runCfg) error {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	aux, bench, algo := cfg.aux, cfg.bench, cfg.algo
-	scale, target := cfg.scale, cfg.target
-	var nl *complx.Netlist
-	var err error
-	switch {
-	case aux != "" && bench != "":
-		return fmt.Errorf("use either -aux or -bench, not both")
-	case aux != "":
-		var density float64
-		nl, density, err = complx.ReadBookshelf(aux)
+	// The observer exists only when an observability output is requested;
+	// a nil *complx.Observer disables all instrumentation.
+	var observer *complx.Observer
+	if cfg.obsAddr != "" || cfg.reportBase != "" {
+		observer = complx.NewObserver()
+	}
+	if cfg.obsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.obsAddr)
 		if err != nil {
-			return err
+			return fmt.Errorf("obs listener: %w", err)
 		}
-		if target == 0 {
-			target = density
-		}
-	case bench != "":
-		spec, ok := complx.BenchmarkByName(bench)
-		if !ok {
-			return fmt.Errorf("unknown benchmark %q", bench)
-		}
-		if scale != 1.0 {
-			spec = complx.ScaleBenchmark(spec, scale)
-		}
-		if target == 0 {
-			target = spec.TargetDensity
-		}
-		nl, err = complx.Generate(spec)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("specify -aux or -bench (see -help)")
+		srv := &http.Server{Handler: observer.Handler()}
+		go srv.Serve(ln) //nolint:errcheck // shut down via Close below
+		defer srv.Close()
+		fmt.Printf("observability:    http://%s/ (metrics, status, report, pprof)\n", ln.Addr())
 	}
 
-	alg, err := complx.ParseAlgorithm(algo)
+	parseSpan := observer.StartSpan("parse")
+	nl, target, err := loadInput(cfg)
+	parseSpan.End()
+	if err != nil {
+		return err
+	}
+
+	alg, err := complx.ParseAlgorithm(cfg.algo)
 	if err != nil {
 		return err
 	}
@@ -142,6 +173,7 @@ func run(ctx context.Context, cfg runCfg) error {
 		Clustered:       cfg.clustered,
 		AbacusLegalizer: cfg.abacus,
 		Routability:     cfg.routability,
+		Observer:        observer,
 	}
 	if cfg.verbose {
 		opt.OnIteration = func(it complx.IterStats) {
@@ -200,6 +232,13 @@ func run(ctx context.Context, cfg runCfg) error {
 			return err
 		}
 		fmt.Printf("wrote benchmark to %s\n", outDir)
+	}
+	if cfg.reportBase != "" {
+		jsonPath, csvPath, err := observer.Report().WriteFiles(cfg.reportBase)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote report %s and trace %s\n", jsonPath, csvPath)
 	}
 	return nil
 }

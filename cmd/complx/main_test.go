@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"complx"
+	"complx/internal/obs"
 )
 
 func TestRunBench(t *testing.T) {
@@ -67,6 +68,82 @@ func TestRunTimeout(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "UCLA pl 1.0") {
 		t.Error("placement file malformed")
+	}
+}
+
+// TestRunReport exercises the -report and -obs flags together: a completed
+// run must write a parseable JSON report plus a CSV convergence trace, and
+// the observability listener must come up and serve without disturbing the
+// run.
+func TestRunReport(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "run")
+	err := run(context.Background(), runCfg{
+		bench: "adaptec1", scale: 0.05, algo: "complx", maxIter: 20,
+		reportBase: base, obsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Open(base + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	rep, err := obs.ReadReport(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Design == "" || rep.Algorithm != "complx" {
+		t.Errorf("report metadata incomplete: design=%q algorithm=%q", rep.Design, rep.Algorithm)
+	}
+	if len(rep.Trace) == 0 {
+		t.Error("report has no iteration trace")
+	}
+	if rep.Result.HPWL <= 0 {
+		t.Errorf("report HPWL = %g, want > 0", rep.Result.HPWL)
+	}
+	if !rep.Result.Legalized {
+		t.Error("report does not record legalization")
+	}
+	// The span tree must include the CLI's parse stage and the flow's
+	// global stage.
+	names := make(map[string]bool)
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, n := range ns {
+			names[n.Name] = true
+			walk(n.Children)
+		}
+	}
+	walk(rep.Spans)
+	for _, want := range []string{"parse", "global"} {
+		if !names[want] {
+			t.Errorf("report span tree is missing %q (have %v)", want, names)
+		}
+	}
+	csvData, err := os.ReadFile(base + ".csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	if want := strings.Join(obs.TraceCSVHeader, ","); lines[0] != want {
+		t.Errorf("csv header = %q, want %q", lines[0], want)
+	}
+	if len(lines) != len(rep.Trace)+1 {
+		t.Errorf("csv has %d data rows, trace has %d samples", len(lines)-1, len(rep.Trace))
+	}
+}
+
+// TestRunObsBadAddr: an unusable -obs address fails fast with a clear error
+// instead of placing without observability.
+func TestRunObsBadAddr(t *testing.T) {
+	err := run(context.Background(), runCfg{
+		bench: "adaptec1", scale: 0.05, algo: "complx", maxIter: 4,
+		obsAddr: "256.0.0.1:bad",
+	})
+	if err == nil || !strings.Contains(err.Error(), "obs listener") {
+		t.Errorf("want obs listener error, got %v", err)
 	}
 }
 

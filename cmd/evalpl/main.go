@@ -29,35 +29,68 @@ func main() {
 	}
 }
 
-func run(aux, pl string, target float64) error {
+// evalResult carries the full-precision evaluation of one placement; run
+// formats it for humans, tests consume it directly.
+type evalResult struct {
+	NL           *complx.Netlist
+	HPWL         float64
+	WeightedHPWL float64
+	MST          float64
+	Steiner      float64
+	Scaled       float64
+	Penalty      float64
+	Target       float64
+	Violations   []string
+}
+
+// evaluate loads the benchmark, overlays the placement (when given) and
+// computes every metric at full float64 precision — the printing in run is
+// the only lossy step.
+func evaluate(aux, pl string, target float64) (*evalResult, error) {
 	if aux == "" {
-		return fmt.Errorf("specify -aux (see -help)")
+		return nil, fmt.Errorf("specify -aux (see -help)")
 	}
 	nl, density, err := complx.ReadBookshelf(aux)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if target == 0 {
 		target = density
 	}
 	if pl != "" {
 		if err := complx.ApplyPlacement(nl, pl); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	hpwl := complx.HPWL(nl)
 	scaled, penalty := complx.ScaledHPWL(nl, target)
-	fmt.Printf("design:        %s\n", nl.Stats())
-	fmt.Printf("HPWL:          %.1f\n", hpwl)
-	fmt.Printf("weighted HPWL: %.1f\n", complx.WeightedHPWL(nl))
-	fmt.Printf("MST estimate:  %.1f\n", complx.MSTWirelength(nl))
-	fmt.Printf("Steiner est.:  %.1f\n", complx.SteinerWirelength(nl))
-	fmt.Printf("scaled HPWL:   %.1f (overflow penalty %.2f%% at target %.2f)\n", scaled, penalty, target)
-	v := complx.CheckLegal(nl)
-	if len(v) == 0 {
+	return &evalResult{
+		NL:           nl,
+		HPWL:         complx.HPWL(nl),
+		WeightedHPWL: complx.WeightedHPWL(nl),
+		MST:          complx.MSTWirelength(nl),
+		Steiner:      complx.SteinerWirelength(nl),
+		Scaled:       scaled,
+		Penalty:      penalty,
+		Target:       target,
+		Violations:   complx.CheckLegal(nl),
+	}, nil
+}
+
+func run(aux, pl string, target float64) error {
+	r, err := evaluate(aux, pl, target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design:        %s\n", r.NL.Stats())
+	fmt.Printf("HPWL:          %.1f\n", r.HPWL)
+	fmt.Printf("weighted HPWL: %.1f\n", r.WeightedHPWL)
+	fmt.Printf("MST estimate:  %.1f\n", r.MST)
+	fmt.Printf("Steiner est.:  %.1f\n", r.Steiner)
+	fmt.Printf("scaled HPWL:   %.1f (overflow penalty %.2f%% at target %.2f)\n", r.Scaled, r.Penalty, r.Target)
+	if len(r.Violations) == 0 {
 		fmt.Println("legality:      OK")
 	} else {
-		fmt.Printf("legality:      %d violations (first: %s)\n", len(v), v[0])
+		fmt.Printf("legality:      %d violations (first: %s)\n", len(r.Violations), r.Violations[0])
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -23,6 +25,61 @@ func TestEvalPl(t *testing.T) {
 	// Evaluate an explicit .pl too.
 	if err := run(filepath.Join(dir, "adaptec1.aux"), filepath.Join(dir, "adaptec1.pl"), 0.9); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEvalPlCrossCheck is the independent-scoring cross-check: place a
+// design with the library flow, write the result as a Bookshelf .pl, then
+// re-score the written file through evalpl's loader. The .pl writer uses %g
+// (shortest round-trip float formatting), so evalpl's HPWL must equal the
+// placer's Result.HPWL to within a few ULPs.
+func TestEvalPlCrossCheck(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := complx.BenchmarkByName("adaptec1")
+	spec = complx.ScaleBenchmark(spec, 0.05)
+	nl, err := complx.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write the unplaced benchmark first so evaluate re-reads the same
+	// design the placer saw.
+	if err := complx.WriteBookshelf(dir, nl, spec.TargetDensity); err != nil {
+		t.Fatal(err)
+	}
+	res, err := complx.Place(nl, complx.Options{MaxIterations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plPath := filepath.Join(dir, "placed.pl")
+	f, err := os.Create(plPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := complx.WritePlacement(f, nl); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := evaluate(filepath.Join(dir, "adaptec1.aux"), plPath, spec.TargetDensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ULP-scale agreement: %g round-trips float64 exactly, so the only
+	// slack allowed is summation-order noise.
+	const rel = 1e-12
+	if diff := math.Abs(r.HPWL - res.HPWL); diff > rel*res.HPWL {
+		t.Errorf("evalpl HPWL %.17g != placer HPWL %.17g (diff %g)", r.HPWL, res.HPWL, diff)
+	}
+	if diff := math.Abs(r.WeightedHPWL - res.WHPWL); diff > rel*res.WHPWL {
+		t.Errorf("evalpl weighted HPWL %.17g != placer WHPWL %.17g (diff %g)", r.WeightedHPWL, res.WHPWL, diff)
+	}
+	if diff := math.Abs(r.Scaled - res.ScaledHPWL); diff > rel*res.ScaledHPWL {
+		t.Errorf("evalpl scaled HPWL %.17g != placer ScaledHPWL %.17g (diff %g)", r.Scaled, res.ScaledHPWL, diff)
+	}
+	if len(r.Violations) != res.LegalViolations {
+		t.Errorf("evalpl finds %d violations, placer reported %d", len(r.Violations), res.LegalViolations)
 	}
 }
 

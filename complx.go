@@ -39,6 +39,7 @@ import (
 	"complx/internal/legalize"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
+	"complx/internal/obs"
 	"complx/internal/par"
 	"complx/internal/perr"
 	"complx/internal/sparse"
@@ -121,7 +122,19 @@ type (
 	TimingReport = timing.Report
 	// DetailedStats reports the detailed-placement refinement.
 	DetailedStats = detailed.Stats
+	// Observer is the structured observability hub (tracing, metrics,
+	// run report); see internal/obs and DESIGN.md §9. A nil *Observer
+	// disables all instrumentation at near-zero cost.
+	Observer = obs.Observer
+	// RunReport is the machine-readable summary of one observed run
+	// (JSON summary plus CSV iteration trace).
+	RunReport = obs.Report
 )
+
+// NewObserver returns an enabled Observer ready to attach to
+// Options.Observer. One observer should watch one placement run at a time;
+// call Reset between sequential runs.
+func NewObserver() *Observer { return obs.New() }
 
 // Cell kinds.
 const (
@@ -294,6 +307,13 @@ type Options struct {
 
 	// OnIteration observes global placement iterations.
 	OnIteration func(IterStats)
+
+	// Observer, when non-nil, instruments the whole flow: pipeline spans
+	// (global → legalize → detailed), metrics, the live /status view and
+	// the final run report. Instrumentation only reads placement state, so
+	// observed runs produce bitwise-identical placements; a nil observer
+	// costs one branch per call site.
+	Observer *Observer
 }
 
 // Result reports a full placement run.
@@ -352,6 +372,7 @@ func coreOptions(opt Options) core.Options {
 		RoutabilityAlpha: opt.RoutabilityAlpha,
 		CellPenalty:      opt.CellPenalty,
 		OnIteration:      opt.OnIteration,
+		Obs:              opt.Observer,
 	}
 }
 
@@ -390,6 +411,14 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 		opt.TargetDensity = 1
 	}
 	res := &Result{}
+	o := opt.Observer
+	o.StartRun(obs.RunInfo{
+		Design:    nl.Name,
+		Algorithm: opt.Algorithm.String(),
+		Cells:     nl.NumCells(),
+		Nets:      nl.NumNets(),
+		Pins:      nl.NumPins(),
+	})
 	var cancelErr error
 	// markCancelled records the first observed cancellation and strips
 	// cancellation from the context so the remaining stages still run to
@@ -403,6 +432,8 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 	}
 
 	gpStart := time.Now()
+	o.SetPhase("global")
+	globalSpan := o.StartSpan("global")
 	coreOpt := coreOptions(opt)
 	if opt.ProjectionDP {
 		coreOpt.ProjectionRefine = func(n *Netlist) error {
@@ -475,6 +506,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 		r, err = baseline.FastPlaceCSContext(ctx, nl, baseline.FPOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
+			Obs:           opt.Observer,
 		})
 		if r != nil {
 			res.GlobalIterations = r.Iterations
@@ -485,6 +517,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 		r, err = baseline.NLPContext(ctx, nl, baseline.NLPOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
+			Obs:           opt.Observer,
 		})
 		if r != nil {
 			res.GlobalIterations = r.Iterations
@@ -495,14 +528,17 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 		r, err = baseline.RQLContext(ctx, nl, baseline.RQLOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
+			Obs:           opt.Observer,
 		})
 		if r != nil {
 			res.GlobalIterations = r.Iterations
 			res.Converged = r.Converged
 		}
 	default:
+		globalSpan.End()
 		return nil, fmt.Errorf("complx: unknown algorithm %v", opt.Algorithm)
 	}
+	globalSpan.End()
 	if err != nil {
 		if !isCancellation(err) {
 			return nil, err
@@ -515,11 +551,13 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 
 	if !opt.SkipLegalize && len(nl.Rows) > 0 {
 		lgStart := time.Now()
+		o.SetPhase("legalize")
 		lg := legalize.LegalizeCtx
 		if opt.AbacusLegalizer {
 			lg = legalize.LegalizeAbacusCtx
 		}
-		if err := lg(ctx, nl, legalize.Options{}); err != nil {
+		lgOpt := legalize.Options{Obs: opt.Observer}
+		if err := lg(ctx, nl, lgOpt); err != nil {
 			if !isCancellation(err) {
 				return nil, perr.Wrap(perr.StageLegalize, fmt.Errorf("complx: legalization: %w", err))
 			}
@@ -527,7 +565,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 			// cancellation-free after markCancelled) so the returned
 			// placement is still legal.
 			markCancelled(err)
-			if err := lg(ctx, nl, legalize.Options{}); err != nil {
+			if err := lg(ctx, nl, lgOpt); err != nil {
 				return nil, perr.Wrap(perr.StageLegalize, fmt.Errorf("complx: legalization: %w", err))
 			}
 		}
@@ -537,7 +575,10 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 
 		if !opt.SkipDetailed {
 			dpStart := time.Now()
+			o.SetPhase("detailed")
+			dpSpan := o.StartSpan("detailed")
 			st, err := detailed.Refine(nl, detailed.Options{Passes: opt.DetailedPasses})
+			dpSpan.End()
 			if err != nil {
 				return nil, perr.Wrap(perr.StageDetailed, fmt.Errorf("complx: detailed placement: %w", err))
 			}
@@ -551,6 +592,21 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 	res.WHPWL = netmodel.WeightedHPWL(nl)
 	res.ScaledHPWL, res.OverflowPercent = ScaledHPWL(nl, opt.TargetDensity)
 	res.Total = time.Since(start)
+	o.FinishRun(obs.FinalStats{
+		HPWL:            res.HPWL,
+		WeightedHPWL:    res.WHPWL,
+		ScaledHPWL:      res.ScaledHPWL,
+		OverflowPercent: res.OverflowPercent,
+		FinalLambda:     res.FinalLambda,
+		DualityGap:      res.DualityGap,
+		Iterations:      res.GlobalIterations,
+		Converged:       res.Converged,
+		Cancelled:       res.Cancelled,
+		Legalized:       res.Legalized,
+		Detailed:        res.Detailed,
+		LegalViolations: res.LegalViolations,
+		TotalSeconds:    res.Total.Seconds(),
+	})
 	if cancelErr != nil {
 		return res, cancelErr
 	}

@@ -10,6 +10,7 @@ import (
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
+	"complx/internal/obs"
 	"complx/internal/qp"
 )
 
@@ -29,6 +30,9 @@ type RQLOptions struct {
 	DiffusionSweeps int
 	// GridMax caps the spreading grid dimension (default 128).
 	GridMax int
+	// Obs, when non-nil, instruments the run (iteration trace, CG metrics,
+	// spans) identically to the ComPLx placer.
+	Obs *obs.Observer
 }
 
 func (o *RQLOptions) fill() {
@@ -115,7 +119,8 @@ func RQLContext(ctx context.Context, nl *netlist.Netlist, opt RQLOptions) (*RQLR
 		Netlist: nl,
 		// One reusable solver for the whole run (incremental assembly + CG
 		// workspace reuse).
-		Primal: engine.NewQuadraticPrimal(nl, qp.Options{}),
+		Primal: engine.NewQuadraticPrimal(nl, qp.Options{Obs: opt.Obs}),
+		Obs:    opt.Obs,
 		Dual: &rqlStepper{
 			nl: nl, nMov: len(mov), target: opt.TargetDensity,
 			nx: nx, ny: ny,

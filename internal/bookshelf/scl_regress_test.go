@@ -1,0 +1,57 @@
+package bookshelf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSclSubrowOriginShortMiddle is the regression test for the readScl
+// index-out-of-range crash found by fuzzing: a SubrowOrigin line whose
+// middle colon-separated segment carries fewer than two fields (e.g.
+// "SubrowOrigin : 0 : 100", where the benchmark writer intended
+// "SubrowOrigin : 0 NumSites : 100") used to index past the end of the
+// field slice. The reader's contract is lenient — malformed per-row lines
+// are skipped, never panicked on — so every variant must parse with a nil
+// error, and only the well-formed pairings may set the subrow geometry.
+func TestSclSubrowOriginShortMiddle(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		// wantXMax is the expected XMax of the parsed row: SubrowOrigin +
+		// NumSites·SiteWidth when the line was understood, 0 when it was
+		// skipped as malformed.
+		wantXMax float64
+	}{
+		// The original crasher: middle segment has one field, so the
+		// "NumSites" keyword is missing. Skipped, not panicked on.
+		{"crasher", "CoreRow\nSubrowOrigin : 0 : 100\nEnd\n", 0},
+		{"crasher-padded", "CoreRow\n  SubrowOrigin :  7  : 100\nEnd\n", 0},
+		// Well-formed pairings keep parsing.
+		{"wellformed", "CoreRow\nSubrowOrigin : 5 NumSites : 100\nEnd\n", 105},
+		{"wellformed-tabs", "CoreRow\nSubrowOrigin :\t5\tNumSites : 10\nEnd\n", 15},
+		// Other degenerate colon arrangements must also stay panic-free.
+		{"empty-middle", "CoreRow\nSubrowOrigin :  : 100\nEnd\n", 0},
+		{"no-value", "CoreRow\nSubrowOrigin :\nEnd\n", 0},
+		{"key-only", "CoreRow\nSubrowOrigin\nEnd\n", 0},
+		{"four-segments", "CoreRow\nSubrowOrigin : 3 NumSites : 10 : 9\nEnd\n", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &Design{Name: "regress", TargetDensity: 1.0}
+			if err := d.readScl(strings.NewReader(tc.input)); err != nil {
+				t.Fatalf("readScl(%q) = %v, want nil (lenient skip)", tc.input, err)
+			}
+			if len(d.Rows) != 1 {
+				t.Fatalf("parsed %d rows, want 1", len(d.Rows))
+			}
+			if got := d.Rows[0].XMax; got != tc.wantXMax {
+				t.Errorf("row XMax = %g, want %g", got, tc.wantXMax)
+			}
+		})
+	}
+	// Non-finite subrow values are the one hard error on this line.
+	d := &Design{Name: "regress", TargetDensity: 1.0}
+	if err := d.readScl(strings.NewReader("CoreRow\nSubrowOrigin : NaN NumSites : 10\nEnd\n")); err == nil {
+		t.Error("non-finite SubrowOrigin accepted")
+	}
+}

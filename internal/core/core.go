@@ -31,6 +31,7 @@ import (
 
 	"complx/internal/engine"
 	"complx/internal/netlist"
+	"complx/internal/obs"
 	"complx/internal/perr"
 	"complx/internal/qp"
 	"complx/internal/sparse"
@@ -120,6 +121,10 @@ type Options struct {
 	CG sparse.CGOptions
 	// OnIteration, when set, observes per-iteration statistics.
 	OnIteration func(IterStats)
+	// Obs, when non-nil, instruments the run (spans, metrics, iteration
+	// trace). Instrumentation only reads placement state, so observed runs
+	// are bitwise identical to unobserved ones.
+	Obs *obs.Observer
 }
 
 func (o *Options) fill() {
@@ -225,7 +230,7 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 	case opt.UsePNorm:
 		primal = &engine.PNormPrimal{NL: nl, P: opt.PNormP}
 	default:
-		primal = engine.NewQuadraticPrimal(nl, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG})
+		primal = engine.NewQuadraticPrimal(nl, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG, Obs: opt.Obs})
 	}
 
 	// Dual step: the spreading projector, optionally decorated with the
@@ -236,6 +241,7 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 	sp.Routability = opt.Routability
 	sp.RoutingCapacity = opt.RoutingCapacity
 	sp.RoutabilityAlpha = opt.RoutabilityAlpha
+	sp.Obs = opt.Obs
 	var projector engine.Projector = sp
 	if opt.ProjectionRefine != nil {
 		projector = &engine.RefineProjector{Inner: sp, NL: nl, Refine: opt.ProjectionRefine}
@@ -256,6 +262,7 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 		Projector:     projector,
 		Schedule:      sched,
 		Monitor:       mon,
+		Obs:           opt.Obs,
 		MaxIterations: opt.MaxIterations,
 		InitialSolves: opt.InitialSolves,
 		MinIterations: opt.MinIterations,

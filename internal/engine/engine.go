@@ -39,6 +39,7 @@ import (
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
+	"complx/internal/obs"
 	"complx/internal/perr"
 	"complx/internal/region"
 	"complx/internal/sparse"
@@ -198,6 +199,10 @@ type Loop struct {
 	Schedule  Schedule
 	// Monitor observes per-iteration statistics; nil disables.
 	Monitor Monitor
+	// Obs, when non-nil, records the iteration trace, pipeline spans and
+	// pseudonet multiplier statistics. Instrumentation only reads placement
+	// state, so observed runs are bitwise identical to unobserved ones.
+	Obs *obs.Observer
 
 	// MaxIterations bounds global placement iterations (default 80).
 	MaxIterations int
@@ -335,20 +340,25 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 
 	l.lastFinite = nl.SnapshotPositions()
 	// Initial interconnect-only iterations.
+	initSpan := l.Obs.StartSpan("initial_solves")
 	for i := 0; i < l.InitialSolves; i++ {
 		if err := l.solveStep(ctx, 0, nil, nil); err != nil {
+			initSpan.End()
 			if ctx.Err() != nil {
 				return cancelExit(0, err)
 			}
 			return nil, err
 		}
 	}
+	initSpan.End()
 
 	var lastAsm, lastSolve time.Duration
 
 	for k := 1; k <= l.MaxIterations; k++ {
 		tProj := time.Now()
+		projSpan := l.Obs.StartSpan("project")
 		pr, err := l.Projector.Project(ctx, k)
+		projSpan.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				return cancelExit(k, err)
@@ -357,6 +367,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		}
 		projTime := time.Since(tProj)
 		res.ProjectionTime += projTime
+		l.Obs.AddSeconds(obs.MetricProjectionSeconds, projTime)
 		anchors := pr.Anchors
 
 		curPos := nl.Positions()
@@ -417,6 +428,15 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		if l.Monitor != nil {
 			l.Monitor.OnIteration(st)
 		}
+		l.Obs.RecordIteration(obs.IterSample{
+			Iter: st.Iter, Lambda: st.Lambda,
+			Phi: st.Phi, PhiUpper: st.PhiUpper,
+			Pi: st.Pi, L: st.L,
+			Overflow: st.Overflow, GridNX: st.GridNX,
+			ProjectSeconds:  st.ProjectTime.Seconds(),
+			AssemblySeconds: st.AssemblyTime.Seconds(),
+			SolveSeconds:    st.SolveTime.Seconds(),
+		})
 
 		if phiUpper < bestUpper {
 			bestUpper = phiUpper
@@ -456,7 +476,11 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			}
 			lambdas[i] = lambda * s
 		}
-		if err := l.solveStep(ctx, k, anchors, lambdas); err != nil {
+		l.Obs.RecordPseudoWeights(lambdas)
+		solveSpan := l.Obs.StartSpan("solve")
+		err = l.solveStep(ctx, k, anchors, lambdas)
+		solveSpan.End()
+		if err != nil {
 			if ctx.Err() != nil {
 				return cancelExit(k, err)
 			}

@@ -7,6 +7,7 @@ import (
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
+	"complx/internal/obs"
 	"complx/internal/perr"
 )
 
@@ -51,6 +52,11 @@ type OverflowLoop struct {
 	Netlist *netlist.Netlist
 	Primal  PrimalSolver
 	Dual    DualStepper
+	// Obs, when non-nil, records the per-iteration overflow/HPWL trace and
+	// the dual/primal stage spans. The per-iteration HPWL shown in the trace
+	// is measured only when an observer is attached (a read-only
+	// computation, so observed runs stay bitwise identical).
+	Obs *obs.Observer
 
 	// MaxIterations bounds the measure/spread/solve loop (required > 0).
 	MaxIterations int
@@ -92,11 +98,20 @@ func (l *OverflowLoop) Run(ctx context.Context) (*OverflowResult, error) {
 		grid.AccumulateMovable(nl)
 		res.Overflow = grid.OverflowRatio()
 		res.Iterations = k
+		if l.Obs != nil {
+			// HPWL here is a read-only measurement taken only for the trace;
+			// unobserved runs skip it entirely.
+			l.Obs.RecordIteration(obs.IterSample{
+				Iter: k, Overflow: res.Overflow, HPWL: netmodel.HPWL(nl),
+			})
+		}
 		if res.Overflow < l.StopOverflow {
 			res.Converged = true
 			break
 		}
+		dualSpan := l.Obs.StartSpan("dual_step")
 		step, err := l.Dual.Step(ctx, k, grid)
+		dualSpan.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				return cancelExit(k, err)
@@ -107,7 +122,13 @@ func (l *OverflowLoop) Run(ctx context.Context) (*OverflowResult, error) {
 			res.Converged = true
 			break
 		}
-		if err := l.Primal.Solve(ctx, step.Anchors, step.Lambdas); err != nil {
+		if step.Lambdas != nil {
+			l.Obs.RecordPseudoWeights(step.Lambdas)
+		}
+		solveSpan := l.Obs.StartSpan("solve")
+		err = l.Primal.Solve(ctx, step.Anchors, step.Lambdas)
+		solveSpan.End()
+		if err != nil {
 			if ctx.Err() != nil {
 				return cancelExit(k, err)
 			}

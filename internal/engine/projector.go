@@ -8,6 +8,7 @@ import (
 	"complx/internal/density"
 	"complx/internal/geom"
 	"complx/internal/netlist"
+	"complx/internal/obs"
 	"complx/internal/region"
 	"complx/internal/shred"
 	"complx/internal/spread"
@@ -35,6 +36,9 @@ type SpreadProjector struct {
 	Routability      bool
 	RoutingCapacity  float64
 	RoutabilityAlpha float64
+	// Obs, when non-nil, is forwarded to the spreader so it can count
+	// sweeps and processed regions.
+	Obs *obs.Observer
 
 	nl       *netlist.Netlist
 	shredder *shred.Shredder
@@ -73,7 +77,7 @@ func (p *SpreadProjector) Project(ctx context.Context, iter int) (*Projection, e
 	if err != nil {
 		return nil, err
 	}
-	proj := spread.NewProjector(grid, spread.Options{OptimalLeaf: p.OptimalLeaf})
+	proj := spread.NewProjector(grid, spread.Options{OptimalLeaf: p.OptimalLeaf, Obs: p.Obs})
 	items := p.shredder.Items()
 	if p.Routability {
 		if err := p.inflateItems(items, nx); err != nil {

@@ -30,6 +30,7 @@ func LegalizeAbacusCtx(ctx context.Context, nl *netlist.Netlist, opt Options) er
 	if len(nl.Rows) == 0 {
 		return fmt.Errorf("legalize: netlist %q has no rows", nl.Name)
 	}
+	defer opt.observe("legalize_abacus", nl)()
 	obstacles := fixedObstacles(nl)
 	macros := movableMacros(nl)
 	if err := packMacros(ctx, nl, macros, obstacles); err != nil {

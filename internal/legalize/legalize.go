@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"complx/internal/geom"
 	"complx/internal/netlist"
+	"complx/internal/obs"
 )
 
 // Options tunes legalization.
@@ -21,6 +23,29 @@ type Options struct {
 	// MaxDisplacement bounds the row search around each cell's desired
 	// position, in row heights. <= 0 means unlimited.
 	MaxDisplacement float64
+	// Obs, when non-nil, records a span per legalization call plus
+	// legalized-cell counts and wall-clock. Read-only instrumentation;
+	// results are identical with or without it.
+	Obs *obs.Observer
+}
+
+// observe opens the instrumentation span for one legalizer invocation and
+// returns the closure that finishes it: cell count, wall-clock counter and
+// span end. Shared by the Tetris and Abacus entry points.
+func (opt Options) observe(name string, nl *netlist.Netlist) func() {
+	o := opt.Obs
+	if o == nil {
+		return func() {}
+	}
+	start := time.Now()
+	sp := o.StartSpan(name)
+	return func() {
+		d := time.Since(start)
+		sp.SetAttr("cells", float64(len(nl.Movables())))
+		sp.End()
+		o.AddCount(obs.MetricLegalizedCells, float64(len(nl.Movables())))
+		o.AddSeconds(obs.MetricLegalizeSeconds, d)
+	}
 }
 
 // Legalize moves every movable cell of nl to a legal position: macros
@@ -47,6 +72,7 @@ func LegalizeCtx(ctx context.Context, nl *netlist.Netlist, opt Options) error {
 	if len(nl.Rows) == 0 {
 		return fmt.Errorf("legalize: netlist %q has no rows", nl.Name)
 	}
+	defer opt.observe("legalize_tetris", nl)()
 	obstacles := fixedObstacles(nl)
 	macros := movableMacros(nl)
 	if err := packMacros(ctx, nl, macros, obstacles); err != nil {

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric catalog: every metric the pipeline emits, by canonical name.
+// DESIGN.md §9 documents the catalog; helpFor holds the per-metric help
+// strings rendered in the Prometheus exposition.
+const (
+	MetricIterations       = "complx_iterations_total"
+	MetricHPWL             = "complx_hpwl"
+	MetricScaledHPWL       = "complx_scaled_hpwl"
+	MetricOverflow         = "complx_overflow"
+	MetricLambda           = "complx_lambda"
+	MetricPi               = "complx_pi"
+	MetricGridNX           = "complx_grid_nx"
+	MetricPhaseChanges     = "complx_phase_changes_total"
+	MetricIterationSeconds = "complx_iteration_seconds"
+
+	MetricCGSolves          = "complx_cg_solves_total"
+	MetricCGIterations      = "complx_cg_iterations_total"
+	MetricCGUnconverged     = "complx_cg_unconverged_total"
+	MetricCGItersPerSolve   = "complx_cg_iterations_per_solve"
+	MetricCGActiveIteration = "complx_cg_active_iteration"
+	MetricCGLastResidual    = "complx_cg_last_residual"
+
+	MetricAssemblySeconds   = "complx_assembly_seconds_total"
+	MetricCGSeconds         = "complx_cg_seconds_total"
+	MetricProjectionSeconds = "complx_projection_seconds_total"
+	MetricLegalizeSeconds   = "complx_legalize_seconds_total"
+
+	MetricPseudoWeightMin  = "complx_pseudonet_weight_min"
+	MetricPseudoWeightMax  = "complx_pseudonet_weight_max"
+	MetricPseudoWeightMean = "complx_pseudonet_weight_mean"
+
+	MetricSpreadRegions  = "complx_spread_regions_total"
+	MetricSpreadSweeps   = "complx_spread_sweeps_total"
+	MetricLegalizedCells = "complx_legalize_cells_total"
+)
+
+// helpFor returns the exposition help string for a cataloged metric name
+// (generic fallback for ad-hoc names).
+func helpFor(name string) string {
+	if h, ok := metricHelp[name]; ok {
+		return h
+	}
+	return "complx placement metric"
+}
+
+var metricHelp = map[string]string{
+	MetricIterations:        "Global placement iterations completed.",
+	MetricHPWL:              "Half-perimeter wirelength of the current placement.",
+	MetricScaledHPWL:        "ISPD-2006 scaled HPWL of the final placement.",
+	MetricOverflow:          "Density overflow ratio of the current placement.",
+	MetricLambda:            "Current Lagrange multiplier lambda.",
+	MetricPi:                "Current L1 distance to the feasibility projection.",
+	MetricGridNX:            "Projection grid resolution of the current iteration.",
+	MetricPhaseChanges:      "Pipeline phase transitions (global/legalize/detailed/done).",
+	MetricIterationSeconds:  "Wall-clock seconds per global placement iteration.",
+	MetricCGSolves:          "Preconditioned-CG solves completed (one per dimension).",
+	MetricCGIterations:      "Total CG inner iterations across all solves.",
+	MetricCGUnconverged:     "CG solves that hit MaxIter before reaching tolerance.",
+	MetricCGItersPerSolve:   "CG inner iterations per solve.",
+	MetricCGActiveIteration: "Inner iteration of the CG solve currently running.",
+	MetricCGLastResidual:    "Relative residual last reported by a CG solve.",
+	MetricAssemblySeconds:   "Wall-clock seconds spent assembling linear systems.",
+	MetricCGSeconds:         "Wall-clock seconds spent inside CG solves.",
+	MetricProjectionSeconds: "Wall-clock seconds spent in feasibility projections.",
+	MetricLegalizeSeconds:   "Wall-clock seconds spent in legalization.",
+	MetricPseudoWeightMin:   "Minimum per-movable pseudonet multiplier this iteration.",
+	MetricPseudoWeightMax:   "Maximum per-movable pseudonet multiplier this iteration.",
+	MetricPseudoWeightMean:  "Mean per-movable pseudonet multiplier this iteration.",
+	MetricSpreadRegions:     "Overfilled cluster regions processed by the spreader.",
+	MetricSpreadSweeps:      "Cluster-and-spread sweeps executed by the spreader.",
+	MetricLegalizedCells:    "Cells placed by the legalizers.",
+}
+
+// bucketsFor returns histogram bucket bounds by metric name.
+func bucketsFor(name string) []float64 {
+	switch name {
+	case MetricCGItersPerSolve:
+		return []float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+	default: // duration histograms
+		return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+	}
+}
+
+// Counter is a monotonically increasing float64, safe for concurrent use.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increments the counter by v (v < 0 is ignored); nil-safe.
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current count; nil-safe (0).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable float64, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v; nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value; nil-safe (0).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// counts are cumulative over le-bounds, plus +Inf, sum and count).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+// Observe records one sample; nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of samples observed; nil-safe (0).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observed samples; nil-safe (0).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Registry holds named metrics. Get-or-create is mutex-guarded; reads and
+// updates of the metric values themselves are lock-free (atomics) except
+// histograms.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // registration order
+	kind  map[string]byte
+	help  map[string]string
+	ctrs  map[string]*Counter
+	gaug  map[string]*Gauge
+	hist  map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kind: map[string]byte{},
+		help: map[string]string{},
+		ctrs: map[string]*Counter{},
+		gaug: map[string]*Gauge{},
+		hist: map[string]*Histogram{},
+	}
+}
+
+func (r *Registry) register(name, help string, kind byte) {
+	if _, ok := r.kind[name]; !ok {
+		r.kind[name] = kind
+		r.help[name] = help
+		r.names = append(r.names, name)
+	}
+}
+
+// Counter returns the named counter, creating it on first use; nil-safe.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.ctrs[name]; ok {
+		return c
+	}
+	r.register(name, help, 'c')
+	c := &Counter{}
+	r.ctrs[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gaug[name]; ok {
+		return g
+	}
+	r.register(name, help, 'g')
+	g := &Gauge{}
+	r.gaug[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use; nil-safe.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hist[name]; ok {
+		return h
+	}
+	r.register(name, help, 'h')
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]uint64, len(h.bounds)+1)
+	r.hist[name] = h
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (sorted by name, HELP and TYPE lines included).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		r.mu.Lock()
+		kind, help := r.kind[name], r.help[name]
+		c, g, h := r.ctrs[name], r.gaug[name], r.hist[name]
+		r.mu.Unlock()
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+		switch kind {
+		case 'c':
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %v\n", name, name, c.Value()); err != nil {
+				return err
+			}
+		case 'g':
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, g.Value()); err != nil {
+				return err
+			}
+		case 'h':
+			if err := writePrometheusHistogram(w, name, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePrometheusHistogram(w io.Writer, name string, h *Histogram) error {
+	h.mu.Lock()
+	bounds := append([]float64(nil), h.bounds...)
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, b, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n",
+		name, cum, name, sum, name, total)
+	return err
+}
+
+// Snapshot returns a flat name→value map of every counter and gauge plus
+// histogram sums/counts — the expvar and report representation.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.names))
+	for name, c := range r.ctrs {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gaug {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hist {
+		out[name+"_sum"] = h.Sum()
+		out[name+"_count"] = float64(h.Count())
+	}
+	return out
+}
+
+// expvar publication: a single package-level expvar variable "complx"
+// renders the snapshot of the most recently published observer (expvar
+// forbids duplicate names, so re-publication swaps the source atomically
+// instead of registering twice).
+var (
+	expvarOnce sync.Once
+	published  atomic.Pointer[Observer]
+)
+
+// PublishExpvar exposes the observer's metric snapshot as the expvar
+// variable "complx" (served at /debug/vars). Safe to call repeatedly and
+// from multiple observers; the latest publisher wins.
+func (o *Observer) PublishExpvar() {
+	if o == nil {
+		return
+	}
+	published.Store(o)
+	expvarOnce.Do(func() {
+		expvar.Publish("complx", expvar.Func(func() any {
+			if p := published.Load(); p != nil {
+				return p.Metrics().Snapshot()
+			}
+			return map[string]float64{}
+		}))
+	})
+}

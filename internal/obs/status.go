@@ -1,0 +1,31 @@
+package obs
+
+import "time"
+
+// Status is the live view of the in-flight run served by the /status
+// endpoint and embedded in the report.
+type Status struct {
+	Design    string    `json:"design"`
+	Algorithm string    `json:"algorithm"`
+	Cells     int       `json:"cells"`
+	Nets      int       `json:"nets"`
+	Pins      int       `json:"pins"`
+	Phase     string    `json:"phase"`
+	Iteration int       `json:"iteration"`
+	HPWL      float64   `json:"hpwl"`
+	Overflow  float64   `json:"overflow"`
+	Lambda    float64   `json:"lambda"`
+	Started   time.Time `json:"started"`
+	Updated   time.Time `json:"updated"`
+	Done      bool      `json:"done"`
+}
+
+// Status returns a snapshot of the live run status; nil-safe (zero value).
+func (o *Observer) Status() Status {
+	if o == nil {
+		return Status{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.status
+}

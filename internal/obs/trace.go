@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxSpans bounds the number of spans a tracer retains; spans started
+// beyond the cap are timed into their parent's attributes but not stored
+// individually (the drop count is reported in the span tree root).
+const maxSpans = 16384
+
+// Tracer records a tree of timed spans. The placement pipeline is
+// sequential at stage granularity, so nesting is tracked with a simple
+// mutex-guarded stack of open spans: StartSpan parents the new span under
+// the innermost open span.
+type Tracer struct {
+	obs *Observer
+
+	mu      sync.Mutex
+	roots   []*Span
+	stack   []*Span
+	count   int
+	dropped int
+}
+
+func newTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots = nil
+	t.stack = nil
+	t.count = 0
+	t.dropped = 0
+}
+
+// Span is one timed, optionally nested pipeline stage. All methods are
+// nil-receiver safe, so producers can call through a disabled observer
+// without guards.
+type Span struct {
+	tracer *Tracer
+
+	Name string
+
+	mu         sync.Mutex
+	attrs      map[string]float64
+	start      time.Time
+	dur        time.Duration
+	allocStart uint64
+	allocDelta uint64
+	children   []*Span
+	ended      bool
+	dropped    bool
+}
+
+// StartSpan opens a span named name, nested under the innermost open span.
+// The returned span must be closed with End; a nil observer returns a nil
+// span (End on nil is a no-op).
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	t := o.tracer
+	sp := &Span{tracer: t, Name: name, start: time.Now(), allocStart: o.readAllocs()}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count >= maxSpans {
+		t.dropped++
+		sp.dropped = true
+		return sp
+	}
+	t.count++
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		parent.mu.Lock()
+		parent.children = append(parent.children, sp)
+		parent.mu.Unlock()
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// SetAttr attaches a numeric attribute to the span; nil-safe.
+func (s *Span) SetAttr(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]float64{}
+	}
+	s.attrs[name] = v
+}
+
+// End closes the span, recording wall time and (when enabled) the heap
+// allocation delta. Safe on nil and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	var obs *Observer
+	if t != nil {
+		obs = t.obs
+	}
+	allocEnd := obs.readAllocs()
+
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	if allocEnd > s.allocStart {
+		s.allocDelta = allocEnd - s.allocStart
+	}
+	dropped := s.dropped
+	s.mu.Unlock()
+
+	if t == nil || dropped {
+		return
+	}
+	t.mu.Lock()
+	// Pop the span from the open stack (usually the top; out-of-order ends
+	// remove it wherever it is).
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Duration returns the span's recorded wall time (0 while open); nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// SpanNode is the JSON form of a recorded span.
+type SpanNode struct {
+	Name     string             `json:"name"`
+	Seconds  float64            `json:"seconds"`
+	AllocsKB float64            `json:"allocs_kb,omitempty"`
+	Attrs    map[string]float64 `json:"attrs,omitempty"`
+	Children []*SpanNode        `json:"children,omitempty"`
+	// Dropped on a root-level synthetic node reports spans discarded past
+	// the tracer's retention cap.
+	Dropped int `json:"dropped_spans,omitempty"`
+}
+
+func (s *Span) node() *SpanNode {
+	s.mu.Lock()
+	n := &SpanNode{
+		Name:     s.Name,
+		Seconds:  s.dur.Seconds(),
+		AllocsKB: float64(s.allocDelta) / 1024,
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]float64, len(s.attrs))
+		for k, v := range s.attrs {
+			n.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.node())
+	}
+	return n
+}
+
+// Spans returns the recorded span forest as JSON-ready nodes. When spans
+// were dropped past the retention cap, a synthetic trailing node reports
+// the count.
+func (o *Observer) Spans() []*SpanNode {
+	if o == nil {
+		return nil
+	}
+	t := o.tracer
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	out := make([]*SpanNode, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.node())
+	}
+	if dropped > 0 {
+		out = append(out, &SpanNode{Name: "(dropped)", Dropped: dropped})
+	}
+	return out
+}

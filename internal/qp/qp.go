@@ -22,6 +22,7 @@ import (
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
+	"complx/internal/obs"
 	"complx/internal/sparse"
 )
 
@@ -52,6 +53,10 @@ type Options struct {
 	// ClampToCore keeps solved centers inside the core (default on via
 	// Solve; set Raw to skip).
 	Raw bool
+	// Obs, when non-nil, records assembly/CG spans, per-solve CG statistics
+	// and live per-iteration CG progress. Instrumentation is read-only; a
+	// nil observer costs one branch per solve.
+	Obs *obs.Observer
 }
 
 // Result reports solver statistics.
@@ -138,6 +143,7 @@ func (s *Solver) SolveCtx(ctx context.Context, anchors *Anchors) (Result, error)
 	}
 
 	tAsm := time.Now()
+	asmSpan := opt.Obs.StartSpan("assemble")
 	sx, sy := s.asm.AssembleInto(func(bx, by *sparse.Builder, fx, fy []float64) {
 		if anchors != nil {
 			eps := s.asm.Eps()
@@ -181,7 +187,10 @@ func (s *Solver) SolveCtx(ctx context.Context, anchors *Anchors) (Result, error)
 			fy[k] += tiny * cc.Y
 		}
 	})
-	s.Metrics.Assembly += time.Since(tAsm)
+	asmDur := time.Since(tAsm)
+	s.Metrics.Assembly += asmDur
+	asmSpan.End()
+	opt.Obs.AddSeconds(obs.MetricAssemblySeconds, asmDur)
 
 	// Warm-start at the current placement.
 	n := s.asm.NumVars()
@@ -203,18 +212,34 @@ func (s *Solver) SolveCtx(ctx context.Context, anchors *Anchors) (Result, error)
 	// The two dimensions are separable (paper §3): solve them concurrently.
 	// Each solve issues parallel kernels against the shared worker pool.
 	tCG := time.Now()
+	cgSpan := opt.Obs.StartSpan("cg")
+	cgOpt := opt.CG
+	if cb := opt.Obs.CGProgress(); cb != nil {
+		// The callback only touches atomic gauges, so sharing it between
+		// the concurrent x/y solves is safe.
+		cgOpt.Progress = cb
+	}
 	var res Result
 	var errX, errY error
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res.Y, errY = sparse.SolvePCGCtx(ctx, sy.A, ys, sy.B, opt.CG, &s.cgY)
+		res.Y, errY = sparse.SolvePCGCtx(ctx, sy.A, ys, sy.B, cgOpt, &s.cgY)
 	}()
-	res.X, errX = sparse.SolvePCGCtx(ctx, sx.A, xs, sx.B, opt.CG, &s.cgX)
+	res.X, errX = sparse.SolvePCGCtx(ctx, sx.A, xs, sx.B, cgOpt, &s.cgX)
 	wg.Wait()
-	s.Metrics.CG += time.Since(tCG)
+	cgDur := time.Since(tCG)
+	s.Metrics.CG += cgDur
 	s.Metrics.Solves++
+	if o := opt.Obs; o != nil {
+		o.RecordCG(res.X.Iterations, res.X.Residual, res.X.Converged)
+		o.RecordCG(res.Y.Iterations, res.Y.Residual, res.Y.Converged)
+		o.AddSeconds(obs.MetricCGSeconds, cgDur)
+		cgSpan.SetAttr("iters_x", float64(res.X.Iterations))
+		cgSpan.SetAttr("iters_y", float64(res.Y.Iterations))
+	}
+	cgSpan.End()
 	if errX != nil {
 		return res, fmt.Errorf("qp: x solve: %w", errX)
 	}

@@ -16,6 +16,13 @@ type CGOptions struct {
 	Tol float64
 	// MaxIter bounds the iteration count. Defaults to 4*N when zero.
 	MaxIter int
+	// Progress, when non-nil, is invoked once per CG iteration with the
+	// iteration number and the current relative residual ‖r‖/‖b‖. It is
+	// observational only: the solver ignores anything it does, and the
+	// callback must be safe for concurrent use when the same options are
+	// shared between concurrent solves (the placement engine solves x and y
+	// concurrently).
+	Progress func(iter int, relResidual float64)
 }
 
 // CGResult reports how a solve went.
@@ -146,6 +153,9 @@ func SolvePCGCtx(ctx context.Context, a *CSR, x, b []float64, opt CGOptions, w *
 		}
 		rNorm := math.Sqrt(Norm2Sq(r))
 		res.Residual = rNorm / bNorm
+		if opt.Progress != nil {
+			opt.Progress(k, res.Residual)
+		}
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			return res, nil

@@ -21,6 +21,7 @@ import (
 
 	"complx/internal/density"
 	"complx/internal/geom"
+	"complx/internal/obs"
 )
 
 // Item is one movable object seen by the projection: a standard cell, a
@@ -48,6 +49,10 @@ type Options struct {
 	// gap variables) instead of uniform cumulative-area spreading; lower
 	// displacement at slightly higher residual overflow.
 	OptimalLeaf bool
+	// Obs, when non-nil, counts cluster-and-spread sweeps and processed
+	// overfilled regions. Read-only instrumentation; never changes the
+	// projection.
+	Obs *obs.Observer
 }
 
 func (o *Options) fill() {
@@ -189,6 +194,8 @@ func (p *Projector) sweep(ctx context.Context, items []Item) (bool, error) {
 		return false, nil
 	}
 	sort.Slice(clusters, func(a, b int) bool { return clusters[a].overflow > clusters[b].overflow })
+	p.opt.Obs.AddCount(obs.MetricSpreadSweeps, 1)
+	p.opt.Obs.AddCount(obs.MetricSpreadRegions, float64(len(clusters)))
 
 	for _, ci := range clusters {
 		if err := ctx.Err(); err != nil {

@@ -1,0 +1,41 @@
+package complx_test
+
+import (
+	"testing"
+
+	"complx"
+)
+
+// BenchmarkObserverOverhead is the nil-observer fast-path guard for the
+// full placement flow: the "nil" variant runs the exact instrumented code
+// with Options.Observer == nil (one predicted branch per hook site, zero
+// allocations — see the internal/obs micro-benchmarks), the "enabled"
+// variant attaches a live observer. Compare with
+//
+//	go test -bench=ObserverOverhead -benchtime=5x
+//
+// The nil variant must be within noise (<1%) of the pre-observability
+// baseline; the enabled variant shows the full instrumentation cost.
+func BenchmarkObserverOverhead(b *testing.B) {
+	spec, _ := complx.BenchmarkByName("adaptec1")
+	spec = complx.ScaleBenchmark(spec, 0.1)
+	place := func(b *testing.B, observer *complx.Observer) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			nl, err := complx.Generate(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := complx.Place(nl, complx.Options{
+				MaxIterations: 30,
+				Observer:      observer,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.HPWL, "hpwl")
+		}
+	}
+	b.Run("nil", func(b *testing.B) { place(b, nil) })
+	b.Run("enabled", func(b *testing.B) { place(b, complx.NewObserver()) })
+}

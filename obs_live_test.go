@@ -1,0 +1,109 @@
+package complx_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"complx"
+)
+
+// TestObserverServesDuringPlacement pins the live-observability contract:
+// while a placement is in flight, the observer's HTTP handler must serve
+// Prometheus metrics, the JSON status of the run, and the pprof index,
+// all without perturbing or blocking the placement.
+func TestObserverServesDuringPlacement(t *testing.T) {
+	spec, _ := complx.BenchmarkByName("adaptec1")
+	spec = complx.ScaleBenchmark(spec, 0.15)
+	nl, err := complx.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer := complx.NewObserver()
+	srv := httptest.NewServer(observer.Handler())
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := complx.PlaceContext(context.Background(), nl, complx.Options{
+			MaxIterations: 60,
+			Observer:      observer,
+		})
+		done <- err
+	}()
+
+	fetch := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Wait until the run has visibly started (phase set by the flow).
+	deadline := time.Now().Add(10 * time.Second)
+	started := false
+	for time.Now().Before(deadline) {
+		if _, body := fetch("/status"); strings.Contains(body, `"phase"`) &&
+			!strings.Contains(body, `"phase": ""`) {
+			started = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !started {
+		t.Fatal("run never became visible via /status")
+	}
+
+	// Metrics must be live Prometheus text: the phase counter exists from
+	// the moment the flow starts, the iteration counter appears with the
+	// first recorded iteration — poll for it (metrics persist after the
+	// run, so this cannot miss).
+	if code, body := fetch("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "complx_phase_changes_total") {
+		t.Errorf("/metrics during run: code=%d, body missing complx_phase_changes_total", code)
+	}
+	for {
+		if _, body := fetch("/metrics"); strings.Contains(body, "complx_iterations_total") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("complx_iterations_total never appeared in /metrics")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// pprof must be mounted (index page of /debug/pprof/).
+	if code, body := fetch("/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ during run: code=%d", code)
+	}
+	// /status must be valid JSON naming the design.
+	if _, body := fetch("/status"); !json.Valid([]byte(body)) ||
+		!strings.Contains(body, spec.Name) {
+		t.Errorf("/status is not valid JSON for design %q: %s", spec.Name, body)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// After completion, /report must carry the finished result.
+	_, body := fetch("/report")
+	var rep complx.RunReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/report: %v", err)
+	}
+	if !rep.Result.Legalized || rep.Result.HPWL <= 0 {
+		t.Errorf("/report after run: %+v", rep.Result)
+	}
+}

@@ -81,6 +81,8 @@ func fillNonZero(t *testing.T, v reflect.Value) {
 			f.Set(reflect.MakeFunc(f.Type(), func([]reflect.Value) []reflect.Value {
 				return nil
 			}))
+		case reflect.Ptr:
+			f.Set(reflect.New(f.Type().Elem()))
 		case reflect.Struct:
 			fillNonZero(t, f)
 		default:
