@@ -1,0 +1,175 @@
+package complx
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"complx/internal/chkpt"
+	"complx/internal/perr"
+)
+
+func checkpointSpec() BenchSpec {
+	return BenchSpec{Name: "ckpt1", NumCells: 300, Seed: 7, Utilization: 0.7}
+}
+
+func genCheckpointNetlist(t *testing.T) *Netlist {
+	t.Helper()
+	nl, err := Generate(checkpointSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// facadePositionsBits digests every cell position bit-for-bit.
+func facadePositionsBits(nl *Netlist) []uint64 {
+	out := make([]uint64, 0, 2*len(nl.Cells))
+	for i := range nl.Cells {
+		out = append(out, math.Float64bits(nl.Cells[i].X), math.Float64bits(nl.Cells[i].Y))
+	}
+	return out
+}
+
+// TestPlaceCheckpointResumeAfterCancel is the end-to-end facade contract: a
+// run cancelled mid-flight leaves a checkpoint on disk, and resuming it
+// produces bit-for-bit the same placement as the run that was never
+// interrupted.
+func TestPlaceCheckpointResumeAfterCancel(t *testing.T) {
+	base := Options{MaxIterations: 20, SkipLegalize: true, SkipDetailed: true}
+
+	// Uninterrupted reference (no checkpointing).
+	nlRef := genCheckpointNetlist(t)
+	resRef, err := Place(nlRef, base)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Interrupted run: cancel once iteration 6 completes (before the engine's
+	// minimum-iteration convergence floor, so the run is always mid-flight).
+	dir := t.TempDir()
+	nlInt := genCheckpointNetlist(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	optInt := base
+	optInt.Checkpoint = CheckpointOptions{Dir: dir, Interval: 2}
+	optInt.OnIteration = func(it IterStats) {
+		if it.Iter == 6 {
+			cancel()
+		}
+	}
+	resInt, err := PlaceContext(ctx, nlInt, optInt)
+	if err == nil || resInt == nil || !resInt.Cancelled {
+		t.Fatalf("want cancelled run with result, got res=%v err=%v", resInt, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, chkpt.FileName)); err != nil {
+		t.Fatalf("cancelled run left no checkpoint: %v", err)
+	}
+
+	// Resume and compare bitwise against the uninterrupted reference.
+	nlRes := genCheckpointNetlist(t)
+	optRes := base
+	optRes.Checkpoint = CheckpointOptions{Dir: dir, Interval: 2, Resume: true}
+	resRes, err := Place(nlRes, optRes)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !resRes.Resumed {
+		t.Error("resumed run did not report Resumed")
+	}
+	if resRes.GlobalIterations != resRef.GlobalIterations || resRes.Converged != resRef.Converged {
+		t.Errorf("resume diverged: iters %d vs %d, converged %v vs %v",
+			resRes.GlobalIterations, resRef.GlobalIterations, resRes.Converged, resRef.Converged)
+	}
+	if math.Float64bits(resRes.HPWL) != math.Float64bits(resRef.HPWL) {
+		t.Errorf("resume HPWL diverged: %v vs %v", resRes.HPWL, resRef.HPWL)
+	}
+	a, b := facadePositionsBits(nlRef), facadePositionsBits(nlRes)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("position word %d diverged after resume", i)
+		}
+	}
+}
+
+// wantCheckpointError asserts err is a *PlaceError at the checkpoint stage.
+func wantCheckpointError(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("want checkpoint-stage error, got nil")
+	}
+	var pe *PlaceError
+	if !errors.As(err, &pe) || pe.Stage != perr.StageCheckpoint {
+		t.Errorf("want *PlaceError at stage %q, got %v", perr.StageCheckpoint, err)
+	}
+}
+
+func TestPlaceCheckpointRejections(t *testing.T) {
+	base := Options{MaxIterations: 6, SkipLegalize: true, SkipDetailed: true}
+
+	t.Run("resume-without-dir", func(t *testing.T) {
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Checkpoint = CheckpointOptions{Resume: true}
+		_, err := Place(nl, opt)
+		wantCheckpointError(t, err)
+	})
+
+	t.Run("clustered", func(t *testing.T) {
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Clustered = true
+		opt.Checkpoint = CheckpointOptions{Dir: t.TempDir()}
+		_, err := Place(nl, opt)
+		wantCheckpointError(t, err)
+	})
+
+	t.Run("corrupt-file", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, chkpt.FileName), []byte("not a checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Checkpoint = CheckpointOptions{Dir: dir, Resume: true}
+		_, err := Place(nl, opt)
+		wantCheckpointError(t, err)
+	})
+
+	t.Run("mismatched-options", func(t *testing.T) {
+		dir := t.TempDir()
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Checkpoint = CheckpointOptions{Dir: dir, Interval: 2}
+		if _, err := Place(nl, opt); err != nil {
+			t.Fatal(err)
+		}
+		// Same checkpoint directory, different trajectory-steering option:
+		// the fingerprint check must reject the resume.
+		nl2 := genCheckpointNetlist(t)
+		opt2 := base
+		opt2.TargetDensity = 0.8
+		opt2.Checkpoint = CheckpointOptions{Dir: dir, Resume: true}
+		_, err := Place(nl2, opt2)
+		wantCheckpointError(t, err)
+		if !errors.Is(err, chkpt.ErrFingerprint) {
+			t.Errorf("want ErrFingerprint, got %v", err)
+		}
+	})
+
+	t.Run("missing-file-starts-fresh", func(t *testing.T) {
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Checkpoint = CheckpointOptions{Dir: t.TempDir(), Resume: true}
+		res, err := Place(nl, opt)
+		if err != nil {
+			t.Fatalf("fresh run with -resume and no checkpoint: %v", err)
+		}
+		if res.Resumed {
+			t.Error("fresh run reported Resumed")
+		}
+	})
+}

@@ -11,16 +11,25 @@
 //	complx -bench newblue7 -scale 0.25 -algo simpl
 //	complx -aux ./ibm01.aux -target 0.8 -pl out.pl -v
 //	complx -bench adaptec1 -timeout 30s -pl out.pl
+//	complx -bench adaptec1 -checkpoint ./ckpt            # crash-safe snapshots
+//	complx -bench adaptec1 -checkpoint ./ckpt -resume    # continue after a crash
 //
 // A -timeout budget or an interrupt (Ctrl-C) does not abort the run: the
 // flow stops at the best placement found so far, finishes legalization on
 // it, writes the requested outputs and exits 0.
+//
+// With -checkpoint, the global placement state is snapshotted atomically to
+// DIR/complx.ckpt every few iterations; -resume continues a killed run from
+// the last snapshot, bitwise identical to the uninterrupted run (see
+// DESIGN.md §10). Output files (-pl, -json in evalpl) are written with an
+// atomic replace, so a crash mid-write never corrupts a previous output.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"complx"
+	"complx/internal/fsatomic"
 )
 
 func main() {
@@ -55,6 +65,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best placement so far is legalized and written (exit 0)")
 		obsAddr   = flag.String("obs", "", "serve live observability HTTP on this address (e.g. :6060): /metrics, /status, /report, /debug/pprof/")
 		report    = flag.String("report", "", "write a JSON run report to BASE.json and a CSV convergence trace to BASE.csv")
+		ckptDir   = flag.String("checkpoint", "", "write crash-safe checkpoints of the global placement state to this directory")
+		ckptEvery = flag.Int("checkpoint-interval", 0, "iterations between checkpoints (0 = default 5)")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint if one exists (fresh run otherwise)")
 	)
 	flag.Parse()
 	complx.SetThreads(*threads)
@@ -70,6 +83,7 @@ func main() {
 		plOut: *plOut, outDir: *outDir, verbose: *verbose, plot: *plot,
 		clustered: *clustered, abacus: *abacus, routability: *routab,
 		timeout: *timeout, obsAddr: *obsAddr, reportBase: *report,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "complx:", err)
 		os.Exit(1)
@@ -79,11 +93,12 @@ func main() {
 // runCfg carries the parsed command-line configuration.
 type runCfg struct {
 	aux, bench, algo, plOut, outDir               string
-	obsAddr, reportBase                           string
+	obsAddr, reportBase, ckptDir                  string
 	scale, target                                 float64
 	finest, projDP, useLSE, skipLegal, skipDP     bool
 	verbose, plot, clustered, abacus, routability bool
-	maxIter                                       int
+	resume                                        bool
+	maxIter, ckptEvery                            int
 	timeout                                       time.Duration
 }
 
@@ -174,6 +189,11 @@ func run(ctx context.Context, cfg runCfg) error {
 		AbacusLegalizer: cfg.abacus,
 		Routability:     cfg.routability,
 		Observer:        observer,
+		Checkpoint: complx.CheckpointOptions{
+			Dir:      cfg.ckptDir,
+			Interval: cfg.ckptEvery,
+			Resume:   cfg.resume,
+		},
 	}
 	if cfg.verbose {
 		opt.OnIteration = func(it complx.IterStats) {
@@ -193,6 +213,17 @@ func run(ctx context.Context, cfg runCfg) error {
 	}
 
 	fmt.Printf("algorithm:        %s\n", alg)
+	if res.Resumed {
+		fmt.Printf("resumed:          from checkpoint in %s\n", cfg.ckptDir)
+	}
+	if n := len(res.Recovery); n > 0 {
+		fmt.Printf("recovery:         %d fallback event(s)\n", n)
+		if cfg.verbose {
+			for _, e := range res.Recovery {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+	}
 	fmt.Printf("HPWL:             %.0f\n", res.HPWL)
 	fmt.Printf("scaled HPWL:      %.0f  (overflow penalty %.2f%%)\n", res.ScaledHPWL, res.OverflowPercent)
 	fmt.Printf("GP iterations:    %d (converged=%v, final lambda=%.4f, gap=%.3f)\n",
@@ -214,15 +245,11 @@ func run(ctx context.Context, cfg runCfg) error {
 		complx.PrintCongestionMap(os.Stdout, nl, 64, 28, 0)
 	}
 	if plOut := cfg.plOut; plOut != "" {
-		f, err := os.Create(plOut)
-		if err != nil {
-			return err
-		}
-		if err := complx.WritePlacement(f, nl); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic replace: a crash (or injected fault) mid-write leaves any
+		// previous placement file intact instead of a truncated one.
+		if err := fsatomic.WriteFile(plOut, 0o644, func(w io.Writer) error {
+			return complx.WritePlacement(w, nl)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", plOut)

@@ -6,24 +6,29 @@
 // Example:
 //
 //	evalpl -aux design.aux -pl placed.pl -target 0.8
+//	evalpl -aux design.aux -pl placed.pl -json scores.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"complx"
+	"complx/internal/fsatomic"
 )
 
 func main() {
 	var (
-		aux    = flag.String("aux", "", "Bookshelf .aux benchmark")
-		pl     = flag.String("pl", "", "placement file to evaluate (defaults to the benchmark's own .pl)")
-		target = flag.Float64("target", 0, "target density gamma; 0 uses the benchmark default")
+		aux      = flag.String("aux", "", "Bookshelf .aux benchmark")
+		pl       = flag.String("pl", "", "placement file to evaluate (defaults to the benchmark's own .pl)")
+		target   = flag.Float64("target", 0, "target density gamma; 0 uses the benchmark default")
+		jsonPath = flag.String("json", "", "also write the scores as JSON to this file (atomic replace)")
 	)
 	flag.Parse()
-	if err := run(*aux, *pl, *target); err != nil {
+	if err := run(*aux, *pl, *target, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "evalpl:", err)
 		os.Exit(1)
 	}
@@ -76,7 +81,40 @@ func evaluate(aux, pl string, target float64) (*evalResult, error) {
 	}, nil
 }
 
-func run(aux, pl string, target float64) error {
+// jsonScores is the machine-readable rendering of an evalResult.
+type jsonScores struct {
+	Design       string  `json:"design"`
+	HPWL         float64 `json:"hpwl"`
+	WeightedHPWL float64 `json:"weighted_hpwl"`
+	MST          float64 `json:"mst"`
+	Steiner      float64 `json:"steiner"`
+	ScaledHPWL   float64 `json:"scaled_hpwl"`
+	Penalty      float64 `json:"overflow_penalty_percent"`
+	Target       float64 `json:"target_density"`
+	Violations   int     `json:"legal_violations"`
+}
+
+// writeJSON atomically replaces path with the JSON scores, so a crash (or an
+// injected short write) leaves any previous scores file intact.
+func writeJSON(path string, r *evalResult) error {
+	return fsatomic.WriteFile(path, 0o644, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonScores{
+			Design:       r.NL.Name,
+			HPWL:         r.HPWL,
+			WeightedHPWL: r.WeightedHPWL,
+			MST:          r.MST,
+			Steiner:      r.Steiner,
+			ScaledHPWL:   r.Scaled,
+			Penalty:      r.Penalty,
+			Target:       r.Target,
+			Violations:   len(r.Violations),
+		})
+	})
+}
+
+func run(aux, pl string, target float64, jsonPath string) error {
 	r, err := evaluate(aux, pl, target)
 	if err != nil {
 		return err
@@ -91,6 +129,12 @@ func run(aux, pl string, target float64) error {
 		fmt.Println("legality:      OK")
 	} else {
 		fmt.Printf("legality:      %d violations (first: %s)\n", len(r.Violations), r.Violations[0])
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, r); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
 }

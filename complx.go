@@ -308,6 +308,11 @@ type Options struct {
 	// OnIteration observes global placement iterations.
 	OnIteration func(IterStats)
 
+	// Checkpoint enables persistent checkpoint/resume for the global
+	// placement stage; see CheckpointOptions and DESIGN.md §10. Not
+	// supported together with Clustered.
+	Checkpoint CheckpointOptions
+
 	// Observer, when non-nil, instruments the whole flow: pipeline spans
 	// (global → legalize → detailed), metrics, the live /status view and
 	// the final run report. Instrumentation only reads placement state, so
@@ -340,6 +345,14 @@ type Result struct {
 	// legalization was requested — and the accompanying error carries the
 	// stage and iteration at which the cancel was observed.
 	Cancelled bool
+
+	// Resumed reports that global placement was primed from a checkpoint
+	// (Options.Checkpoint.Resume with a matching snapshot on disk).
+	Resumed bool
+	// Recovery is the structured solver-recovery log: one event per
+	// fallback-ladder attempt and per failed checkpoint save. Empty on a
+	// clean run.
+	Recovery []RecoveryEvent
 
 	// Flow stages actually run and their wall-clock durations.
 	Legalized, Detailed   bool
@@ -410,6 +423,12 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 	if opt.TargetDensity <= 0 || opt.TargetDensity > 1 {
 		opt.TargetDensity = 1
 	}
+	// Persistent checkpointing (after the density normalization above, so
+	// the fingerprint sees canonical option values).
+	ckptMgr, resumeState, ckptErr := setupCheckpoint(nl, opt)
+	if ckptErr != nil {
+		return nil, ckptErr
+	}
 	res := &Result{}
 	o := opt.Observer
 	o.StartRun(obs.RunInfo{
@@ -435,6 +454,12 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 	o.SetPhase("global")
 	globalSpan := o.StartSpan("global")
 	coreOpt := coreOptions(opt)
+	if ckptMgr != nil {
+		// Assign only a non-nil manager: a typed-nil *chkpt.Manager stored in
+		// the interface field would defeat the engine's `!= nil` guards.
+		coreOpt.Checkpoint = ckptMgr
+		coreOpt.Resume = resumeState
+	}
 	if opt.ProjectionDP {
 		coreOpt.ProjectionRefine = func(n *Netlist) error {
 			// Best-effort: a projection that cannot be legalized this early
@@ -486,6 +511,10 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 			res.AssemblyTime = r.AssemblyTime
 			res.SolveTime = r.SolveTime
 			res.ProjectionTime = r.ProjectionTime
+			res.Resumed = r.Resumed
+			if r.Recovery != nil {
+				res.Recovery = r.Recovery.Events
+			}
 		}
 	case AlgSimPL:
 		var r *core.Result
@@ -500,39 +529,70 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 			res.AssemblyTime = r.AssemblyTime
 			res.SolveTime = r.SolveTime
 			res.ProjectionTime = r.ProjectionTime
+			res.Resumed = r.Resumed
+			if r.Recovery != nil {
+				res.Recovery = r.Recovery.Events
+			}
 		}
 	case AlgFastPlaceCS:
-		var r *baseline.FPResult
-		r, err = baseline.FastPlaceCSContext(ctx, nl, baseline.FPOptions{
+		fpOpt := baseline.FPOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
 			Obs:           opt.Observer,
-		})
+		}
+		if ckptMgr != nil {
+			fpOpt.Checkpoint = ckptMgr
+			fpOpt.Resume = resumeState
+		}
+		var r *baseline.FPResult
+		r, err = baseline.FastPlaceCSContext(ctx, nl, fpOpt)
 		if r != nil {
 			res.GlobalIterations = r.Iterations
 			res.Converged = r.Converged
+			res.Resumed = r.Resumed
+			if r.Recovery != nil {
+				res.Recovery = r.Recovery.Events
+			}
 		}
 	case AlgNLP:
-		var r *baseline.NLPResult
-		r, err = baseline.NLPContext(ctx, nl, baseline.NLPOptions{
+		nlpOpt := baseline.NLPOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
 			Obs:           opt.Observer,
-		})
+		}
+		if ckptMgr != nil {
+			nlpOpt.Checkpoint = ckptMgr
+			nlpOpt.Resume = resumeState
+		}
+		var r *baseline.NLPResult
+		r, err = baseline.NLPContext(ctx, nl, nlpOpt)
 		if r != nil {
 			res.GlobalIterations = r.Iterations
 			res.Converged = r.Converged
+			res.Resumed = r.Resumed
+			if r.Recovery != nil {
+				res.Recovery = r.Recovery.Events
+			}
 		}
 	case AlgRQL:
-		var r *baseline.RQLResult
-		r, err = baseline.RQLContext(ctx, nl, baseline.RQLOptions{
+		rqlOpt := baseline.RQLOptions{
 			TargetDensity: opt.TargetDensity,
 			MaxIterations: opt.MaxIterations,
 			Obs:           opt.Observer,
-		})
+		}
+		if ckptMgr != nil {
+			rqlOpt.Checkpoint = ckptMgr
+			rqlOpt.Resume = resumeState
+		}
+		var r *baseline.RQLResult
+		r, err = baseline.RQLContext(ctx, nl, rqlOpt)
 		if r != nil {
 			res.GlobalIterations = r.Iterations
 			res.Converged = r.Converged
+			res.Resumed = r.Resumed
+			if r.Recovery != nil {
+				res.Recovery = r.Recovery.Events
+			}
 		}
 	default:
 		globalSpan.End()

@@ -2,9 +2,11 @@ package baseline
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
+	"complx/internal/chkpt"
 	"complx/internal/density"
 	"complx/internal/engine"
 	"complx/internal/geom"
@@ -12,6 +14,7 @@ import (
 	"complx/internal/netmodel"
 	"complx/internal/obs"
 	"complx/internal/qp"
+	"complx/internal/resilience"
 )
 
 // RQLOptions tunes the RQL-style baseline.
@@ -33,6 +36,10 @@ type RQLOptions struct {
 	// Obs, when non-nil, instruments the run (iteration trace, CG metrics,
 	// spans) identically to the ComPLx placer.
 	Obs *obs.Observer
+	// Checkpoint, when non-nil, receives complete engine snapshots (see
+	// core.Options.Checkpoint); Resume primes the run from a saved one.
+	Checkpoint engine.CheckpointSink
+	Resume     *chkpt.State
 }
 
 func (o *RQLOptions) fill() {
@@ -62,6 +69,10 @@ type RQLResult struct {
 	Converged  bool
 	HPWL       float64
 	Overflow   float64
+	// Resumed reports that the run was primed from a checkpoint.
+	Resumed bool
+	// Recovery logs checkpoint-save failures; never nil.
+	Recovery *resilience.Log
 }
 
 // rqlStepper is the RQL dual step: diffusion-based local spreading of
@@ -76,6 +87,19 @@ type rqlStepper struct {
 	percentile float64
 	hold       float64
 	holdStep   float64
+}
+
+// CaptureState implements engine.StateCodec: the hold-anchor weight and
+// its per-iteration step are the stepper's only numeric state.
+func (s *rqlStepper) CaptureState() []float64 { return []float64{s.hold, s.holdStep} }
+
+// RestoreState implements engine.StateCodec.
+func (s *rqlStepper) RestoreState(state []float64) error {
+	if len(state) != 2 {
+		return fmt.Errorf("baseline: rqlStepper state wants 2 values, checkpoint carries %d", len(state))
+	}
+	s.hold, s.holdStep = state[0], state[1]
+	return nil
 }
 
 func (s *rqlStepper) Step(ctx context.Context, iter int, _ *density.Grid) (engine.DualStep, error) {
@@ -132,12 +156,16 @@ func RQLContext(ctx context.Context, nl *netlist.Netlist, opt RQLOptions) (*RQLR
 		TargetDensity: opt.TargetDensity,
 		NX:            nx, NY: ny,
 		InitialSolves: 5,
+		Design:        nl.Name,
+		Algorithm:     "rql",
+		Checkpoint:    opt.Checkpoint,
+		Resume:        opt.Resume,
 	}
 	r, err := loop.Run(ctx)
 	if r == nil {
 		return nil, err
 	}
-	return &RQLResult{Iterations: r.Iterations, Converged: r.Converged, HPWL: r.HPWL, Overflow: r.Overflow}, err
+	return &RQLResult{Iterations: r.Iterations, Converged: r.Converged, HPWL: r.HPWL, Overflow: r.Overflow, Resumed: r.Resumed, Recovery: r.Recovery}, err
 }
 
 // relaxedLambdas assigns the hold weight per cell but scales down the cells

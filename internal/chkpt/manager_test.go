@@ -1,0 +1,205 @@
+package chkpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"complx/internal/faultinject"
+	"complx/internal/perr"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	return &Manager{
+		Dir:         t.TempDir(),
+		Fingerprint: Fingerprint("algo=complx", "design=adaptec-mini"),
+	}
+}
+
+func TestManagerSaveLoadRoundTrip(t *testing.T) {
+	m := newManager(t)
+	st := fullState()
+	st.Fingerprint = [32]byte{} // Save must stamp the manager's fingerprint
+	if err := m.Save(st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if !m.Exists() {
+		t.Fatal("Exists() false after Save")
+	}
+	got, err := m.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Fingerprint != m.Fingerprint {
+		t.Error("loaded fingerprint differs from manager's")
+	}
+	if got.Iter != st.Iter || got.Design != st.Design {
+		t.Errorf("loaded state mismatch: iter=%d design=%q", got.Iter, got.Design)
+	}
+}
+
+func TestManagerSaveOverwritesAtomically(t *testing.T) {
+	m := newManager(t)
+	st := fullState()
+	if err := m.Save(st); err != nil {
+		t.Fatalf("Save 1: %v", err)
+	}
+	st.Iter = 99
+	if err := m.Save(st); err != nil {
+		t.Fatalf("Save 2: %v", err)
+	}
+	got, err := m.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Iter != 99 {
+		t.Errorf("Load returned iter %d, want 99", got.Iter)
+	}
+	// No stale temp files from the staged writes.
+	entries, err := os.ReadDir(m.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("stale temp file %q left behind", e.Name())
+		}
+	}
+}
+
+func TestManagerLoadRejectsWrongFingerprint(t *testing.T) {
+	m := newManager(t)
+	if err := m.Save(fullState()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	other := &Manager{Dir: m.Dir, Fingerprint: Fingerprint("algo=simpl", "design=other")}
+	_, err := other.Load()
+	if !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("Load with wrong fingerprint = %v, want ErrFingerprint", err)
+	}
+	var pe *perr.Error
+	if !errors.As(err, &pe) || pe.Stage != perr.StageCheckpoint {
+		t.Errorf("error not wrapped with checkpoint stage: %v", err)
+	}
+}
+
+func TestManagerLoadRejectsCorruptFile(t *testing.T) {
+	m := newManager(t)
+	if err := m.Save(fullState()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	data, err := os.ReadFile(m.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(m.Path(), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, lerr := m.Load()
+	if !errors.Is(lerr, ErrCorrupt) {
+		t.Fatalf("Load of corrupt file = %v, want ErrCorrupt", lerr)
+	}
+}
+
+func TestManagerLoadMissingFile(t *testing.T) {
+	m := newManager(t)
+	if m.Exists() {
+		t.Fatal("Exists() true for empty dir")
+	}
+	_, err := m.Load()
+	if err == nil {
+		t.Fatal("Load of missing checkpoint succeeded")
+	}
+}
+
+// TestManagerSaveInjectedFailureKeepsOldCheckpoint pins the crash-safety
+// contract: a failed save (here an injected I/O error) must leave the
+// previous checkpoint loadable.
+func TestManagerSaveInjectedFailureKeepsOldCheckpoint(t *testing.T) {
+	m := newManager(t)
+	st := fullState()
+	st.Iter = 10
+	if err := m.Save(st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	inj := faultinject.New()
+	inj.Add(faultinject.Rule{Point: faultinject.CheckpointSave})
+	faultinject.Activate(inj)
+	defer faultinject.Deactivate()
+
+	st.Iter = 20
+	err := m.Save(st)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Save with injected fault = %v, want ErrInjected", err)
+	}
+	faultinject.Deactivate()
+
+	got, lerr := m.Load()
+	if lerr != nil {
+		t.Fatalf("Load after failed save: %v", lerr)
+	}
+	if got.Iter != 10 {
+		t.Errorf("old checkpoint clobbered: iter=%d, want 10", got.Iter)
+	}
+}
+
+// TestManagerSaveShortWriteKeepsOldCheckpoint does the same through the
+// fsatomic short-write injection point: the staged temp file is abandoned,
+// the published checkpoint untouched.
+func TestManagerSaveShortWriteKeepsOldCheckpoint(t *testing.T) {
+	m := newManager(t)
+	st := fullState()
+	st.Iter = 10
+	if err := m.Save(st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	inj := faultinject.New()
+	inj.Add(faultinject.Rule{Point: faultinject.AtomicWriteShort, Match: FileName})
+	faultinject.Activate(inj)
+	defer faultinject.Deactivate()
+
+	st.Iter = 20
+	if err := m.Save(st); err == nil {
+		t.Fatal("Save with injected short write succeeded")
+	}
+	faultinject.Deactivate()
+
+	got, lerr := m.Load()
+	if lerr != nil {
+		t.Fatalf("Load after short write: %v", lerr)
+	}
+	if got.Iter != 10 {
+		t.Errorf("old checkpoint clobbered: iter=%d, want 10", got.Iter)
+	}
+	entries, err := os.ReadDir(m.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != FileName {
+			t.Errorf("unexpected file %q in checkpoint dir", filepath.Join(m.Dir, e.Name()))
+		}
+	}
+}
+
+func TestManagerEmptyDirRejected(t *testing.T) {
+	m := &Manager{}
+	if err := m.Save(fullState()); err == nil {
+		t.Fatal("Save with empty Dir succeeded")
+	}
+}
+
+func TestIntervalOrDefault(t *testing.T) {
+	if got := (&Manager{}).IntervalOrDefault(); got != DefaultInterval {
+		t.Errorf("default interval = %d, want %d", got, DefaultInterval)
+	}
+	if got := (&Manager{Interval: 3}).IntervalOrDefault(); got != 3 {
+		t.Errorf("interval = %d, want 3", got)
+	}
+}

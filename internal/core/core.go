@@ -29,11 +29,13 @@ import (
 	"context"
 	"math"
 
+	"complx/internal/chkpt"
 	"complx/internal/engine"
 	"complx/internal/netlist"
 	"complx/internal/obs"
 	"complx/internal/perr"
 	"complx/internal/qp"
+	"complx/internal/resilience"
 	"complx/internal/sparse"
 
 	"complx/internal/netmodel"
@@ -125,6 +127,17 @@ type Options struct {
 	// trace). Instrumentation only reads placement state, so observed runs
 	// are bitwise identical to unobserved ones.
 	Obs *obs.Observer
+
+	// Checkpoint, when non-nil, receives complete engine snapshots every
+	// IntervalOrDefault-th iteration and on cancellation (chkpt.Manager is
+	// the persistent implementation). Resume, when non-nil, primes the run
+	// from a previously saved snapshot; the resumed run is bitwise
+	// identical to the uninterrupted one. See DESIGN.md §10.
+	Checkpoint engine.CheckpointSink
+	Resume     *chkpt.State
+	// RecoveryPolicy overrides the solver fallback ladder (nil selects
+	// resilience.DefaultPolicy).
+	RecoveryPolicy *resilience.Policy
 }
 
 func (o *Options) fill() {
@@ -169,9 +182,11 @@ type Result = engine.Result
 // netlist.Validate before any numerics run, and all failures are returned
 // as *perr.Error values carrying the stage and iteration. When a primal
 // solve produces a non-finite system (sparse.ErrNotFinite), Place degrades
-// gracefully: it restores the last finite placement snapshot and retries
-// once with a relaxed linearization floor and CG tolerance before
-// surfacing the error.
+// gracefully through the solver fallback ladder (internal/resilience):
+// restore the last finite snapshot, relax the solver numerics, restart
+// from the last projection, damp λ — surfacing a stage=recover error only
+// when the whole ladder is exhausted. Every attempt is recorded in
+// Result.Recovery.
 func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 	return PlaceContext(context.Background(), nl, opt)
 }
@@ -257,18 +272,23 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 	}
 
 	loop := &engine.Loop{
-		Netlist:       nl,
-		Primal:        primal,
-		Projector:     projector,
-		Schedule:      sched,
-		Monitor:       mon,
-		Obs:           opt.Obs,
-		MaxIterations: opt.MaxIterations,
-		InitialSolves: opt.InitialSolves,
-		MinIterations: opt.MinIterations,
-		GapTol:        opt.GapTol,
-		PiTol:         opt.PiTol,
-		LambdaScale:   scale,
+		Netlist:        nl,
+		Primal:         primal,
+		Projector:      projector,
+		Schedule:       sched,
+		Monitor:        mon,
+		Obs:            opt.Obs,
+		MaxIterations:  opt.MaxIterations,
+		InitialSolves:  opt.InitialSolves,
+		MinIterations:  opt.MinIterations,
+		GapTol:         opt.GapTol,
+		PiTol:          opt.PiTol,
+		LambdaScale:    scale,
+		Design:         nl.Name,
+		Algorithm:      opt.Schedule.String(),
+		Checkpoint:     opt.Checkpoint,
+		Resume:         opt.Resume,
+		RecoveryPolicy: opt.RecoveryPolicy,
 	}
 	return loop.Run(ctx)
 }

@@ -36,12 +36,15 @@ import (
 	"math"
 	"time"
 
+	"complx/internal/chkpt"
+	"complx/internal/faultinject"
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
 	"complx/internal/obs"
 	"complx/internal/perr"
 	"complx/internal/region"
+	"complx/internal/resilience"
 	"complx/internal/sparse"
 	"complx/internal/spread"
 )
@@ -185,6 +188,13 @@ type Result struct {
 	// the placement holds the best C-feasible iterate reached before the
 	// cancellation (the same selection rule as a completed run).
 	Cancelled bool
+	// Resumed reports that the run was primed from a checkpoint instead of
+	// running its initial interconnect solves.
+	Resumed bool
+	// Recovery is the structured fallback-ladder log: one event per solver
+	// recovery attempt (and per failed checkpoint save). Never nil; empty
+	// when no recovery was needed.
+	Recovery *resilience.Log
 }
 
 // Loop is the pluggable ComPLx-style primal-dual loop. Every field with a
@@ -218,10 +228,29 @@ type Loop struct {
 	// criticality, paper §5); nil means uniform 1.
 	LambdaScale []float64
 
+	// Design and Algorithm describe the run for checkpoints and error
+	// messages; both are optional metadata.
+	Design, Algorithm string
+	// Checkpoint, when non-nil, receives a complete state snapshot every
+	// IntervalOrDefault-th completed iteration and best-effort on
+	// cancellation. A failed save is logged in Result.Recovery, never
+	// fatal. Nil disables checkpointing at one branch per iteration.
+	Checkpoint CheckpointSink
+	// Resume, when non-nil, primes the loop from a saved snapshot: the
+	// placement, multiplier schedule, result-selection state and history
+	// are restored, the initial solves are skipped, and iteration
+	// Resume.Iter+1 runs next. A resumed run is bitwise identical to the
+	// uninterrupted one (pinned by the resume-determinism golden tests).
+	Resume *chkpt.State
+	// RecoveryPolicy overrides the solver fallback ladder; nil selects
+	// resilience.DefaultPolicy.
+	RecoveryPolicy *resilience.Policy
+
 	// run state
 	mov        []int
 	lastFinite []geom.Point
-	relaxed    bool
+	relaxCount int
+	esc        *resilience.Escalator
 }
 
 func (l *Loop) fill() {
@@ -251,36 +280,74 @@ func (l *Loop) kernelTimes() (assembly, solve time.Duration) {
 	return 0, 0
 }
 
-// solveStep runs one primal solve with graceful degradation: when the solve
-// reports (or produces) non-finite values, the last finite placement
-// snapshot is restored and the solve retried once with relaxed numerics
-// (PrimalSolver.Relax, when implemented) before the error is surfaced.
-func (l *Loop) solveStep(ctx context.Context, iter int, anchors []geom.Point, lambdas []float64) error {
+// solveStep runs one primal solve under the solver fallback ladder: when
+// the solve reports (or produces) non-finite values, the escalator walks
+// the declarative recovery policy — restore the last finite snapshot, relax
+// the solver numerics, restart from the projection anchors, damp λ — until
+// an attempt succeeds or the ladder's attempt budget is exhausted, at which
+// point a stage=recover error surfaces. Every attempt is recorded in the
+// run's recovery log and the labeled recovery_attempts metric.
+//
+// damp, when non-nil, is called with the relaxed_restart rung's λ factor so
+// the loop's multiplier schedule continues from the damped value.
+func (l *Loop) solveStep(ctx context.Context, iter int, anchors []geom.Point, lambdas []float64, damp func(factor float64)) error {
 	nl := l.Netlist
-	err := l.Primal.Solve(ctx, anchors, lambdas)
-	if err == nil && !finitePositions(nl, l.mov) {
-		err = fmt.Errorf("engine: placement went non-finite after primal solve: %w", sparse.ErrNotFinite)
-	}
-	if err != nil && errors.Is(err, sparse.ErrNotFinite) && !l.relaxed {
-		// Graceful degradation: restore the last finite snapshot and retry
-		// once with relaxed numerics. This trades a little wirelength for
-		// survival on near-degenerate systems; a second failure surfaces.
-		l.relaxed = true
-		if rerr := nl.RestorePositions(l.lastFinite); rerr != nil {
-			return perr.WrapIter(perr.StageSolve, iter, rerr)
-		}
-		if r, ok := l.Primal.(Relaxer); ok {
-			r.Relax()
-		}
-		err = l.Primal.Solve(ctx, anchors, lambdas)
+	attempt := func() error {
+		err := l.Primal.Solve(ctx, anchors, lambdas)
 		if err == nil && !finitePositions(nl, l.mov) {
-			err = fmt.Errorf("engine: placement still non-finite after relaxed retry: %w", sparse.ErrNotFinite)
+			err = fmt.Errorf("engine: placement went non-finite after primal solve: %w", sparse.ErrNotFinite)
 		}
+		return err
+	}
+	err := attempt()
+	for err != nil && errors.Is(err, sparse.ErrNotFinite) && ctx.Err() == nil {
+		step, ok := l.esc.Next(iter, err)
+		if !ok {
+			return perr.WrapIter(perr.StageRecover, iter,
+				fmt.Errorf("engine: recovery ladder exhausted after %d attempts: %w", l.esc.Log().Attempts(), err))
+		}
+		if aerr := l.applyRecovery(step.Action, anchors, lambdas, damp); aerr != nil {
+			return perr.WrapIter(perr.StageSolve, iter, aerr)
+		}
+		err = attempt()
+		l.esc.Outcome(err == nil)
 	}
 	if err != nil {
 		return perr.WrapIter(perr.StageSolve, iter, err)
 	}
 	l.lastFinite = nl.SnapshotPositions()
+	return nil
+}
+
+// applyRecovery executes one ladder rung's action before the retry.
+func (l *Loop) applyRecovery(a resilience.Action, anchors []geom.Point, lambdas []float64, damp func(float64)) error {
+	nl := l.Netlist
+	switch {
+	case a.Reanchor && anchors != nil:
+		// Restart from the last projection: a C-feasible, finite placement
+		// with a different (better-spread) geometry than the snapshot.
+		if err := nl.SetPositions(anchors); err != nil {
+			return err
+		}
+	case a.Restore || a.Reanchor:
+		if err := nl.RestorePositions(l.lastFinite); err != nil {
+			return err
+		}
+	}
+	if a.Relax {
+		if r, ok := l.Primal.(Relaxer); ok {
+			r.Relax()
+			l.relaxCount++
+		}
+	}
+	if f := a.LambdaDamp; f > 0 && f != 1 {
+		if damp != nil {
+			damp(f)
+		}
+		for i := range lambdas {
+			lambdas[i] *= f
+		}
+	}
 	return nil
 }
 
@@ -294,67 +361,98 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 	l.fill()
 	nl := l.Netlist
 	l.mov = nl.Movables()
-	l.relaxed = false
+	l.relaxCount = 0
+	policy := resilience.DefaultPolicy()
+	if l.RecoveryPolicy != nil {
+		policy = *l.RecoveryPolicy
+	}
+	l.esc = resilience.NewEscalator(policy, l.Obs)
 	if l.LambdaScale != nil && len(l.LambdaScale) != len(l.mov) {
 		return nil, perr.New(perr.StageValidate, "engine: LambdaScale has %d entries for %d movables",
 			len(l.LambdaScale), len(l.mov))
 	}
 
-	res := &Result{}
-	var lambda, h, piFirst, piPrev float64
-	bestUpper := math.Inf(1)
+	res := &Result{Recovery: l.esc.Log()}
+	// Multiplier-schedule and result-selection state. Grouped in a struct
+	// so checkpoint capture and resume priming see every scalar the next
+	// iteration depends on.
+	var s loopState
+	s.bestUpper = math.Inf(1)
 	// bestFine tracks the lowest-Φ anchor placement among finest-grid
 	// iterations: the projection there measures feasibility at full
 	// accuracy, so that iterate is the best C-feasible result of the run
 	// (the paper's refined convergence criterion reads the result from the
 	// best upper bound).
-	bestFine := math.Inf(1)
-	var bestFineAnchors []geom.Point
-	var prevPos, prevAnchors []geom.Point
+	s.bestFine = math.Inf(1)
+	ckpt := newCheckpointer(l.Checkpoint, l.esc.Log())
 
 	// finish applies the run's result-selection rule — best finest-grid
 	// anchors, else the last anchors, else the current positions — and
 	// fills the final metrics. Shared by the normal exit and the
 	// cancellation exit.
 	finish := func() error {
-		final := bestFineAnchors
+		final := s.bestFineAnchors
 		if final == nil {
-			final = prevAnchors
+			final = s.prevAnchors
 		}
 		if final == nil {
 			final = nl.Positions()
 		}
-		res.BestUpper = bestUpper
+		res.BestUpper = s.bestUpper
 		res.AssemblyTime, res.SolveTime = l.kernelTimes()
 		return finalize(nl, res, final)
 	}
-	// cancelExit finalizes the best-so-far placement and reports the
-	// cancellation cause, wrapped with the stage and iteration.
+	// cancelExit saves the last complete-iteration snapshot (best effort),
+	// finalizes the best-so-far placement and reports the cancellation
+	// cause, wrapped with the stage and iteration.
 	cancelExit := func(iter int, cause error) (*Result, error) {
 		res.Cancelled = true
+		ckpt.flush()
 		if err := finish(); err != nil {
 			return nil, err
 		}
 		return res, perr.WrapIter(perr.StageCancel, iter, cause)
 	}
 
-	l.lastFinite = nl.SnapshotPositions()
-	// Initial interconnect-only iterations.
-	initSpan := l.Obs.StartSpan("initial_solves")
-	for i := 0; i < l.InitialSolves; i++ {
-		if err := l.solveStep(ctx, 0, nil, nil); err != nil {
-			initSpan.End()
-			if ctx.Err() != nil {
-				return cancelExit(0, err)
-			}
+	startIter := 1
+	if l.Resume != nil {
+		if err := l.primeResume(res, &s); err != nil {
 			return nil, err
 		}
+		startIter = l.Resume.Iter + 1
+	} else {
+		l.lastFinite = nl.SnapshotPositions()
+		// Initial interconnect-only iterations.
+		initSpan := l.Obs.StartSpan("initial_solves")
+		for i := 0; i < l.InitialSolves; i++ {
+			if err := l.solveStep(ctx, 0, nil, nil, nil); err != nil {
+				initSpan.End()
+				if ctx.Err() != nil {
+					return cancelExit(0, err)
+				}
+				return nil, err
+			}
+		}
+		initSpan.End()
+		if ckpt != nil {
+			ckpt.set(0, l.captureState(0, &s, res))
+		}
 	}
-	initSpan.End()
 
 	var lastAsm, lastSolve time.Duration
 
-	for k := 1; k <= l.MaxIterations; k++ {
+	for k := startIter; k <= l.MaxIterations; k++ {
+		if fi := faultinject.Active(); fi != nil {
+			if err := fi.Fire(faultinject.EngineIteration, l.Design); err != nil {
+				if ctx.Err() != nil {
+					return cancelExit(k, err)
+				}
+				return nil, perr.WrapIter(perr.StageSolve, k, err)
+			}
+			if err := ctx.Err(); err != nil {
+				return cancelExit(k, err)
+			}
+		}
 		tProj := time.Now()
 		projSpan := l.Obs.StartSpan("project")
 		pr, err := l.Projector.Project(ctx, k)
@@ -390,32 +488,32 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 				}
 				return res, nil
 			}
-			lambda, h = l.Schedule.First(phi, pi)
-			piFirst = pi
+			s.lambda, s.h = l.Schedule.First(phi, pi)
+			s.piFirst = pi
 		} else {
-			lambda = l.Schedule.Next(lambda, h, pi, piPrev)
+			s.lambda = l.Schedule.Next(s.lambda, s.h, pi, s.piPrev)
 		}
-		piPrev = pi
+		s.piPrev = pi
 
 		// Self-consistency check (Formula 11) against the previous iterate.
-		if prevPos != nil {
+		if s.prevPos != nil {
 			res.SelfCons.Total++
-			premise := spread.L1Distance(prevPos, prevAnchors) > spread.L1Distance(curPos, prevAnchors)
+			premise := spread.L1Distance(s.prevPos, s.prevAnchors) > spread.L1Distance(curPos, s.prevAnchors)
 			if !premise {
 				res.SelfCons.PremiseFailed++
-			} else if spread.L1Distance(prevPos, anchors) > spread.L1Distance(curPos, anchors) {
+			} else if spread.L1Distance(s.prevPos, anchors) > spread.L1Distance(curPos, anchors) {
 				res.SelfCons.Consistent++
 			} else {
 				res.SelfCons.Inconsistent++
 			}
 		}
-		prevPos, prevAnchors = curPos, anchors
+		s.prevPos, s.prevAnchors = curPos, anchors
 
 		asm, slv := l.kernelTimes()
 		st := IterStats{
-			Iter: k, Lambda: lambda,
+			Iter: k, Lambda: s.lambda,
 			Phi: phi, PhiUpper: phiUpper,
-			Pi: pi, L: phi + lambda*pi,
+			Pi: pi, L: phi + s.lambda*pi,
 			Overflow: pr.Overflow(),
 			GridNX:   pr.GridNX,
 
@@ -438,8 +536,8 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			SolveSeconds:    st.SolveTime.Seconds(),
 		})
 
-		if phiUpper < bestUpper {
-			bestUpper = phiUpper
+		if phiUpper < s.bestUpper {
+			s.bestUpper = phiUpper
 		}
 		if pr.Finest {
 			// Rank finest-grid iterates by their ISPD-style scaled cost:
@@ -450,9 +548,9 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 				return nil, perr.WrapIter(perr.StageProject, k, err)
 			}
 			score := phiUpper * (1 + ov)
-			if score < bestFine {
-				bestFine = score
-				bestFineAnchors = anchors
+			if score < s.bestFine {
+				s.bestFine = score
+				s.bestFineAnchors = anchors
 			}
 		}
 		gap := 0.0
@@ -461,8 +559,8 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		}
 		res.GapFinal = gap
 		res.Iterations = k
-		res.FinalLambda = lambda
-		if k >= l.MinIterations && (gap < l.GapTol || pi < l.PiTol*piFirst) {
+		res.FinalLambda = s.lambda
+		if k >= l.MinIterations && (gap < l.GapTol || pi < l.PiTol*s.piFirst) {
 			res.Converged = true
 			break
 		}
@@ -470,21 +568,26 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		// Primal step: anchored interconnect solve.
 		lambdas := make([]float64, len(l.mov))
 		for i := range lambdas {
-			s := 1.0
+			sc := 1.0
 			if l.LambdaScale != nil {
-				s = l.LambdaScale[i]
+				sc = l.LambdaScale[i]
 			}
-			lambdas[i] = lambda * s
+			lambdas[i] = s.lambda * sc
 		}
 		l.Obs.RecordPseudoWeights(lambdas)
 		solveSpan := l.Obs.StartSpan("solve")
-		err = l.solveStep(ctx, k, anchors, lambdas)
+		err = l.solveStep(ctx, k, anchors, lambdas, func(f float64) { s.lambda *= f })
 		solveSpan.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				return cancelExit(k, err)
 			}
 			return nil, err
+		}
+		// End of iteration k: deposit a complete snapshot (flushed every
+		// interval-th iteration and on cancellation).
+		if ckpt != nil {
+			ckpt.set(k, l.captureState(k, &s, res))
 		}
 	}
 

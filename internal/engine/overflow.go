@@ -3,12 +3,14 @@ package engine
 import (
 	"context"
 
+	"complx/internal/chkpt"
 	"complx/internal/density"
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
 	"complx/internal/obs"
 	"complx/internal/perr"
+	"complx/internal/resilience"
 )
 
 // DualStep is one dual step of the overflow-driven loop: the anchor
@@ -39,6 +41,11 @@ type OverflowResult struct {
 	// Cancelled reports that the run was stopped by context cancellation;
 	// the placement holds the last completed iterate.
 	Cancelled bool
+	// Resumed reports that the run was primed from a checkpoint.
+	Resumed bool
+	// Recovery logs checkpoint-save failures (the overflow loops have no
+	// solver fallback ladder). Never nil; empty when nothing failed.
+	Recovery *resilience.Log
 }
 
 // OverflowLoop is the iteration skeleton shared by the quadratic +
@@ -69,6 +76,52 @@ type OverflowLoop struct {
 	// InitialSolves is the number of unconstrained primal solves before
 	// the loop (0 = none).
 	InitialSolves int
+
+	// Design and Algorithm describe the run for checkpoints; optional
+	// metadata.
+	Design, Algorithm string
+	// Checkpoint, when non-nil, receives a complete state snapshot every
+	// IntervalOrDefault-th completed iteration and best-effort on
+	// cancellation; failed saves are logged, never fatal.
+	Checkpoint CheckpointSink
+	// Resume, when non-nil, primes the loop from a saved snapshot: the
+	// placement and the dual stepper's numeric state (hold weights,
+	// penalty multipliers) are restored, the initial solves are skipped,
+	// and iteration Resume.Iter+1 runs next.
+	Resume *chkpt.State
+}
+
+// captureState builds a snapshot of the loop at the end of iteration iter
+// (after that iteration's primal solve).
+func (l *OverflowLoop) captureState(iter int) *chkpt.State {
+	return &chkpt.State{
+		Design:    l.Design,
+		Algorithm: l.Algorithm,
+		Kind:      chkpt.KindOverflow,
+		Iter:      iter,
+		Positions: l.Netlist.SnapshotPositions(),
+		DualState: captureCodec(l.Dual),
+	}
+}
+
+// primeResume restores the loop from l.Resume so the next iteration to run
+// is Resume.Iter+1, bitwise identical to the uninterrupted run.
+func (l *OverflowLoop) primeResume(res *OverflowResult) error {
+	st := l.Resume
+	if st.Kind != chkpt.KindOverflow {
+		return perr.New(perr.StageCheckpoint,
+			"engine: checkpoint kind %q cannot resume an overflow loop", st.Kind)
+	}
+	if err := l.Netlist.RestorePositions(st.Positions); err != nil {
+		return perr.Wrap(perr.StageCheckpoint, err)
+	}
+	if err := restoreCodec(l.Dual, st.DualState); err != nil {
+		return perr.Wrap(perr.StageCheckpoint, err)
+	}
+	res.Resumed = true
+	res.Iterations = st.Iter
+	l.Obs.AddCount(obs.MetricResumes, 1)
+	return nil
 }
 
 // Run executes the overflow-driven loop. On ordinary errors it returns
@@ -76,21 +129,34 @@ type OverflowLoop struct {
 // measured and Cancelled set — together with the wrapped context error.
 func (l *OverflowLoop) Run(ctx context.Context) (*OverflowResult, error) {
 	nl := l.Netlist
-	res := &OverflowResult{}
+	res := &OverflowResult{Recovery: &resilience.Log{}}
+	ckpt := newCheckpointer(l.Checkpoint, res.Recovery)
 	cancelExit := func(iter int, cause error) (*OverflowResult, error) {
 		res.Cancelled = true
+		ckpt.flush()
 		res.HPWL = netmodel.HPWL(nl)
 		return res, perr.WrapIter(perr.StageCancel, iter, cause)
 	}
-	for i := 0; i < l.InitialSolves; i++ {
-		if err := l.Primal.Solve(ctx, nil, nil); err != nil {
-			if ctx.Err() != nil {
-				return cancelExit(0, err)
+	startIter := 1
+	if l.Resume != nil {
+		if err := l.primeResume(res); err != nil {
+			return nil, err
+		}
+		startIter = l.Resume.Iter + 1
+	} else {
+		for i := 0; i < l.InitialSolves; i++ {
+			if err := l.Primal.Solve(ctx, nil, nil); err != nil {
+				if ctx.Err() != nil {
+					return cancelExit(0, err)
+				}
+				return nil, perr.Wrap(perr.StageSolve, err)
 			}
-			return nil, perr.Wrap(perr.StageSolve, err)
+		}
+		if ckpt != nil {
+			ckpt.set(0, l.captureState(0))
 		}
 	}
-	for k := 1; k <= l.MaxIterations; k++ {
+	for k := startIter; k <= l.MaxIterations; k++ {
 		grid, err := density.NewGridForNetlist(nl, l.NX, l.NY, l.TargetDensity)
 		if err != nil {
 			return nil, perr.WrapIter(perr.StageProject, k, err)
@@ -133,6 +199,10 @@ func (l *OverflowLoop) Run(ctx context.Context) (*OverflowResult, error) {
 				return cancelExit(k, err)
 			}
 			return nil, perr.WrapIter(perr.StageSolve, k, err)
+		}
+		// End of iteration k: deposit a complete snapshot.
+		if ckpt != nil {
+			ckpt.set(k, l.captureState(k))
 		}
 	}
 	res.HPWL = netmodel.HPWL(nl)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"complx/internal/congest"
@@ -67,6 +68,26 @@ func NewSpreadProjector(nl *netlist.Netlist, targetDensity float64, gridMax int)
 
 // FinestNX returns the finest grid resolution of the schedule.
 func (p *SpreadProjector) FinestNX() int { return p.finestNX }
+
+// CaptureState implements StateCodec: the only numeric per-run state is the
+// self-calibrated routing capacity of the routability extension (nil when
+// never calibrated), so a resumed run reuses the original calibration
+// instead of re-deriving one from mid-run congestion.
+func (p *SpreadProjector) CaptureState() []float64 {
+	if p.RoutingCapacity == 0 {
+		return nil
+	}
+	return []float64{p.RoutingCapacity}
+}
+
+// RestoreState implements StateCodec.
+func (p *SpreadProjector) RestoreState(state []float64) error {
+	if len(state) != 1 {
+		return fmt.Errorf("engine: SpreadProjector state wants 1 value, checkpoint carries %d", len(state))
+	}
+	p.RoutingCapacity = state[0]
+	return nil
+}
 
 // Project runs one feasibility projection at the iteration's grid
 // resolution and returns the anchors plus grid-bound overflow closures.
@@ -153,6 +174,23 @@ type RefineProjector struct {
 	NL    *netlist.Netlist
 	// Refine is called with the netlist positioned at the anchors.
 	Refine func(nl *netlist.Netlist) error
+}
+
+// CaptureState forwards to the inner projector's StateCodec (nil when the
+// inner projector holds no checkpointable state).
+func (r *RefineProjector) CaptureState() []float64 {
+	if sc, ok := r.Inner.(StateCodec); ok {
+		return sc.CaptureState()
+	}
+	return nil
+}
+
+// RestoreState forwards to the inner projector's StateCodec.
+func (r *RefineProjector) RestoreState(state []float64) error {
+	if sc, ok := r.Inner.(StateCodec); ok {
+		return sc.RestoreState(state)
+	}
+	return fmt.Errorf("engine: inner projector cannot restore checkpoint state")
 }
 
 // Project runs the inner projection, then the refinement hook.

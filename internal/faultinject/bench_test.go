@@ -1,0 +1,49 @@
+package faultinject
+
+import "testing"
+
+// TestDisabledZeroAlloc pins the zero-cost contract of the disabled path:
+// the hook-site pattern (atomic load + nil branch) and FireErr must not
+// allocate — the same bar as the nil *obs.Observer pattern.
+func TestDisabledZeroAlloc(t *testing.T) {
+	Deactivate()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if inj := Active(); inj != nil {
+			t.Fatal("unexpectedly active")
+		}
+		if err := FireErr(CGResidual, ""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hook allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledHook measures the per-call-site cost of a disabled
+// injection hook (one atomic pointer load and a branch).
+func BenchmarkDisabledHook(b *testing.B) {
+	Deactivate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if inj := Active(); inj != nil {
+			b.Fatal("active")
+		}
+	}
+}
+
+// BenchmarkEnabledMiss measures a hook firing check against an armed
+// injector whose rules do not match — the worst case an injection test pays
+// on unrelated hot paths.
+func BenchmarkEnabledMiss(b *testing.B) {
+	Activate(New().Add(Rule{Point: QPSolve}))
+	defer Deactivate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if inj := Active(); inj != nil {
+			if err := inj.Fire(CGResidual, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package faultinject is the test-only fault-injection registry of the
+// placement runtime. Hook points compiled into the production packages
+// (sparse CG residuals, qp solves, engine iteration boundaries, checkpoint
+// and atomic-file persistence) consult a process-global injector and, when a
+// matching rule fires, corrupt a value, return an injected error, or run a
+// side effect (for example cancelling a context at a chosen iteration).
+//
+// # Zero cost when disabled
+//
+// The global injector is an atomic pointer that is nil in production. Every
+// hook site is
+//
+//	if inj := faultinject.Active(); inj != nil { ... }
+//
+// so the disabled path is one atomic load and a branch — no allocation, no
+// lock, no time.Now (verified by TestDisabledZeroAlloc and
+// BenchmarkDisabledHook, the same bar as the nil *obs.Observer pattern).
+//
+// # Intended use
+//
+// Only tests call Activate/Deactivate. Because the injector is
+// process-global, tests that activate it must not run in parallel with
+// tests that assert clean behavior; use t.Cleanup(faultinject.Deactivate)
+// and avoid t.Parallel() in injection tests.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Point names one injection site compiled into the production code.
+type Point string
+
+// The injection-site catalog. DESIGN.md §10 documents where each point
+// lives and what a firing rule does there.
+const (
+	// CGResidual poisons the Conjugate Gradient residual vector with a NaN
+	// right after the initial residual is formed (internal/sparse).
+	CGResidual Point = "cg.residual"
+	// QPSolve fails a quadratic primal solve outright before assembly
+	// (internal/qp). The injected error surfaces exactly like a solver
+	// failure, exercising the recovery ladder's non-numeric rungs.
+	QPSolve Point = "qp.solve"
+	// EngineIteration fires at the top of every engine loop iteration
+	// (internal/engine); rules typically attach a Do side effect that
+	// cancels the run's context at a chosen iteration (select it with
+	// After: the hook fires once per iteration). The detail string is the
+	// design name.
+	EngineIteration Point = "engine.iteration"
+	// CheckpointSave fails checkpoint persistence before any bytes are
+	// written (internal/chkpt).
+	CheckpointSave Point = "chkpt.save"
+	// AtomicWriteOpen fails an atomic file write before the temp file is
+	// created (internal/fsatomic). The detail string is the target path.
+	AtomicWriteOpen Point = "fs.atomic_open"
+	// AtomicWriteShort makes an atomic file write stop half way through a
+	// Write call and return an injected error — a short write that leaves a
+	// truncated temp file behind (internal/fsatomic). The detail string is
+	// the target path.
+	AtomicWriteShort Point = "fs.atomic_short_write"
+)
+
+// ErrInjected is the default error returned by firing rules; test for it
+// with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule arms one injection site. The zero Match matches every detail string;
+// After skips the first hits; Times caps firings (0 = fire once).
+type Rule struct {
+	// Point selects the injection site.
+	Point Point
+	// Match, when non-empty, requires the hook's detail string to contain
+	// it (e.g. a file path fragment or an iteration number).
+	Match string
+	// After skips the first After matching hits before firing.
+	After int
+	// Times caps the number of firings; 0 means exactly once.
+	Times int
+	// Err is the error injected on firing; nil selects ErrInjected.
+	Err error
+	// Do, when non-nil, runs on every firing (before the error is
+	// returned) — e.g. a context.CancelFunc.
+	Do func(detail string)
+}
+
+// Event records one firing for post-mortem assertions.
+type Event struct {
+	Point  Point
+	Detail string
+	Err    error
+}
+
+type ruleState struct {
+	Rule
+	hits  int // matching hits seen
+	fired int // firings so far
+}
+
+// Injector holds armed rules and the firing log. Safe for concurrent use:
+// hooks may fire from the engine's worker goroutines.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []*ruleState
+	events []Event
+}
+
+// New returns an empty injector. Arm it with Add and install it with
+// Activate.
+func New() *Injector { return &Injector{} }
+
+// Add arms a rule.
+func (in *Injector) Add(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &ruleState{Rule: r})
+	return in
+}
+
+// Events returns a copy of the firing log.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// Fired reports how many times any rule fired at pt.
+func (in *Injector) Fired(pt Point) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, e := range in.events {
+		if e.Point == pt {
+			n++
+		}
+	}
+	return n
+}
+
+// Fire consults the armed rules for pt. When a rule fires it returns the
+// injected error (never nil on a firing); otherwise nil. The detail string
+// carries site-specific context (path, iteration) for Match rules and the
+// event log.
+func (in *Injector) Fire(pt Point, detail string) error {
+	in.mu.Lock()
+	var fired *ruleState
+	for _, rs := range in.rules {
+		if rs.Point != pt {
+			continue
+		}
+		if rs.Match != "" && !strings.Contains(detail, rs.Match) {
+			continue
+		}
+		rs.hits++
+		if rs.hits <= rs.After {
+			continue
+		}
+		times := rs.Times
+		if times <= 0 {
+			times = 1
+		}
+		if rs.fired >= times {
+			continue
+		}
+		rs.fired++
+		fired = rs
+		break
+	}
+	if fired == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	err := fired.Err
+	if err == nil {
+		err = fmt.Errorf("%w at %s", ErrInjected, pt)
+	}
+	in.events = append(in.events, Event{Point: pt, Detail: detail, Err: err})
+	do := fired.Do
+	in.mu.Unlock()
+	if do != nil {
+		do(detail)
+	}
+	return err
+}
+
+// active is the process-global injector; nil in production.
+var active atomic.Pointer[Injector]
+
+// Activate installs in as the process-global injector (tests only).
+func Activate(in *Injector) { active.Store(in) }
+
+// Deactivate removes the global injector, restoring the zero-cost disabled
+// path. Safe to call when nothing is active.
+func Deactivate() { active.Store(nil) }
+
+// Active returns the installed injector, or nil when fault injection is
+// disabled. Hook sites must nil-check the result and keep all further work
+// behind the branch.
+func Active() *Injector { return active.Load() }
+
+// FireErr is a convenience for hook sites that only need the injected
+// error: it returns nil immediately when injection is disabled.
+func FireErr(pt Point, detail string) error {
+	inj := Active()
+	if inj == nil {
+		return nil
+	}
+	return inj.Fire(pt, detail)
+}
+
+// Writer wraps w with the AtomicWriteShort hook: when the rule fires, the
+// offending Write forwards only half its payload to w and returns the
+// injected error (a short write). When injection is disabled the original
+// writer is returned unwrapped, so the production write path has zero
+// indirection.
+func Writer(w io.Writer, detail string) io.Writer {
+	if Active() == nil {
+		return w
+	}
+	return &faultWriter{w: w, detail: detail}
+}
+
+type faultWriter struct {
+	w      io.Writer
+	detail string
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if inj := Active(); inj != nil {
+		if err := inj.Fire(AtomicWriteShort, fw.detail); err != nil {
+			n, _ := fw.w.Write(p[:len(p)/2])
+			return n, err
+		}
+	}
+	return fw.w.Write(p)
+}

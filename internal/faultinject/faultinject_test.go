@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFireOnceByDefault(t *testing.T) {
+	in := New().Add(Rule{Point: CGResidual})
+	if err := in.Fire(CGResidual, ""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first hit: got %v, want ErrInjected", err)
+	}
+	if err := in.Fire(CGResidual, ""); err != nil {
+		t.Fatalf("second hit fired again: %v", err)
+	}
+	if n := in.Fired(CGResidual); n != 1 {
+		t.Fatalf("Fired = %d, want 1", n)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in := New().Add(Rule{Point: QPSolve, After: 2, Times: 2})
+	got := 0
+	for i := 0; i < 6; i++ {
+		if in.Fire(QPSolve, "") != nil {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("fired %d times, want 2 (After=2 Times=2)", got)
+	}
+	evs := in.Events()
+	if len(evs) != 2 || evs[0].Point != QPSolve {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestMatchSubstring(t *testing.T) {
+	in := New().Add(Rule{Point: AtomicWriteOpen, Match: "complx.ckpt", Times: 10})
+	if err := in.Fire(AtomicWriteOpen, "/tmp/out.pl"); err != nil {
+		t.Fatalf("mismatched detail fired: %v", err)
+	}
+	if err := in.Fire(AtomicWriteOpen, "/tmp/ck/complx.ckpt"); err == nil {
+		t.Fatal("matching detail did not fire")
+	}
+}
+
+func TestCustomErrAndDo(t *testing.T) {
+	sentinel := errors.New("boom")
+	var detail string
+	in := New().Add(Rule{Point: EngineIteration, Match: "7", Err: sentinel, Do: func(d string) { detail = d }})
+	for i := 1; i <= 10; i++ {
+		err := in.Fire(EngineIteration, itoa(i))
+		if i == 7 {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("iter 7: got %v, want sentinel", err)
+			}
+		} else if err != nil {
+			t.Fatalf("iter %d fired: %v", i, err)
+		}
+	}
+	if detail != "7" {
+		t.Fatalf("Do saw detail %q, want \"7\"", detail)
+	}
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return string(rune('0' + i))
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	t.Cleanup(Deactivate)
+	if Active() != nil {
+		t.Fatal("injector active before Activate")
+	}
+	if err := FireErr(CGResidual, ""); err != nil {
+		t.Fatalf("disabled FireErr returned %v", err)
+	}
+	in := New().Add(Rule{Point: CGResidual})
+	Activate(in)
+	if Active() != in {
+		t.Fatal("Active did not return the installed injector")
+	}
+	if err := FireErr(CGResidual, ""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("enabled FireErr: %v", err)
+	}
+	Deactivate()
+	if Active() != nil {
+		t.Fatal("injector still active after Deactivate")
+	}
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	t.Cleanup(Deactivate)
+
+	// Disabled: Writer returns the underlying writer unchanged.
+	var buf bytes.Buffer
+	if w := Writer(&buf, "x"); w != &buf {
+		t.Fatal("disabled Writer wrapped the writer")
+	}
+
+	Activate(New().Add(Rule{Point: AtomicWriteShort, Match: "target"}))
+	buf.Reset()
+	w := Writer(&buf, "target")
+	n, err := w.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write err = %v", err)
+	}
+	if n != 5 || buf.String() != "01234" {
+		t.Fatalf("short write forwarded %d bytes (%q), want 5", n, buf.String())
+	}
+	// Rule exhausted: subsequent writes pass through.
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatalf("post-exhaustion write: %v", err)
+	}
+	if buf.String() != "01234abc" {
+		t.Fatalf("buffer = %q", buf.String())
+	}
+}

@@ -1,0 +1,83 @@
+// Package fsatomic provides crash-safe file persistence for every output
+// the placement runtime writes: checkpoints, .pl placements, Bookshelf
+// benchmark files and run reports. WriteFile follows the classic
+// temp-file → fsync → rename → directory-fsync protocol, so a kill at any
+// instant leaves either the complete old file or the complete new file —
+// never a truncated or interleaved one.
+//
+// The write path carries two fault-injection hook points
+// (faultinject.AtomicWriteOpen and faultinject.AtomicWriteShort) so the
+// crash-safety contract is exercised by tests rather than asserted; both
+// are a single atomic nil-check in production.
+package fsatomic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"complx/internal/faultinject"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write. The
+// data is staged in a temp file in path's directory, fsynced, renamed over
+// path, and the directory entry is fsynced, so either the old or the new
+// content survives a crash at any point. On any error the temp file is
+// removed and an existing path is left untouched.
+func WriteFile(path string, perm os.FileMode, write func(io.Writer) error) (err error) {
+	if err := faultinject.FireErr(faultinject.AtomicWriteOpen, path); err != nil {
+		return fmt.Errorf("fsatomic: write %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("fsatomic: stage %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(faultinject.Writer(f, path)); err != nil {
+		return fmt.Errorf("fsatomic: write %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: sync %s: %w", path, err)
+	}
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("fsatomic: chmod %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("fsatomic: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fsatomic: commit %s: %w", path, err)
+	}
+	if derr := syncDir(dir); derr != nil {
+		// The rename is durable on fsync of the directory; surface the
+		// failure but the file content itself is already consistent.
+		return fmt.Errorf("fsatomic: sync dir %s: %w", dir, derr)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for a pre-rendered payload.
+func WriteFileBytes(path string, perm os.FileMode, data []byte) error {
+	return WriteFile(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,116 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"complx/internal/faultinject"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileBytes(path, 0o644, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite is atomic too.
+	if err := WriteFileBytes(path, 0o644, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+func TestWriteErrorLeavesOldFileIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := WriteFileBytes(path, 0o644, []byte("old-content")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("render failed")
+	err := WriteFile(path, 0o644, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want render failure", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old-content" {
+		t.Fatalf("old file clobbered: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestInjectedShortWriteLeavesOldFileIntact pins the satellite contract: a
+// kill (here: an injected short write) mid-write never leaves a truncated
+// output — the previous file survives byte-for-byte.
+func TestInjectedShortWriteLeavesOldFileIntact(t *testing.T) {
+	t.Cleanup(faultinject.Deactivate)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "placed.pl")
+	if err := WriteFileBytes(path, 0o644, []byte("legal placement v1\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Activate(faultinject.New().Add(faultinject.Rule{
+		Point: faultinject.AtomicWriteShort, Match: "placed.pl",
+	}))
+	err := WriteFileBytes(path, 0o644, []byte("half written v2 that must never be seen\n"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "legal placement v1\n" {
+		t.Fatalf("old file not intact: %q, %v", got, rerr)
+	}
+	assertNoTempFiles(t, dir)
+
+	// After the injector drains, the same write succeeds.
+	if err := WriteFileBytes(path, 0o644, []byte("v2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2\n" {
+		t.Fatalf("post-recovery write: %q", got)
+	}
+}
+
+func TestInjectedOpenError(t *testing.T) {
+	t.Cleanup(faultinject.Deactivate)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ckpt")
+	faultinject.Activate(faultinject.New().Add(faultinject.Rule{
+		Point: faultinject.AtomicWriteOpen, Match: "x.ckpt",
+	}))
+	err := WriteFileBytes(path, 0o644, []byte("data"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("target exists after injected open error: %v", serr)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stale temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -43,15 +44,35 @@ const (
 	MetricSpreadRegions  = "complx_spread_regions_total"
 	MetricSpreadSweeps   = "complx_spread_sweeps_total"
 	MetricLegalizedCells = "complx_legalize_cells_total"
+
+	// Fault-tolerance catalog (DESIGN.md §10). Recovery attempts are
+	// labeled per ladder rung: complx_recovery_attempts_total{rung="..."}.
+	MetricRecoveryAttempts  = "complx_recovery_attempts_total"
+	MetricRecoverySuccesses = "complx_recovery_successes_total"
+	MetricCheckpointSaves   = "complx_checkpoint_saves_total"
+	MetricCheckpointErrors  = "complx_checkpoint_errors_total"
+	MetricCheckpointBytes   = "complx_checkpoint_bytes"
+	MetricCheckpointIter    = "complx_checkpoint_iteration"
+	MetricResumes           = "complx_resume_total"
 )
 
 // helpFor returns the exposition help string for a cataloged metric name
 // (generic fallback for ad-hoc names).
 func helpFor(name string) string {
-	if h, ok := metricHelp[name]; ok {
+	if h, ok := metricHelp[baseName(name)]; ok {
 		return h
 	}
 	return "complx placement metric"
+}
+
+// baseName strips a {label="..."} suffix from a metric name. The registry
+// stores labeled series under their full name; HELP/TYPE exposition lines
+// and the help catalog use the base name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 var metricHelp = map[string]string{
@@ -80,6 +101,13 @@ var metricHelp = map[string]string{
 	MetricSpreadRegions:     "Overfilled cluster regions processed by the spreader.",
 	MetricSpreadSweeps:      "Cluster-and-spread sweeps executed by the spreader.",
 	MetricLegalizedCells:    "Cells placed by the legalizers.",
+	MetricRecoveryAttempts:  "Solver fallback ladder recovery attempts, by rung.",
+	MetricRecoverySuccesses: "Recovery attempts after which the solve succeeded.",
+	MetricCheckpointSaves:   "Engine state checkpoints persisted.",
+	MetricCheckpointErrors:  "Checkpoint persistence failures (the run continues).",
+	MetricCheckpointBytes:   "Size of the last persisted checkpoint in bytes.",
+	MetricCheckpointIter:    "Iteration of the last persisted checkpoint.",
+	MetricResumes:           "Runs resumed from a checkpoint.",
 }
 
 // bucketsFor returns histogram bucket bounds by metric name.
@@ -270,21 +298,40 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	names := append([]string(nil), r.names...)
 	r.mu.Unlock()
 	sort.Strings(names)
+	lastBase := ""
 	for _, name := range names {
 		r.mu.Lock()
 		kind, help := r.kind[name], r.help[name]
 		c, g, h := r.ctrs[name], r.gaug[name], r.hist[name]
 		r.mu.Unlock()
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
-			return err
+		// Labeled series ("name{label=...}") share one HELP/TYPE header
+		// under their base name; sorting makes them adjacent.
+		base := baseName(name)
+		if base != lastBase {
+			lastBase = base
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
+				return err
+			}
+			var kindName string
+			switch kind {
+			case 'c':
+				kindName = "counter"
+			case 'g':
+				kindName = "gauge"
+			case 'h':
+				kindName = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kindName); err != nil {
+				return err
+			}
 		}
 		switch kind {
 		case 'c':
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %v\n", name, name, c.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %v\n", name, c.Value()); err != nil {
 				return err
 			}
 		case 'g':
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, g.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %v\n", name, g.Value()); err != nil {
 				return err
 			}
 		case 'h':

@@ -30,6 +30,9 @@ const (
 	StageLegalize = "legalize" // legalization
 	StageDetailed = "detailed" // detailed placement
 	StageCancel   = "cancel"   // run stopped by context cancellation
+
+	StageCheckpoint = "checkpoint" // checkpoint persistence / resumption
+	StageRecover    = "recover"    // solver fallback ladder exhausted
 )
 
 // Error is a structured placement-pipeline error.

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"complx/internal/faultinject"
 	"complx/internal/geom"
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
@@ -121,6 +122,11 @@ func (s *Solver) SolveCtx(ctx context.Context, anchors *Anchors) (Result, error)
 	nl, opt := s.nl, s.opt
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("qp: solve cancelled: %w", err)
+	}
+	if fi := faultinject.Active(); fi != nil {
+		if err := fi.Fire(faultinject.QPSolve, nl.Name); err != nil {
+			return Result{}, fmt.Errorf("qp: %w", err)
+		}
 	}
 	mov := nl.Movables()
 	if anchors != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"complx/internal/faultinject"
 	"complx/internal/par"
 )
 
@@ -152,6 +153,12 @@ func SolvePCGCtx(ctx context.Context, a *CSR, x, b []float64, opt CGOptions, w *
 			return res, fmt.Errorf("sparse: CG cancelled after %d iterations: %w", res.Iterations, err)
 		}
 		rNorm := math.Sqrt(Norm2Sq(r))
+		if fi := faultinject.Active(); fi != nil && fi.Fire(faultinject.CGResidual, "") != nil {
+			// Test-only fault injection: poison the recurrence exactly as a
+			// real numeric breakdown would, so the NaN propagates through the
+			// solution update and trips the usual ErrNotFinite guards.
+			rz = math.NaN()
+		}
 		res.Residual = rNorm / bNorm
 		if opt.Progress != nil {
 			opt.Progress(k, res.Residual)

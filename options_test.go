@@ -25,6 +25,9 @@ var engineInternalCoreOptions = map[string]string{
 	"NoMacroLambdaScale":   "paper §5 ablation knob, exercised via internal/core only",
 	"Eps":                  "linearization floor is derived from the row height",
 	"CG":                   "CG solver tuning stays internal",
+	"Checkpoint":           "constructed by the facade from Options.Checkpoint (a chkpt.Manager, wired in PlaceContext, not coreOptions)",
+	"Resume":               "loaded by the facade from the checkpoint directory when Options.Checkpoint.Resume is set",
+	"RecoveryPolicy":       "engine-internal recovery-ladder tuning; the facade always uses the default policy",
 }
 
 // TestCoreOptionsForwarding is the contract test for the single
