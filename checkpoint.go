@@ -70,6 +70,9 @@ func checkpointFingerprint(nl *Netlist, opt Options) [32]byte {
 		fmt.Sprintf("density=%g maxiter=%d", opt.TargetDensity, opt.MaxIterations),
 		fmt.Sprintf("finest=%t projdp=%t lse=%t pnorm=%t model=%d", opt.FinestGrid, opt.ProjectionDP, opt.UseLSE, opt.UsePNorm, int(opt.Model)),
 		fmt.Sprintf("routability=%t alpha=%g", opt.Routability, opt.RoutabilityAlpha),
+		// The preconditioner changes the CG arithmetic, hence the placement
+		// trajectory: a checkpoint is only resumable under the same kind.
+		"precond=" + opt.Precond,
 	}
 	return chkpt.Fingerprint(parts...)
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyCfg is an emit configuration small enough for CI: ~100 cells, one
+// placer, the bitwise-stable Jacobi path.
+func tinyCfg(out string) config {
+	return config{
+		scale: 0.02, designs: []string{"adaptec1"}, placers: []string{"complx"},
+		precond: "jacobi", out: out, maxScale: math.Inf(1), tol: 0.10,
+	}
+}
+
+func TestEmitCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "traj.json")
+	var sb strings.Builder
+	if err := run(&sb, tinyCfg(base)); err != nil {
+		t.Fatalf("emit: %v\n%s", err, sb.String())
+	}
+	tr, err := readTrajectory(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != TrajectorySchema || len(tr.Entries) != 1 {
+		t.Fatalf("unexpected trajectory: %+v", tr)
+	}
+	e := tr.Entries[0]
+	if e.HPWL <= 0 || e.CGIters <= 0 || e.WallSeconds <= 0 {
+		t.Fatalf("entry missing measurements: %+v", e)
+	}
+	// Placement is deterministic, so comparing against our own emit must
+	// pass: identical HPWL and CG iterations, wall within the noise slack.
+	sb.Reset()
+	cmp := tinyCfg("")
+	cmp.compare = base
+	if err := run(&sb, cmp); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "all 1 entries within") {
+		t.Errorf("missing success summary in:\n%s", sb.String())
+	}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "traj.json")
+	if err := run(io.Discard, tinyCfg(base)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := readTrajectory(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := func(name string, mutate func(*Entry)) {
+		t.Run(name, func(t *testing.T) {
+			cp := *tr
+			cp.Entries = append([]Entry(nil), tr.Entries...)
+			mutate(&cp.Entries[0])
+			path := filepath.Join(dir, name+".json")
+			if err := writeTrajectory(path, &cp); err != nil {
+				t.Fatal(err)
+			}
+			cmp := tinyCfg("")
+			cmp.compare = path
+			var sb strings.Builder
+			if err := run(&sb, cmp); err == nil {
+				t.Errorf("tampered baseline (%s) not detected:\n%s", name, sb.String())
+			}
+		})
+	}
+	// A baseline claiming better numbers than the code can produce is
+	// exactly what a regression looks like at compare time.
+	tamper("hpwl", func(e *Entry) { e.HPWL *= 0.5 })
+	tamper("cg_iters", func(e *Entry) { e.CGIters /= 2 })
+}
+
+func TestCompareSkipsAboveMaxScale(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "traj.json")
+	if err := run(io.Discard, tinyCfg(base)); err != nil {
+		t.Fatal(err)
+	}
+	cmp := tinyCfg("")
+	cmp.compare = base
+	cmp.maxScale = 0.01 // below the recorded 0.02 → everything skipped
+	var sb strings.Builder
+	if err := run(&sb, cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SKIP") || !strings.Contains(sb.String(), "all 0 entries") {
+		t.Errorf("expected skip-only compare, got:\n%s", sb.String())
+	}
+}
+
+func TestReadTrajectoryRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"nope/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readTrajectory(path); err == nil {
+		t.Error("bad schema accepted")
+	}
+	if _, err := readTrajectory(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	got := split(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("split = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("split[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -47,6 +47,7 @@ func main() {
 		bench     = flag.String("bench", "", "named synthetic benchmark (e.g. adaptec1, newblue7)")
 		scale     = flag.Float64("scale", 1.0, "cell-count scale factor for -bench")
 		algo      = flag.String("algo", "complx", "placer: complx, simpl, fastplace-cs, nlp")
+		precond   = flag.String("precond", "auto", "CG preconditioner: auto, jacobi, ssor, ic0, mg")
 		target    = flag.Float64("target", 0, "target density gamma in (0,1]; 0 uses the benchmark default")
 		finest    = flag.Bool("finest", false, "use the finest projection grid on all iterations")
 		projDP    = flag.Bool("projection-dp", false, "post-process every projection with legalization+DP (Table 1 ablation)")
@@ -78,7 +79,8 @@ func main() {
 	defer stop()
 	if err := run(ctx, runCfg{
 		aux: *aux, bench: *bench, scale: *scale, algo: *algo, target: *target,
-		finest: *finest, projDP: *projDP, useLSE: *useLSE,
+		precond: *precond,
+		finest:  *finest, projDP: *projDP, useLSE: *useLSE,
 		skipLegal: *skipLegal, skipDP: *skipDP, maxIter: *maxIter,
 		plOut: *plOut, outDir: *outDir, verbose: *verbose, plot: *plot,
 		clustered: *clustered, abacus: *abacus, routability: *routab,
@@ -93,6 +95,7 @@ func main() {
 // runCfg carries the parsed command-line configuration.
 type runCfg struct {
 	aux, bench, algo, plOut, outDir               string
+	precond                                       string
 	obsAddr, reportBase, ckptDir                  string
 	scale, target                                 float64
 	finest, projDP, useLSE, skipLegal, skipDP     bool
@@ -188,6 +191,7 @@ func run(ctx context.Context, cfg runCfg) error {
 		Clustered:       cfg.clustered,
 		AbacusLegalizer: cfg.abacus,
 		Routability:     cfg.routability,
+		Precond:         cfg.precond,
 		Observer:        observer,
 		Checkpoint: complx.CheckpointOptions{
 			Dir:      cfg.ckptDir,
@@ -237,6 +241,8 @@ func run(ctx context.Context, cfg runCfg) error {
 		fmt.Printf("kernels:          threads=%d assembly=%v cg=%v projection=%v\n",
 			complx.Threads(), res.AssemblyTime.Round(1e6), res.SolveTime.Round(1e6),
 			res.ProjectionTime.Round(1e6))
+		fmt.Printf("preconditioner:   %s (cg iters=%d, setup=%v)\n",
+			res.Precond, res.CGIterations, res.PrecondTime.Round(1e6))
 	}
 
 	if cfg.plot {

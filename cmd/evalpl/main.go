@@ -7,6 +7,12 @@
 //
 //	evalpl -aux design.aux -pl placed.pl -target 0.8
 //	evalpl -aux design.aux -pl placed.pl -json scores.json
+//	evalpl -aux design.aux -pl placed.pl -report run.json -json scores.json
+//
+// With -report, solver statistics from a complx run report (written by
+// `complx -report BASE`) — the resolved CG preconditioner and the total CG
+// inner iterations — are folded into the scores, so one JSON file carries
+// both the quality and the solver-effort side of a run.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"complx"
 	"complx/internal/fsatomic"
+	"complx/internal/obs"
 )
 
 func main() {
@@ -26,9 +33,10 @@ func main() {
 		pl       = flag.String("pl", "", "placement file to evaluate (defaults to the benchmark's own .pl)")
 		target   = flag.Float64("target", 0, "target density gamma; 0 uses the benchmark default")
 		jsonPath = flag.String("json", "", "also write the scores as JSON to this file (atomic replace)")
+		report   = flag.String("report", "", "complx run report (JSON) whose preconditioner and CG-iteration stats are folded into the scores")
 	)
 	flag.Parse()
-	if err := run(*aux, *pl, *target, *jsonPath); err != nil {
+	if err := run(*aux, *pl, *target, *jsonPath, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "evalpl:", err)
 		os.Exit(1)
 	}
@@ -46,6 +54,10 @@ type evalResult struct {
 	Penalty      float64
 	Target       float64
 	Violations   []string
+	// Solver statistics lifted from a run report (-report); zero-valued
+	// when no report was given.
+	Precond string
+	CGIters int
 }
 
 // evaluate loads the benchmark, overlays the placement (when given) and
@@ -92,6 +104,8 @@ type jsonScores struct {
 	Penalty      float64 `json:"overflow_penalty_percent"`
 	Target       float64 `json:"target_density"`
 	Violations   int     `json:"legal_violations"`
+	Precond      string  `json:"precond,omitempty"`
+	CGIters      int     `json:"cg_iters,omitempty"`
 }
 
 // writeJSON atomically replaces path with the JSON scores, so a crash (or an
@@ -110,14 +124,44 @@ func writeJSON(path string, r *evalResult) error {
 			Penalty:      r.Penalty,
 			Target:       r.Target,
 			Violations:   len(r.Violations),
+			Precond:      r.Precond,
+			CGIters:      r.CGIters,
 		})
 	})
 }
 
-func run(aux, pl string, target float64, jsonPath string) error {
+// applyReport folds the solver statistics of a complx run report into r.
+// path may be the report JSON itself or the base name given to
+// `complx -report BASE` (which writes BASE.json + BASE.csv).
+func applyReport(r *evalResult, path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		if f2, err2 := os.Open(path + ".json"); err2 == nil {
+			f, err = f2, nil
+		}
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := obs.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	r.Precond = rep.Result.Precond
+	r.CGIters = rep.Result.CGIters
+	return nil
+}
+
+func run(aux, pl string, target float64, jsonPath, report string) error {
 	r, err := evaluate(aux, pl, target)
 	if err != nil {
 		return err
+	}
+	if report != "" {
+		if err := applyReport(r, report); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("design:        %s\n", r.NL.Stats())
 	fmt.Printf("HPWL:          %.1f\n", r.HPWL)
@@ -129,6 +173,9 @@ func run(aux, pl string, target float64, jsonPath string) error {
 		fmt.Println("legality:      OK")
 	} else {
 		fmt.Printf("legality:      %d violations (first: %s)\n", len(r.Violations), r.Violations[0])
+	}
+	if r.Precond != "" {
+		fmt.Printf("solver:        precond=%s cg_iters=%d\n", r.Precond, r.CGIters)
 	}
 	if jsonPath != "" {
 		if err := writeJSON(jsonPath, r); err != nil {

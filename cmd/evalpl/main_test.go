@@ -19,11 +19,11 @@ func TestEvalPl(t *testing.T) {
 	if err := complx.WriteBookshelf(dir, nl, 1.0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(dir, "adaptec1.aux"), "", 0, ""); err != nil {
+	if err := run(filepath.Join(dir, "adaptec1.aux"), "", 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Evaluate an explicit .pl too.
-	if err := run(filepath.Join(dir, "adaptec1.aux"), filepath.Join(dir, "adaptec1.pl"), 0.9, ""); err != nil {
+	if err := run(filepath.Join(dir, "adaptec1.aux"), filepath.Join(dir, "adaptec1.pl"), 0.9, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -84,10 +84,10 @@ func TestEvalPlCrossCheck(t *testing.T) {
 }
 
 func TestEvalPlErrors(t *testing.T) {
-	if err := run("", "", 0, ""); err == nil {
+	if err := run("", "", 0, "", ""); err == nil {
 		t.Error("expected error without -aux")
 	}
-	if err := run("/does/not/exist.aux", "", 0, ""); err == nil {
+	if err := run("/does/not/exist.aux", "", 0, "", ""); err == nil {
 		t.Error("expected error for missing aux")
 	}
 }

@@ -278,6 +278,12 @@ type Options struct {
 	// Model selects the quadratic net decomposition for ComPLx/SimPL
 	// (default ModelB2B).
 	Model NetModel
+	// Precond selects the CG preconditioner for the quadratic primal step:
+	// "jacobi", "ssor", "ic0", "mg", or ""/"auto" for the size heuristic
+	// (Jacobi on small designs, IC(0) at scale). Jacobi reproduces the
+	// historical solver bit for bit; the others trade a cheap setup for
+	// fewer CG iterations per solve.
+	Precond string
 
 	// SkipLegalize and SkipDetailed end the flow after global placement or
 	// legalization respectively. Designs without rows skip both
@@ -362,6 +368,13 @@ type Result struct {
 	// SimPL engines only): linear-system assembly, preconditioned-CG
 	// solves, and the feasibility projection.
 	AssemblyTime, SolveTime, ProjectionTime time.Duration
+	// Precond is the resolved CG preconditioner of the global placement
+	// stage, CGIterations the total CG inner iterations it spent, and
+	// PrecondTime the wall-clock spent building/refreshing the
+	// preconditioner (ComPLx and SimPL engines only).
+	Precond      string
+	CGIterations int
+	PrecondTime  time.Duration
 	DetailedRefine                          DetailedStats
 	// LegalViolations counts remaining legality violations (0 after a
 	// successful legalization).
@@ -386,6 +399,7 @@ func coreOptions(opt Options) core.Options {
 		CellPenalty:      opt.CellPenalty,
 		OnIteration:      opt.OnIteration,
 		Obs:              opt.Observer,
+		Precond:          opt.Precond,
 	}
 }
 
@@ -511,6 +525,9 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 			res.AssemblyTime = r.AssemblyTime
 			res.SolveTime = r.SolveTime
 			res.ProjectionTime = r.ProjectionTime
+			res.Precond = r.Precond
+			res.CGIterations = r.CGIters
+			res.PrecondTime = r.PrecondTime
 			res.Resumed = r.Resumed
 			if r.Recovery != nil {
 				res.Recovery = r.Recovery.Events
@@ -529,6 +546,9 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 			res.AssemblyTime = r.AssemblyTime
 			res.SolveTime = r.SolveTime
 			res.ProjectionTime = r.ProjectionTime
+			res.Precond = r.Precond
+			res.CGIterations = r.CGIters
+			res.PrecondTime = r.PrecondTime
 			res.Resumed = r.Resumed
 			if r.Recovery != nil {
 				res.Recovery = r.Recovery.Events
@@ -666,6 +686,8 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 		Detailed:        res.Detailed,
 		LegalViolations: res.LegalViolations,
 		TotalSeconds:    res.Total.Seconds(),
+		Precond:         res.Precond,
+		CGIters:         res.CGIterations,
 	})
 	if cancelErr != nil {
 		return res, cancelErr

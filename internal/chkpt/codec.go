@@ -51,6 +51,7 @@ func Encode(st *State) []byte {
 	}
 	p.f64s(st.ProjectorState)
 	p.f64s(st.DualState)
+	p.f64s(st.PrimalState)
 	p.i64(len(st.History))
 	for _, h := range st.History {
 		p.i64(h.Iter)
@@ -121,6 +122,7 @@ func Decode(data []byte) (*State, error) {
 	}
 	st.ProjectorState = r.f64s()
 	st.DualState = r.f64s()
+	st.PrimalState = r.f64s()
 	nh := r.i64()
 	if r.err == nil && (nh < 0 || nh > r.remaining()/16) {
 		r.err = fmt.Errorf("%w: absurd history length %d", ErrCorrupt, nh)

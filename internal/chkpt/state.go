@@ -39,7 +39,7 @@ import (
 
 // Version is the current checkpoint format version. Decode refuses other
 // versions (forward compatibility is explicit, never silent).
-const Version = 1
+const Version = 2
 
 // magic identifies a complx checkpoint file.
 const magic = "CPLXCKP1"
@@ -104,6 +104,10 @@ type State struct {
 	// DualState carries the overflow-loop stepper's numeric state (hold
 	// weights, penalty multipliers); nil for engine.Loop checkpoints.
 	DualState []float64
+	// PrimalState carries the primal solver's cross-solve numerics
+	// (currently the qp solver's extrapolated warm-start history); nil when
+	// the solver holds no such state.
+	PrimalState []float64
 
 	// History holds the numeric iteration history accumulated so far.
 	History []IterRecord

@@ -121,6 +121,14 @@ type Options struct {
 	Eps float64
 	// CG configures the linear solver.
 	CG sparse.CGOptions
+	// Precond selects the CG preconditioner: one of sparse.PrecondKinds
+	// ("jacobi", "ssor", "ic0", "mg"), or ""/"auto" for the size heuristic
+	// (Jacobi below qp.AutoPrecondMinVars variables, IC(0) above).
+	Precond string
+	// PrecondRefresh is the solve cadence at which factor-holding
+	// preconditioners fully rebuild rather than diagonal-refresh
+	// (0 → qp.DefaultPrecondRefresh); ignored for "jacobi".
+	PrecondRefresh int
 	// OnIteration, when set, observes per-iteration statistics.
 	OnIteration func(IterStats)
 	// Obs, when non-nil, instruments the run (spans, metrics, iteration
@@ -235,6 +243,11 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 	if opt.UseLSE && opt.UsePNorm {
 		return nil, perr.New(perr.StageValidate, "core: UseLSE and UsePNorm are mutually exclusive")
 	}
+	// Validate the preconditioner name up front so a typo fails at
+	// StageValidate instead of mid-run inside the first primal solve.
+	if _, err := qp.ResolvePrecond(opt.Precond, 0); err != nil {
+		return nil, perr.Wrap(perr.StageValidate, err)
+	}
 	// Primal step: the anchored quadratic solver with its incremental
 	// assembler and CG workspaces reused across iterations, or one of the
 	// nonlinear instantiations.
@@ -245,7 +258,10 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 	case opt.UsePNorm:
 		primal = &engine.PNormPrimal{NL: nl, P: opt.PNormP}
 	default:
-		primal = engine.NewQuadraticPrimal(nl, qp.Options{Model: opt.Model, Eps: opt.Eps, CG: opt.CG, Obs: opt.Obs})
+		primal = engine.NewQuadraticPrimal(nl, qp.Options{
+			Model: opt.Model, Eps: opt.Eps, CG: opt.CG, Obs: opt.Obs,
+			Precond: opt.Precond, PrecondRefresh: opt.PrecondRefresh,
+		})
 	}
 
 	// Dual step: the spreading projector, optionally decorated with the

@@ -121,6 +121,7 @@ func (l *Loop) captureState(iter int, s *loopState, res *Result) *chkpt.State {
 			res.SelfCons.Inconsistent, res.SelfCons.PremiseFailed,
 		},
 		ProjectorState: captureCodec(l.Projector),
+		PrimalState:    captureCodec(l.Primal),
 		History:        historyRecords(res.History),
 	}
 	return st
@@ -173,6 +174,11 @@ func (l *Loop) primeResume(res *Result, s *loopState) error {
 	}
 	l.relaxCount = st.RelaxCount
 	if err := restoreCodec(l.Projector, st.ProjectorState); err != nil {
+		return perr.Wrap(perr.StageCheckpoint, err)
+	}
+	// After the relax replay above, so the state lands in the solver that
+	// will actually run (Relax replaces the qp solver wholesale).
+	if err := restoreCodec(l.Primal, st.PrimalState); err != nil {
 		return perr.Wrap(perr.StageCheckpoint, err)
 	}
 	l.lastFinite = nl.SnapshotPositions()

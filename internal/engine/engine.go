@@ -73,6 +73,14 @@ type KernelTimer interface {
 	KernelTimes() (assembly, solve time.Duration)
 }
 
+// PrecondStatser is optionally implemented by primal solvers whose inner
+// solve is preconditioned CG. PrecondStats returns the cumulative CG inner
+// iteration count and preconditioner setup/refresh wall-clock since
+// construction, plus the resolved preconditioner name.
+type PrecondStatser interface {
+	PrecondStats() (cgIters int, setup time.Duration, name string)
+}
+
 // Projection is the result of one dual step: the C-feasible anchor
 // placement plus lazy measurement closures bound to the projection grid.
 // The closures are lazy because the loop must interleave them with other
@@ -145,6 +153,12 @@ type IterStats struct {
 	// initial interconnect-only solves). Zero when the primal solver does
 	// not implement KernelTimer.
 	AssemblyTime, SolveTime time.Duration
+	// CGIters and PrecondTime are the CG inner iterations and preconditioner
+	// setup/refresh wall-clock spent since the previous stats emission, on
+	// the same delta schedule as AssemblyTime/SolveTime. Zero when the primal
+	// solver does not implement PrecondStatser.
+	CGIters     int
+	PrecondTime time.Duration
 }
 
 // SelfConsistency aggregates the Formula 11 check (paper §S2).
@@ -184,6 +198,13 @@ type Result struct {
 	// projection (grid build + spreading + interpolation). Zero for the
 	// LSE/PNorm primal steps, which do not use the quadratic solver.
 	AssemblyTime, SolveTime, ProjectionTime time.Duration
+	// CGIters is the total CG inner iterations, PrecondTime the total
+	// preconditioner setup/refresh wall-clock, and Precond the resolved
+	// preconditioner name ("jacobi", "ssor", "ic0", "mg"). Zero/empty when
+	// the primal solver does not implement PrecondStatser.
+	CGIters     int
+	PrecondTime time.Duration
+	Precond     string
 	// Cancelled reports that the run was stopped by context cancellation;
 	// the placement holds the best C-feasible iterate reached before the
 	// cancellation (the same selection rule as a completed run).
@@ -278,6 +299,15 @@ func (l *Loop) kernelTimes() (assembly, solve time.Duration) {
 		return kt.KernelTimes()
 	}
 	return 0, 0
+}
+
+// precondStats reads the primal solver's cumulative CG/preconditioner
+// statistics, when it exposes them.
+func (l *Loop) precondStats() (cgIters int, setup time.Duration, name string) {
+	if ps, ok := l.Primal.(PrecondStatser); ok {
+		return ps.PrecondStats()
+	}
+	return 0, 0, ""
 }
 
 // solveStep runs one primal solve under the solver fallback ladder: when
@@ -400,6 +430,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		}
 		res.BestUpper = s.bestUpper
 		res.AssemblyTime, res.SolveTime = l.kernelTimes()
+		res.CGIters, res.PrecondTime, res.Precond = l.precondStats()
 		return finalize(nl, res, final)
 	}
 	// cancelExit saves the last complete-iteration snapshot (best effort),
@@ -439,7 +470,8 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
-	var lastAsm, lastSolve time.Duration
+	var lastAsm, lastSolve, lastPre time.Duration
+	var lastCG int
 
 	for k := startIter; k <= l.MaxIterations; k++ {
 		if fi := faultinject.Active(); fi != nil {
@@ -483,6 +515,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 				res.Converged = true
 				res.Iterations = 0
 				res.AssemblyTime, res.SolveTime = l.kernelTimes()
+				res.CGIters, res.PrecondTime, res.Precond = l.precondStats()
 				if err := finalize(nl, res, anchors); err != nil {
 					return nil, err
 				}
@@ -510,6 +543,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		s.prevPos, s.prevAnchors = curPos, anchors
 
 		asm, slv := l.kernelTimes()
+		cg, pre, _ := l.precondStats()
 		st := IterStats{
 			Iter: k, Lambda: s.lambda,
 			Phi: phi, PhiUpper: phiUpper,
@@ -520,8 +554,11 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			ProjectTime:  projTime,
 			AssemblyTime: asm - lastAsm,
 			SolveTime:    slv - lastSolve,
+			CGIters:      cg - lastCG,
+			PrecondTime:  pre - lastPre,
 		}
 		lastAsm, lastSolve = asm, slv
+		lastCG, lastPre = cg, pre
 		res.History = append(res.History, st)
 		if l.Monitor != nil {
 			l.Monitor.OnIteration(st)
@@ -534,6 +571,8 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			ProjectSeconds:  st.ProjectTime.Seconds(),
 			AssemblySeconds: st.AssemblyTime.Seconds(),
 			SolveSeconds:    st.SolveTime.Seconds(),
+			PrecondSeconds:  st.PrecondTime.Seconds(),
+			CGIterations:    st.CGIters,
 		})
 
 		if phiUpper < s.bestUpper {

@@ -45,7 +45,9 @@ func (q *QuadraticPrimal) Solve(ctx context.Context, anchors []geom.Point, lambd
 
 // Relax rebuilds the solver with a 10× relaxed linearization floor (at
 // least 10 row heights) and a 100× looser CG tolerance. The retiring
-// solver's kernel metrics are preserved in the KernelTimes totals.
+// solver's kernel metrics are preserved in the KernelTimes totals. The
+// replacement keeps every other option — model, observer, preconditioner
+// choice — so a relaxed retry differs from the original only in numerics.
 func (q *QuadraticPrimal) Relax() {
 	cg := q.opt.CG
 	if cg.Tol <= 0 {
@@ -53,16 +55,37 @@ func (q *QuadraticPrimal) Relax() {
 	}
 	cg.Tol *= 100
 	eps := math.Max(q.solver.Eps(), q.nl.RowHeight()) * 10
-	q.retired.Assembly += q.solver.Metrics.Assembly
-	q.retired.CG += q.solver.Metrics.CG
-	q.retired.Solves += q.solver.Metrics.Solves
-	q.solver = qp.NewSolver(q.nl, qp.Options{Model: q.opt.Model, Eps: eps, CG: cg})
+	q.retired.Add(q.solver.Metrics)
+	opt := q.opt
+	opt.Eps = eps
+	opt.CG = cg
+	q.solver = qp.NewSolver(q.nl, opt)
 }
 
 // KernelTimes returns the cumulative assembly and CG wall-clock across all
 // solves, including retired pre-relaxation solvers.
 func (q *QuadraticPrimal) KernelTimes() (assembly, solve time.Duration) {
 	return q.retired.Assembly + q.solver.Metrics.Assembly, q.retired.CG + q.solver.Metrics.CG
+}
+
+// CaptureState implements StateCodec: the qp solver's extrapolated
+// warm-start history is the only cross-solve numeric state, and it must
+// survive a checkpoint/resume cycle for the resumed run to warm-start (and
+// therefore place) bitwise identically to the uninterrupted one.
+func (q *QuadraticPrimal) CaptureState() []float64 { return q.solver.CaptureContinuation() }
+
+// RestoreState implements StateCodec.
+func (q *QuadraticPrimal) RestoreState(state []float64) error {
+	return q.solver.RestoreContinuation(state)
+}
+
+// PrecondStats returns the cumulative CG iteration count and preconditioner
+// setup wall-clock across all solves (including retired pre-relaxation
+// solvers), plus the resolved preconditioner name of the active solver.
+func (q *QuadraticPrimal) PrecondStats() (cgIters int, setup time.Duration, name string) {
+	return q.retired.CGIters + q.solver.Metrics.CGIters,
+		q.retired.PrecondSetup + q.solver.Metrics.PrecondSetup,
+		q.solver.Precond()
 }
 
 // LSEPrimal minimizes the log-sum-exp instantiation of the Lagrangian

@@ -34,6 +34,7 @@ const (
 
 	MetricAssemblySeconds   = "complx_assembly_seconds_total"
 	MetricCGSeconds         = "complx_cg_seconds_total"
+	MetricPrecondSeconds    = "complx_precond_setup_seconds_total"
 	MetricProjectionSeconds = "complx_projection_seconds_total"
 	MetricLegalizeSeconds   = "complx_legalize_seconds_total"
 
@@ -93,6 +94,7 @@ var metricHelp = map[string]string{
 	MetricCGLastResidual:    "Relative residual last reported by a CG solve.",
 	MetricAssemblySeconds:   "Wall-clock seconds spent assembling linear systems.",
 	MetricCGSeconds:         "Wall-clock seconds spent inside CG solves.",
+	MetricPrecondSeconds:    "Wall-clock seconds spent building/refreshing CG preconditioners.",
 	MetricProjectionSeconds: "Wall-clock seconds spent in feasibility projections.",
 	MetricLegalizeSeconds:   "Wall-clock seconds spent in legalization.",
 	MetricPseudoWeightMin:   "Minimum per-movable pseudonet multiplier this iteration.",

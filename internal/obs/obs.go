@@ -156,6 +156,11 @@ type FinalStats struct {
 	Detailed        bool    `json:"detailed"`
 	LegalViolations int     `json:"legal_violations"`
 	TotalSeconds    float64 `json:"total_seconds"`
+	// Precond is the resolved CG preconditioner of the run ("jacobi",
+	// "ssor", "ic0", "mg"; empty for flows without a quadratic solver) and
+	// CGIters the total CG inner iterations spent, both dimensions.
+	Precond string `json:"precond,omitempty"`
+	CGIters int    `json:"cg_iters,omitempty"`
 }
 
 // FinishRun records the end-of-run summary, stamps the finish time and
@@ -198,6 +203,7 @@ type IterSample struct {
 	ProjectSeconds  float64 `json:"project_seconds,omitempty"`
 	AssemblySeconds float64 `json:"assembly_seconds,omitempty"`
 	SolveSeconds    float64 `json:"solve_seconds,omitempty"`
+	PrecondSeconds  float64 `json:"precond_seconds,omitempty"`
 }
 
 // RecordIteration appends one iteration sample to the trace, refreshes the

@@ -74,11 +74,14 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// TraceCSVHeader is the column order of the CSV iteration trace.
+// TraceCSVHeader is the column order of the CSV iteration trace. The
+// precond column repeats the run's resolved preconditioner name on every
+// row so the flat table stays self-describing when traces from differently
+// configured runs are concatenated for plotting.
 var TraceCSVHeader = []string{
 	"iter", "lambda", "phi", "phi_upper", "pi", "lagrangian", "overflow",
-	"hpwl", "grid_nx", "cg_iterations",
-	"project_seconds", "assembly_seconds", "solve_seconds",
+	"hpwl", "grid_nx", "cg_iters", "precond",
+	"project_seconds", "assembly_seconds", "solve_seconds", "precond_seconds",
 }
 
 // WriteCSV writes the per-iteration convergence trace as CSV (see
@@ -93,8 +96,8 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		rec := []string{
 			strconv.Itoa(s.Iter), f(s.Lambda), f(s.Phi), f(s.PhiUpper),
 			f(s.Pi), f(s.L), f(s.Overflow), f(s.HPWL),
-			strconv.Itoa(s.GridNX), strconv.Itoa(s.CGIterations),
-			f(s.ProjectSeconds), f(s.AssemblySeconds), f(s.SolveSeconds),
+			strconv.Itoa(s.GridNX), strconv.Itoa(s.CGIterations), r.Result.Precond,
+			f(s.ProjectSeconds), f(s.AssemblySeconds), f(s.SolveSeconds), f(s.PrecondSeconds),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

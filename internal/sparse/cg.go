@@ -24,6 +24,12 @@ type CGOptions struct {
 	// shared between concurrent solves (the placement engine solves x and y
 	// concurrently).
 	Progress func(iter int, relResidual float64)
+	// Precond selects the preconditioner. It must already be Setup for the
+	// matrix being solved; the solver only calls Apply. Nil selects the
+	// built-in per-solve Jacobi (the historical default, bitwise identical
+	// to the pre-interface solver). Unlike Progress, a Preconditioner holds
+	// per-solve state: concurrent solves must not share one instance.
+	Precond Preconditioner
 }
 
 // CGResult reports how a solve went.
@@ -44,17 +50,18 @@ var ErrNotSPD = errors.New("sparse: matrix is not positive definite")
 // burn MaxIter iterations and return garbage.
 var ErrNotFinite = errors.New("sparse: non-finite value (NaN or Inf) in linear system")
 
-// CGWorkspace holds the five work vectors of a Jacobi-PCG solve. Reusing a
+// CGWorkspace holds the work vectors of a PCG solve plus the built-in
+// Jacobi preconditioner used when CGOptions.Precond is nil. Reusing a
 // workspace across the repeated per-iteration solves of the placement outer
-// loop eliminates the five O(N) allocations per call that SolvePCG
-// otherwise pays.
+// loop eliminates the O(N) allocations per call that SolvePCG otherwise
+// pays.
 type CGWorkspace struct {
-	invD, r, z, p, ap []float64
+	r, z, p, ap []float64
+	jac         Jacobi
 }
 
 // ensure sizes the workspace for an n-variable solve, reusing capacity.
 func (w *CGWorkspace) ensure(n int) {
-	w.invD = growF64(w.invD, n)
 	w.r = growF64(w.r, n)
 	w.z = growF64(w.z, n)
 	w.p = growF64(w.p, n)
@@ -100,20 +107,17 @@ func SolvePCGCtx(ctx context.Context, a *CSR, x, b []float64, opt CGOptions, w *
 		}
 	}
 	w.ensure(n)
-	invD, r, z, p, ap := w.invD, w.r, w.z, w.p, w.ap
+	r, z, p, ap := w.r, w.z, w.p, w.ap
 
-	// Jacobi preconditioner: M = diag(A). Guard zero diagonals (isolated
-	// variables) with 1 so they pass through unpreconditioned.
-	a.Diag(invD)
-	par.For(n, axpyGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if d := invD[i]; d > 0 {
-				invD[i] = 1 / d
-			} else {
-				invD[i] = 1
-			}
-		}
-	})
+	// Preconditioner: the caller's (already Setup for a), or the built-in
+	// Jacobi M = diag(A) rebuilt per solve — arithmetic-identical to the
+	// historical inline path, including the zero-diagonal guard that lets
+	// isolated variables pass through unpreconditioned.
+	precond := opt.Precond
+	if precond == nil {
+		w.jac.Setup(a) // never fails
+		precond = &w.jac
+	}
 
 	// Initial residual r = b - A x; the A x product is skipped when the
 	// guess is zero (r = b exactly).
@@ -139,11 +143,7 @@ func SolvePCGCtx(ctx context.Context, a *CSR, x, b []float64, opt CGOptions, w *
 		return CGResult{Converged: true}, nil
 	}
 
-	par.For(n, axpyGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			z[i] = invD[i] * r[i]
-		}
-	})
+	precond.Apply(z, r)
 	copy(p, z)
 	rz := Dot(r, z)
 
@@ -182,11 +182,7 @@ func SolvePCGCtx(ctx context.Context, a *CSR, x, b []float64, opt CGOptions, w *
 		alpha := rz / pap
 		Axpy(x, alpha, p)
 		Axpy(r, -alpha, ap)
-		par.For(n, axpyGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				z[i] = invD[i] * r[i]
-			}
-		})
+		precond.Apply(z, r)
 		rzNew := Dot(r, z)
 		if !isFinite(rzNew) {
 			return res, ErrNotFinite

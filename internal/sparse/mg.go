@@ -1,0 +1,299 @@
+package sparse
+
+import (
+	"math"
+
+	"complx/internal/par"
+)
+
+// MGLite is an aggregation-based multigrid V-cycle preconditioner
+// ("multigrid-lite"): greedy heavy-edge pairwise aggregation builds a
+// hierarchy of Galerkin coarse operators (piecewise-constant prolongation,
+// Aᶜ = Pᵀ A P), each Apply runs one symmetric V(1,1) cycle with damped
+// Jacobi smoothing, and the coarsest system is solved by a pivot-guarded
+// dense Cholesky. The cycle uses the same smoother before and after the
+// coarse correction, which makes the preconditioner symmetric (and, for the
+// default damping, positive definite), as PCG requires.
+//
+// Determinism: aggregation order, the Galerkin triple product (built
+// through the deterministic Builder), restriction (a serial ascending
+// scatter) and the dense factorization are all independent of the worker
+// pool; the elementwise smoothing stages use fixed-grain par.For. Apply is
+// therefore 0-ULP thread-equivalent like every other sparse kernel.
+type MGLite struct {
+	// MaxLevels caps the hierarchy depth (0 → 12); CoarseN is the size at
+	// which coarsening stops and the dense solver takes over (0 → 96).
+	// Omega is the Jacobi smoother damping (0 → 0.6).
+	MaxLevels, CoarseN int
+	Omega              float64
+
+	levels []*mgLevel
+	chol   *denseChol
+}
+
+// mgLevel holds one level's operator, smoother and work vectors. The
+// vectors r/x/res are the level's restricted residual, correction and
+// smoothing scratch.
+type mgLevel struct {
+	a         *CSR
+	invD      []float64 // guarded inverse diagonal for the smoother
+	agg       []int32   // fine variable → coarse aggregate (empty on the coarsest level)
+	r, x, res []float64
+}
+
+func (m *MGLite) fill() {
+	if m.MaxLevels <= 0 {
+		m.MaxLevels = 12
+	}
+	if m.CoarseN <= 0 {
+		m.CoarseN = 96
+	}
+	if m.Omega <= 0 {
+		m.Omega = 0.6
+	}
+}
+
+// Setup builds the aggregation hierarchy and coarse operators for a.
+func (m *MGLite) Setup(a *CSR) error {
+	m.fill()
+	m.levels = m.levels[:0]
+	m.chol = nil
+	cur := a
+	for {
+		lvl := &mgLevel{a: cur}
+		lvl.buildSmoother()
+		m.levels = append(m.levels, lvl)
+		n := cur.N
+		if n <= m.CoarseN || len(m.levels) >= m.MaxLevels {
+			break
+		}
+		agg, nc := aggregate(cur)
+		if nc >= n { // no coarsening progress (e.g. a diagonal matrix)
+			break
+		}
+		lvl.agg = agg
+		cur = galerkin(cur, agg, nc)
+	}
+	bottom := m.levels[len(m.levels)-1]
+	if bottom.a.N <= 2*m.CoarseN {
+		c, err := newDenseChol(bottom.a)
+		if err != nil {
+			return err
+		}
+		m.chol = c
+	}
+	return nil
+}
+
+// RefreshDiag rebuilds only the finest-level smoother from the live matrix,
+// keeping the aggregation, the coarse Galerkin operators and the dense
+// factor. The finest level's residual computations always read the live
+// matrix (the level stores the caller's CSR), so after a diagonal-dominated
+// update the cycle remains a valid SPD preconditioner with slightly stale
+// coarse corrections.
+func (m *MGLite) RefreshDiag(a *CSR) error {
+	if len(m.levels) == 0 || m.levels[0].a.N != a.N {
+		return m.Setup(a)
+	}
+	m.levels[0].a = a
+	m.levels[0].buildSmoother()
+	return nil
+}
+
+// Apply runs one symmetric V(1,1) cycle: z ≈ A⁻¹ r.
+func (m *MGLite) Apply(z, r []float64) {
+	m.cycle(0, r, z)
+}
+
+// Name identifies the implementation.
+func (m *MGLite) Name() string { return "mg" }
+
+func (l *mgLevel) buildSmoother() {
+	n := l.a.N
+	l.invD = growF64(l.invD, n)
+	l.r = growF64(l.r, n)
+	l.x = growF64(l.x, n)
+	l.res = growF64(l.res, n)
+	invD := l.invD
+	l.a.Diag(invD)
+	par.For(n, axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			invD[i] = 1 / guardDiag(invD[i])
+		}
+	})
+}
+
+// smoothZero writes one damped-Jacobi sweep from a zero start: x = ω D⁻¹ r.
+func (l *mgLevel) smoothZero(omega float64, x, r []float64) {
+	invD := l.invD
+	par.For(l.a.N, axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = omega * invD[i] * r[i]
+		}
+	})
+}
+
+// smooth adds one damped-Jacobi correction: x += ω D⁻¹ (r − A x), using the
+// level's res buffer for the product.
+func (l *mgLevel) smooth(omega float64, x, r []float64) {
+	l.a.MulVec(l.res, x)
+	invD, res := l.invD, l.res
+	par.For(l.a.N, axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += omega * invD[i] * (r[i] - res[i])
+		}
+	})
+}
+
+// cycle runs the V-cycle at level k, solving into x (overwritten).
+func (m *MGLite) cycle(k int, r, x []float64) {
+	lvl := m.levels[k]
+	if k == len(m.levels)-1 {
+		if m.chol != nil {
+			m.chol.solve(x, r)
+			return
+		}
+		// Coarsening stalled above the dense threshold: smooth in place.
+		lvl.smoothZero(m.Omega, x, r)
+		lvl.smooth(m.Omega, x, r)
+		lvl.smooth(m.Omega, x, r)
+		return
+	}
+	next := m.levels[k+1]
+	// Pre-smooth from zero, then restrict the residual.
+	lvl.smoothZero(m.Omega, x, r)
+	lvl.a.MulVec(lvl.res, x)
+	res, agg := lvl.res, lvl.agg
+	par.For(lvl.a.N, axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res[i] = r[i] - res[i]
+		}
+	})
+	rc := next.r
+	for i := range rc {
+		rc[i] = 0
+	}
+	for i, v := range res { // serial ascending scatter: deterministic
+		rc[agg[i]] += v
+	}
+	m.cycle(k+1, rc, next.x)
+	// Prolong the coarse correction and post-smooth.
+	xc := next.x
+	par.For(lvl.a.N, axpyGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += xc[agg[i]]
+		}
+	})
+	lvl.smooth(m.Omega, x, r)
+}
+
+// aggregate pairs each variable with its strongest unaggregated neighbor
+// (greedy heavy-edge matching in row order, ties to the lowest column),
+// leaving unmatched variables as singletons. Returns the fine→coarse map
+// and the coarse variable count.
+func aggregate(a *CSR) ([]int32, int) {
+	n := a.N
+	agg := make([]int32, n)
+	for i := range agg {
+		agg[i] = -1
+	}
+	nc := 0
+	for i := 0; i < n; i++ {
+		if agg[i] >= 0 {
+			continue
+		}
+		best := -1
+		bestW := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := int(a.Col[k])
+			if j == i || agg[j] >= 0 {
+				continue
+			}
+			if w := math.Abs(a.Val[k]); w > bestW {
+				bestW = w
+				best = j
+			}
+		}
+		agg[i] = int32(nc)
+		if best >= 0 {
+			agg[best] = int32(nc)
+		}
+		nc++
+	}
+	return agg, nc
+}
+
+// galerkin forms the coarse operator Aᶜ = Pᵀ A P for the piecewise-constant
+// prolongation given by agg, through the deterministic triplet builder.
+func galerkin(a *CSR, agg []int32, nc int) *CSR {
+	b := NewBuilder(nc)
+	for i := 0; i < a.N; i++ {
+		ci := int(agg[i])
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			b.Add(ci, int(agg[a.Col[k]]), a.Val[k])
+		}
+	}
+	return b.Build()
+}
+
+// denseChol is a pivot-guarded dense Cholesky factorization of the coarsest
+// operator. Coarse Galerkin operators of a singular-direction-free SPD fine
+// matrix are SPD, but the guard keeps the solve usable even when
+// aggregation maps an isolated variable to a (near-)zero coarse row.
+type denseChol struct {
+	n int
+	l []float64 // row-major lower triangle including diagonal
+}
+
+func newDenseChol(a *CSR) (*denseChol, error) {
+	n := a.N
+	c := &denseChol{n: n, l: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := int(a.Col[k]); j <= i {
+				c.l[i*n+j] += a.Val[k]
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		s := c.l[j*n+j]
+		for k := 0; k < j; k++ {
+			s -= c.l[j*n+k] * c.l[j*n+k]
+		}
+		if !(s > 1e-300) { // non-positive or NaN pivot: guarded fallback
+			s = 1
+		}
+		d := math.Sqrt(s)
+		c.l[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := c.l[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= c.l[i*n+k] * c.l[j*n+k]
+			}
+			c.l[i*n+j] = s / d
+		}
+		if !isFinite(d) {
+			return nil, ErrNotFinite
+		}
+	}
+	return c, nil
+}
+
+// solve computes x = (L Lᵀ)⁻¹ b by forward/backward substitution.
+func (c *denseChol) solve(x, b []float64) {
+	n := c.n
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= c.l[i*n+j] * x[j]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l[j*n+i] * x[j]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+}

@@ -28,6 +28,7 @@ var engineInternalCoreOptions = map[string]string{
 	"Checkpoint":           "constructed by the facade from Options.Checkpoint (a chkpt.Manager, wired in PlaceContext, not coreOptions)",
 	"Resume":               "loaded by the facade from the checkpoint directory when Options.Checkpoint.Resume is set",
 	"RecoveryPolicy":       "engine-internal recovery-ladder tuning; the facade always uses the default policy",
+	"PrecondRefresh":       "factor-refresh cadence stays internal; qp.DefaultPrecondRefresh is the measured sweet spot",
 }
 
 // TestCoreOptionsForwarding is the contract test for the single
