@@ -74,12 +74,13 @@ func main() {
 		compare  = flag.String("compare", "", "baseline trajectory JSON to re-run and compare against")
 		maxScale = flag.Float64("max-scale", math.Inf(1), "in compare mode, skip baseline entries with a larger recorded scale")
 		tol      = flag.Float64("tol", 0.10, "relative wall-clock tolerance in compare mode")
+		absSlack = flag.Float64("abs-slack", defaultAbsSlackSeconds, "absolute wall-clock slack in seconds; the effective slack is max(abs, relative)")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, config{
 		scale: *scale, designs: split(*designs), placers: split(*placers),
 		precond: *precond, out: *out, compare: *compare,
-		maxScale: *maxScale, tol: *tol,
+		maxScale: *maxScale, tol: *tol, absSlack: *absSlack,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
@@ -92,6 +93,7 @@ type config struct {
 	precond          string
 	out, compare     string
 	maxScale, tol    float64
+	absSlack         float64
 }
 
 func split(s string) []string {
@@ -231,9 +233,19 @@ func run(w io.Writer, cfg config) error {
 	return nil
 }
 
-// absSlackSeconds absorbs scheduler noise on sub-second entries: a tiny run
-// can miss a 10% relative bound on timer jitter alone.
-const absSlackSeconds = 0.5
+// defaultAbsSlackSeconds absorbs scheduler noise on sub-second entries: a
+// tiny run can miss a 10% relative bound on timer jitter alone. The slack
+// is max(absolute, relative), not their sum — long entries are judged by
+// the relative tolerance alone instead of pocketing a free half second on
+// top of it.
+const defaultAbsSlackSeconds = 0.5
+
+// wallLimit is the pass/fail wall-clock bound for one baseline entry: the
+// machine-adjusted baseline plus max(relative tolerance, absolute slack).
+func wallLimit(baseSeconds, factor, tol, absSlack float64) float64 {
+	adjusted := baseSeconds * factor
+	return adjusted + math.Max(adjusted*tol, absSlack)
+}
 
 func runCompare(w io.Writer, cfg config) error {
 	base, err := readTrajectory(cfg.compare)
@@ -277,7 +289,7 @@ func runCompare(w io.Writer, cfg config) error {
 		} else if e.CGIters > be.CGIters {
 			status = fmt.Sprintf("FAIL cg_iters %d > baseline %d", e.CGIters, be.CGIters)
 			failures++
-		} else if limit := be.WallSeconds*factor*(1+cfg.tol) + absSlackSeconds; e.WallSeconds > limit {
+		} else if limit := wallLimit(be.WallSeconds, factor, cfg.tol, cfg.absSlack); e.WallSeconds > limit {
 			status = fmt.Sprintf("FAIL wall %.2fs > limit %.2fs (baseline %.2fs × factor %.2f + tol)",
 				e.WallSeconds, limit, be.WallSeconds, factor)
 			failures++

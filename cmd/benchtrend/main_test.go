@@ -15,6 +15,25 @@ func tinyCfg(out string) config {
 	return config{
 		scale: 0.02, designs: []string{"adaptec1"}, placers: []string{"complx"},
 		precond: "jacobi", out: out, maxScale: math.Inf(1), tol: 0.10,
+		absSlack: defaultAbsSlackSeconds,
+	}
+}
+
+// TestWallLimitMaxNotSum pins the slack semantics: the bound is the
+// machine-adjusted baseline plus max(relative, absolute) — a long entry is
+// judged by the relative tolerance alone, a tiny one by the absolute slack.
+func TestWallLimitMaxNotSum(t *testing.T) {
+	// Long entry: 100s baseline at 10% tol → 110s, no free half second.
+	if got, want := wallLimit(100, 1.0, 0.10, 0.5), 110.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("wallLimit(100s) = %v, want %v", got, want)
+	}
+	// Tiny entry: 0.1s baseline → absolute slack dominates.
+	if got, want := wallLimit(0.1, 1.0, 0.10, 0.5), 0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("wallLimit(0.1s) = %v, want %v", got, want)
+	}
+	// The machine factor scales the baseline before the relative slack.
+	if got, want := wallLimit(100, 2.0, 0.10, 0.5), 220.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("wallLimit(100s, factor 2) = %v, want %v", got, want)
 	}
 }
 
@@ -80,6 +99,36 @@ func TestCompareDetectsRegressions(t *testing.T) {
 	// exactly what a regression looks like at compare time.
 	tamper("hpwl", func(e *Entry) { e.HPWL *= 0.5 })
 	tamper("cg_iters", func(e *Entry) { e.CGIters /= 2 })
+}
+
+// TestCompareDetectsWallRegression proves the wall-clock gate actually
+// fires: with zero absolute slack and zero tolerance, a baseline claiming
+// a near-instant run must fail against the real measurement.
+func TestCompareDetectsWallRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "traj.json")
+	if err := run(io.Discard, tinyCfg(base)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := readTrajectory(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Entries[0].WallSeconds = 1e-9
+	path := filepath.Join(dir, "wall.json")
+	if err := writeTrajectory(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	cmp := tinyCfg("")
+	cmp.compare = path
+	cmp.tol = 0
+	cmp.absSlack = 0
+	var sb strings.Builder
+	if err := run(&sb, cmp); err == nil {
+		t.Errorf("impossible wall baseline not detected:\n%s", sb.String())
+	} else if !strings.Contains(sb.String(), "FAIL wall") {
+		t.Errorf("failure is not the wall gate:\n%s", sb.String())
+	}
 }
 
 func TestCompareSkipsAboveMaxScale(t *testing.T) {

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"complx"
+	"complx/internal/chkpt"
+)
+
+// startDaemon launches the built complxd binary on an ephemeral port and
+// returns the base URL once the listen line appears.
+func startDaemon(t *testing.T, bin, dataDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-workers", "1",
+		"-checkpoint-interval", "1",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				addrc <- fields[0]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("daemon did not report its listen address within 30s")
+		return nil, ""
+	}
+}
+
+func postJob(t *testing.T, base string, spec JobSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j.ID
+}
+
+func fetchJob(t *testing.T, base, id string) (*Job, error) {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// TestDaemonSIGKILLRestart is the durability drill: a daemon with jobs
+// queued and in flight is SIGKILLed (no shutdown handler runs), restarted
+// on the same data directory, and every job must still complete — the
+// interrupted one resuming from its checkpoint at the same HPWL an
+// uninterrupted run produces.
+func TestDaemonSIGKILLRestart(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics are POSIX-only")
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash drill skipped in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "complxd-under-test")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building complxd: %v\n%s", err, out)
+	}
+
+	// The victim job: bigblue3 runs a couple of seconds at ~100ms per
+	// iteration, so a kill shortly after the first snapshot lands mid-run.
+	victim := JobSpec{Bench: "bigblue3", SkipDetailed: true, Threads: 2}
+	// Two quick jobs behind it on the single worker: queued at kill time.
+	queuedA := testSpec(900, 1, 0)
+	queuedB := testSpec(901, 2, 0)
+
+	// Uninterrupted references.
+	refVictim := serialResult(t, victim)
+	refA := serialResult(t, queuedA)
+	refB := serialResult(t, queuedB)
+
+	dataDir := t.TempDir()
+	cmd, base := startDaemon(t, bin, dataDir)
+	victimID := postJob(t, base, victim)
+	idA := postJob(t, base, queuedA)
+	idB := postJob(t, base, queuedB)
+
+	// Wait for the victim's first checkpoint, let a few more land, then
+	// SIGKILL: no graceful path runs, exactly like a crash or OOM kill.
+	ckptFile := filepath.Join(dataDir, "jobs", victimID, "ckpt", chkpt.FileName)
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if _, err := os.Stat(ckptFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("victim job produced no checkpoint within 2 minutes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond)
+	_ = cmd.Process.Kill() // SIGKILL
+	_ = cmd.Wait()
+
+	// Restart on the same data directory: the queue must recover, the
+	// in-flight job resume, and everything run to completion.
+	cmd2, base2 := startDaemon(t, bin, dataDir)
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_ = cmd2.Wait()
+	}()
+
+	waitFinal := func(id string) *Job {
+		deadline := time.Now().Add(4 * time.Minute)
+		for {
+			j, err := fetchJob(t, base2, id)
+			if err == nil {
+				switch j.State {
+				case StateDone, StateFailed, StateCancelled:
+					return j
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s did not finish after restart", id)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	jv := waitFinal(victimID)
+	if jv.State != StateDone {
+		t.Fatalf("victim job: state %s, error %q", jv.State, jv.Error)
+	}
+	if jv.Attempts < 2 {
+		t.Errorf("victim job ran %d attempt(s), want >= 2 (killed then resumed)", jv.Attempts)
+	}
+	if !jv.Result.Resumed {
+		t.Errorf("victim job did not resume from its checkpoint")
+	}
+	if jv.Result.HPWL != refVictim.HPWL {
+		t.Errorf("victim job HPWL %v != uninterrupted %v — resume is not bitwise",
+			jv.Result.HPWL, refVictim.HPWL)
+	}
+	for _, c := range []struct {
+		id  string
+		ref *complx.Result
+	}{{idA, refA}, {idB, refB}} {
+		j := waitFinal(c.id)
+		if j.State != StateDone {
+			t.Fatalf("queued job %s: state %s, error %q", c.id, j.State, j.Error)
+		}
+		if j.Result.HPWL != c.ref.HPWL {
+			t.Errorf("queued job %s HPWL %v != serial %v", c.id, j.Result.HPWL, c.ref.HPWL)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"complx"
+	"complx/internal/fsatomic"
+)
+
+// JobState is a job's position in the lifecycle. Transitions are
+// queued → running → {done, failed, cancelled}; a running job whose server
+// dies is re-queued on restart and resumes from its checkpoint.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// JobSpec is the client-supplied description of one placement job.
+type JobSpec struct {
+	// Bench names a synthetic benchmark (e.g. "adaptec1"); Scale optionally
+	// shrinks it. Exactly one input form is required: Bench, or an inline
+	// synthetic design via Gen.
+	Bench string  `json:"bench,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// Gen generates a custom synthetic design instead of a named benchmark.
+	Gen *complx.BenchSpec `json:"gen,omitempty"`
+
+	// Algorithm is "complx" (default), "simpl", "fastplace-cs" or "nlp".
+	Algorithm     string  `json:"algorithm,omitempty"`
+	TargetDensity float64 `json:"target_density,omitempty"`
+	MaxIterations int     `json:"max_iterations,omitempty"`
+	Precond       string  `json:"precond,omitempty"`
+	SkipLegalize  bool    `json:"skip_legalize,omitempty"`
+	SkipDetailed  bool    `json:"skip_detailed,omitempty"`
+
+	// Threads caps the parallel-kernel helpers this job may occupy
+	// (complx.Options.Threads); 0 leaves the job uncapped up to the
+	// process-wide pool. Budgets only change scheduling, never results.
+	Threads int `json:"threads,omitempty"`
+	// Priority orders dispatch: higher runs first; equal priorities run in
+	// submission order (FIFO).
+	Priority int `json:"priority,omitempty"`
+}
+
+// Validate rejects specs the scheduler could not run.
+func (s *JobSpec) Validate() error {
+	if (s.Bench == "") == (s.Gen == nil) {
+		return fmt.Errorf("exactly one of bench or gen is required")
+	}
+	if s.Bench != "" {
+		if _, ok := complx.BenchmarkByName(s.Bench); !ok {
+			return fmt.Errorf("unknown benchmark %q", s.Bench)
+		}
+	}
+	if s.Scale < 0 {
+		return fmt.Errorf("scale must be >= 0")
+	}
+	if s.Algorithm != "" {
+		if _, err := complx.ParseAlgorithm(s.Algorithm); err != nil {
+			return err
+		}
+	}
+	if s.Threads < 0 {
+		return fmt.Errorf("threads must be >= 0")
+	}
+	return nil
+}
+
+// JobResult is the subset of complx.Result persisted with the job.
+type JobResult struct {
+	HPWL             float64 `json:"hpwl"`
+	ScaledHPWL       float64 `json:"scaled_hpwl"`
+	OverflowPercent  float64 `json:"overflow_percent"`
+	GlobalIterations int     `json:"global_iterations"`
+	Converged        bool    `json:"converged"`
+	Legalized        bool    `json:"legalized"`
+	Detailed         bool    `json:"detailed"`
+	Resumed          bool    `json:"resumed"`
+	Precond          string  `json:"precond,omitempty"`
+	CGIterations     int     `json:"cg_iterations"`
+	TotalSeconds     float64 `json:"total_seconds"`
+}
+
+// Job is one persisted job record: the spec, the lifecycle state, and the
+// result or error once finished. The record is the durable unit — it is
+// rewritten atomically on every state transition, so a killed server
+// recovers the exact queue.
+type Job struct {
+	ID        string     `json:"id"`
+	Seq       int        `json:"seq"`
+	Spec      JobSpec    `json:"spec"`
+	State     JobState   `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Attempts counts scheduling attempts, incremented on each transition
+	// to running; >1 means the job resumed after a server death.
+	Attempts int        `json:"attempts"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+}
+
+// store persists job records under dir/jobs/<id>/job.json with atomic
+// replaces, and allocates monotonically increasing job IDs.
+type store struct {
+	dir string
+
+	mu      sync.Mutex
+	nextSeq int
+}
+
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &store{dir: dir, nextSeq: 1}
+	jobs, err := s.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		if j.Seq >= s.nextSeq {
+			s.nextSeq = j.Seq + 1
+		}
+	}
+	return s, nil
+}
+
+// NewJob allocates an ID, persists the queued record and returns it.
+func (s *store) NewJob(spec JobSpec) (*Job, error) {
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
+	j := &Job{
+		ID:        fmt.Sprintf("job-%06d", seq),
+		Seq:       seq,
+		Spec:      spec,
+		State:     StateQueued,
+		Submitted: time.Now().UTC(),
+	}
+	if err := s.Save(j); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (s *store) jobDir(id string) string { return filepath.Join(s.dir, "jobs", id) }
+
+// CheckpointDir is where the job's placement checkpoints live.
+func (s *store) CheckpointDir(id string) string { return filepath.Join(s.jobDir(id), "ckpt") }
+
+// Save atomically rewrites the job record.
+func (s *store) Save(j *Job) error {
+	dir := s.jobDir(j.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsatomic.WriteFileBytes(filepath.Join(dir, "job.json"), 0o644, data)
+}
+
+// Load reads one job record by ID.
+func (s *store) Load(id string) (*Job, error) {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), "job.json"))
+	if err != nil {
+		return nil, err
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("job %s: corrupt record: %w", id, err)
+	}
+	return &j, nil
+}
+
+// LoadAll reads every job record, sorted by sequence number. Directories
+// without a readable record (e.g. a crash before the first Save committed)
+// are skipped.
+func (s *store) LoadAll() ([]*Job, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "job-") {
+			continue
+		}
+		j, err := s.Load(e.Name())
+		if err != nil {
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Seq < jobs[b].Seq })
+	return jobs, nil
+}

@@ -1,0 +1,103 @@
+// Command complxd runs placement as a service: an HTTP/JSON daemon with a
+// persistent job queue, a bounded worker pool and per-job observability.
+//
+// Jobs are submitted as JSON specs (POST /jobs), scheduled by priority then
+// FIFO, and executed on a pool of -workers placement workers. Each job may
+// carry its own thread budget (spec "threads"), so one heavy job cannot
+// monopolize the parallel kernels of the others; budgets only change
+// scheduling, never results — a job's placement is bitwise identical to the
+// same run performed serially with the complx CLI.
+//
+// Every job checkpoints its global-placement state under the data
+// directory. Killing the daemon — even SIGKILL — loses nothing: on restart
+// the persisted queue is recovered, interrupted jobs are re-queued and
+// resume from their last snapshot, bitwise identical to an uninterrupted
+// run (DESIGN.md §10, §12).
+//
+// Observability: GET /metrics aggregates every job's Prometheus metrics
+// with job="<id>" labels, GET /status reports the scheduler and each run's
+// live state, GET /jobs/{id}/events streams per-iteration progress as
+// Server-Sent Events, and /obs/{id}/ exposes each job's full surface
+// (including pprof).
+//
+// Example:
+//
+//	complxd -addr :8080 -data-dir /var/lib/complxd -workers 4
+//	curl -XPOST localhost:8080/jobs -d '{"bench":"adaptec1","scale":0.1,"threads":2}'
+//	curl localhost:8080/jobs/job-000001/events   # SSE progress
+//	curl localhost:8080/jobs/job-000001/result
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"complx"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		dataDir   = flag.String("data-dir", "./complxd-data", "persistent job store and per-job checkpoints")
+		workers   = flag.Int("workers", 2, "concurrent placement workers")
+		ckptEvery = flag.Int("checkpoint-interval", 0, "iterations between job checkpoints (0 = default 5)")
+		threads   = flag.Int("threads", 0, "process-wide worker-pool ceiling for the parallel kernels (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *workers, *ckptEvery, *threads); err != nil {
+		fmt.Fprintln(os.Stderr, "complxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, workers, ckptEvery, threads int) error {
+	complx.SetThreads(threads)
+
+	st, err := newStore(dataDir)
+	if err != nil {
+		return fmt.Errorf("job store: %w", err)
+	}
+	hub := complx.NewObsHub()
+	sched := newScheduler(st, hub, workers, ckptEvery)
+	if err := sched.Recover(); err != nil {
+		return fmt.Errorf("recover jobs: %w", err)
+	}
+	sched.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{Handler: newServer(sched, hub).handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	// The line tests and scripts wait for; keep the format stable.
+	log.Printf("complxd: listening on %s (workers=%d, data=%s)", ln.Addr(), workers, dataDir)
+
+	select {
+	case err := <-errc:
+		sched.Stop()
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, cancel running jobs cooperatively
+	// (checkpoints make the interruption recoverable) and exit.
+	log.Printf("complxd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx) //nolint:errcheck // drain is best-effort
+	sched.Stop()
+	return nil
+}

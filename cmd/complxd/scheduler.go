@@ -1,0 +1,457 @@
+package main
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"complx"
+)
+
+// jobHeap orders queued jobs by priority (higher first), then submission
+// sequence (FIFO within a priority).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].Spec.Priority != h[b].Spec.Priority {
+		return h[a].Spec.Priority > h[b].Spec.Priority
+	}
+	return h[a].Seq < h[b].Seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any     { old := *h; n := len(old); j := old[n-1]; *h = old[:n-1]; return j }
+
+// runtimeInfo is the in-memory side of a job: live iteration samples for
+// SSE subscribers and, while running, the cancel hook.
+type runtimeInfo struct {
+	mu      sync.Mutex
+	samples []complx.IterStats
+	changed chan struct{} // closed-and-replaced on every append / state change
+	cancel  context.CancelFunc
+	final   bool
+}
+
+func newRuntimeInfo() *runtimeInfo {
+	return &runtimeInfo{changed: make(chan struct{})}
+}
+
+// appendSample records one iteration and wakes SSE subscribers.
+func (ri *runtimeInfo) appendSample(s complx.IterStats) {
+	ri.mu.Lock()
+	ri.samples = append(ri.samples, s)
+	ch := ri.changed
+	ri.changed = make(chan struct{})
+	ri.mu.Unlock()
+	close(ch)
+}
+
+// finish marks the stream complete and wakes subscribers one last time.
+func (ri *runtimeInfo) finish() {
+	ri.mu.Lock()
+	ri.final = true
+	ch := ri.changed
+	ri.changed = make(chan struct{})
+	ri.mu.Unlock()
+	close(ch)
+}
+
+// snapshot returns the samples recorded so far, whether the stream is
+// complete, and a channel that closes on the next change.
+func (ri *runtimeInfo) snapshot(from int) ([]complx.IterStats, bool, <-chan struct{}) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if from > len(ri.samples) {
+		from = len(ri.samples)
+	}
+	out := append([]complx.IterStats(nil), ri.samples[from:]...)
+	return out, ri.final, ri.changed
+}
+
+// scheduler owns the queue, the worker pool and the per-job runtime state.
+type scheduler struct {
+	store    *store
+	hub      *complx.ObsHub
+	workers  int
+	ckptEach int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobHeap
+	jobs     map[string]*Job         // every job this server knows, by ID
+	runtimes map[string]*runtimeInfo // live SSE/cancel state, by ID
+	running  int
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+func newScheduler(st *store, hub *complx.ObsHub, workers, ckptEach int) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &scheduler{
+		store:    st,
+		hub:      hub,
+		workers:  workers,
+		ckptEach: ckptEach,
+		jobs:     map[string]*Job{},
+		runtimes: map[string]*runtimeInfo{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Recover loads every persisted job and re-queues the unfinished ones. A
+// job that was running when the previous server died goes back to queued:
+// its checkpoint directory lets the placement resume mid-flight.
+func (s *scheduler) Recover() error {
+	jobs, err := s.store.LoadAll()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range jobs {
+		s.jobs[j.ID] = j
+		switch j.State {
+		case StateQueued:
+			heap.Push(&s.queue, j)
+		case StateRunning:
+			j.State = StateQueued
+			if err := s.store.Save(j); err != nil {
+				return err
+			}
+			heap.Push(&s.queue, j)
+			log.Printf("recovered in-flight job %s; will resume from checkpoint", j.ID)
+		}
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// Start launches the worker pool.
+func (s *scheduler) Start() {
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.workerLoop()
+		}()
+	}
+}
+
+// Stop drains the pool: running jobs are cancelled cooperatively (their
+// checkpoints make the interruption recoverable) and the workers exit.
+func (s *scheduler) Stop() {
+	s.mu.Lock()
+	s.closed = true
+	for _, ri := range s.runtimes {
+		ri.mu.Lock()
+		if ri.cancel != nil {
+			ri.cancel()
+		}
+		ri.mu.Unlock()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit validates, persists and enqueues a new job.
+func (s *scheduler) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	j, err := s.store.NewJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	heap.Push(&s.queue, j)
+	cp := *j
+	s.cond.Signal()
+	s.mu.Unlock()
+	return &cp, nil
+}
+
+// update mutates a shared job record under the scheduler lock, persists a
+// snapshot and returns it. Handlers only ever see snapshots, so workers may
+// keep mutating the canonical record without racing the JSON encoders.
+func (s *scheduler) update(j *Job, fn func(*Job)) *Job {
+	s.mu.Lock()
+	fn(j)
+	cp := *j
+	s.mu.Unlock()
+	if err := s.store.Save(&cp); err != nil {
+		log.Printf("job %s: persist %s state: %v", cp.ID, cp.State, err)
+	}
+	return &cp
+}
+
+// Get returns a copy of the job record, or nil.
+func (s *scheduler) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	cp := *j
+	return &cp
+}
+
+// List returns copies of all known jobs in submission order.
+func (s *scheduler) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		cp := *j
+		out = append(out, &cp)
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Seq < out[k-1].Seq; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Runtime returns the job's live runtime info, creating it if needed (so a
+// subscriber can attach before the job starts).
+func (s *scheduler) Runtime(id string) *runtimeInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return nil
+	}
+	ri, ok := s.runtimes[id]
+	if !ok {
+		ri = newRuntimeInfo()
+		s.runtimes[id] = ri
+		if j := s.jobs[id]; j.State == StateDone || j.State == StateFailed || j.State == StateCancelled {
+			ri.final = true
+		}
+	}
+	return ri
+}
+
+// Cancel cancels a queued or running job. Cancelling a queued job is
+// immediate; a running job stops cooperatively at the next solver check and
+// keeps its best placement.
+func (s *scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("unknown job %s", id)
+	}
+	switch j.State {
+	case StateQueued:
+		j.State = StateCancelled
+		now := time.Now().UTC()
+		j.Finished = &now
+		cp := *j
+		ri := s.runtimes[id]
+		s.mu.Unlock()
+		err := s.store.Save(&cp)
+		if ri != nil {
+			ri.finish()
+		}
+		return err
+	case StateRunning:
+		ri := s.runtimes[id]
+		s.mu.Unlock()
+		if ri != nil {
+			ri.mu.Lock()
+			if ri.cancel != nil {
+				ri.cancel()
+			}
+			ri.mu.Unlock()
+		}
+		return nil
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("job %s already %s", id, j.State)
+	}
+}
+
+// Counts reports queue depth and running jobs for /status.
+func (s *scheduler) Counts() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running
+}
+
+// workerLoop pops jobs until the scheduler closes.
+func (s *scheduler) workerLoop() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		if j.State != StateQueued {
+			// Cancelled while queued; the heap entry is stale.
+			s.mu.Unlock()
+			continue
+		}
+		now := time.Now().UTC()
+		j.State = StateRunning
+		j.Started = &now
+		j.Attempts++
+		s.running++
+		cp := *j
+		ri, ok := s.runtimes[j.ID]
+		if !ok {
+			ri = newRuntimeInfo()
+			s.runtimes[j.ID] = ri
+		}
+		s.mu.Unlock()
+		if err := s.store.Save(&cp); err != nil {
+			log.Printf("job %s: persist running state: %v", j.ID, err)
+		}
+
+		s.runJob(j, ri)
+
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// runJob executes one placement and persists the outcome.
+func (s *scheduler) runJob(j *Job, ri *runtimeInfo) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ri.mu.Lock()
+	ri.cancel = cancel
+	ri.mu.Unlock()
+	defer func() {
+		ri.mu.Lock()
+		ri.cancel = nil
+		ri.mu.Unlock()
+		cancel()
+	}()
+
+	observer := complx.NewObserver()
+	s.hub.Register(j.ID, observer)
+
+	res, err := runPlacement(ctx, j, s.store.CheckpointDir(j.ID), s.ckptEach, observer, ri.appendSample)
+
+	s.update(j, func(j *Job) {
+		now := time.Now().UTC()
+		j.Finished = &now
+		switch {
+		case res != nil && res.Cancelled:
+			j.State = StateCancelled
+			j.Result = summarize(res)
+			if err != nil {
+				j.Error = err.Error()
+			}
+		case err != nil:
+			j.State = StateFailed
+			j.Error = err.Error()
+		default:
+			j.State = StateDone
+			j.Result = summarize(res)
+		}
+	})
+	ri.finish()
+}
+
+// runPlacement builds the netlist and runs the flow for one job.
+func runPlacement(ctx context.Context, j *Job, ckptDir string, ckptEach int,
+	observer *complx.Observer, onIter func(complx.IterStats)) (*complx.Result, error) {
+	nl, target, err := buildNetlist(j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	alg := complx.AlgComPLx
+	if j.Spec.Algorithm != "" {
+		if alg, err = complx.ParseAlgorithm(j.Spec.Algorithm); err != nil {
+			return nil, err
+		}
+	}
+	if j.Spec.TargetDensity > 0 {
+		target = j.Spec.TargetDensity
+	}
+	opt := complx.Options{
+		Algorithm:     alg,
+		TargetDensity: target,
+		MaxIterations: j.Spec.MaxIterations,
+		Precond:       j.Spec.Precond,
+		SkipLegalize:  j.Spec.SkipLegalize,
+		SkipDetailed:  j.Spec.SkipDetailed,
+		Threads:       j.Spec.Threads,
+		Observer:      observer,
+		OnIteration:   onIter,
+		Checkpoint: complx.CheckpointOptions{
+			Dir:      ckptDir,
+			Interval: ckptEach,
+			Resume:   true, // a fresh job has no snapshot; a re-queued one resumes
+		},
+	}
+	res, err := complx.PlaceContext(ctx, nl, opt)
+	if res != nil && res.Cancelled {
+		// Cooperative cancellation still returns a usable placement; report
+		// it as cancelled, not failed.
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return res, err
+		}
+		return res, nil
+	}
+	return res, err
+}
+
+// buildNetlist materializes the job's input design.
+func buildNetlist(spec JobSpec) (*complx.Netlist, float64, error) {
+	var bs complx.BenchSpec
+	if spec.Gen != nil {
+		bs = *spec.Gen
+	} else {
+		var ok bool
+		bs, ok = complx.BenchmarkByName(spec.Bench)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown benchmark %q", spec.Bench)
+		}
+		if spec.Scale != 0 && spec.Scale != 1.0 {
+			bs = complx.ScaleBenchmark(bs, spec.Scale)
+		}
+	}
+	target := bs.TargetDensity
+	nl, err := complx.Generate(bs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return nl, target, nil
+}
+
+func summarize(res *complx.Result) *JobResult {
+	if res == nil {
+		return nil
+	}
+	return &JobResult{
+		HPWL:             res.HPWL,
+		ScaledHPWL:       res.ScaledHPWL,
+		OverflowPercent:  res.OverflowPercent,
+		GlobalIterations: res.GlobalIterations,
+		Converged:        res.Converged,
+		Legalized:        res.Legalized,
+		Detailed:         res.Detailed,
+		Resumed:          res.Resumed,
+		Precond:          res.Precond,
+		CGIterations:     res.CGIterations,
+		TotalSeconds:     res.Total.Seconds(),
+	}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"complx"
+)
+
+// server is the HTTP surface of the daemon:
+//
+//	POST /jobs               submit a JobSpec, returns the queued record (201)
+//	GET  /jobs               list all job records
+//	GET  /jobs/{id}          one job record
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+//	GET  /jobs/{id}/result   the finished job's result (409 while unfinished)
+//	GET  /jobs/{id}/events   SSE per-iteration progress stream
+//	GET  /obs/{id}/...       the job's own observability surface (hub route)
+//	GET  /metrics            aggregated Prometheus metrics, job="<id>" labels
+//	GET  /status             scheduler counts + per-job live status
+//	GET  /healthz            liveness probe
+type server struct {
+	sched *scheduler
+	hub   *complx.ObsHub
+	start time.Time
+}
+
+func newServer(sched *scheduler, hub *complx.ObsHub) *server {
+	return &server{sched: sched, hub: hub, start: time.Now()}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.Handle("/obs/", http.StripPrefix("/obs", s.hub.Handler()))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.hub.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort over HTTP
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	j, err := s.sched.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, j)
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.List())
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.sched.Get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.sched.Cancel(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.sched.Get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+		return
+	}
+	switch j.State {
+	case StateDone, StateCancelled:
+		if j.Result == nil {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s %s without result", j.ID, j.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Result)
+	case StateFailed:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s failed: %s", j.ID, j.Error))
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.ID, j.State))
+	}
+}
+
+// handleEvents streams per-iteration progress as Server-Sent Events: one
+// `iter` event per recorded global-placement iteration (JSON IterStats
+// payload), then a final `done` event with the job record. Subscribing to
+// a queued job waits for it to start; subscribing to a finished job
+// replays nothing and closes with `done` immediately.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ri := s.sched.Runtime(id)
+	if ri == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	next := 0
+	for {
+		samples, final, changed := ri.snapshot(next)
+		for _, sm := range samples {
+			data, err := json.Marshal(sm)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: iter\ndata: %s\n\n", data)
+		}
+		next += len(samples)
+		if len(samples) > 0 {
+			fl.Flush()
+		}
+		if final {
+			data, _ := json.Marshal(s.sched.Get(id))
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// statusView is the /status payload. The per-job statuses include each
+// run's spans_dropped count, so truncated traces are visible fleet-wide.
+type statusView struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Workers       int                         `json:"workers"`
+	Queued        int                         `json:"queued"`
+	Running       int                         `json:"running"`
+	Goroutines    int                         `json:"goroutines"`
+	HeapAllocMB   float64                     `json:"heap_alloc_mb"`
+	Jobs          map[string]complx.RunStatus `json:"jobs"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.sched.Counts()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, http.StatusOK, statusView{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.sched.workers,
+		Queued:        queued,
+		Running:       running,
+		Goroutines:    runtime.NumGoroutine(),
+		HeapAllocMB:   float64(ms.HeapAlloc) / (1 << 20),
+		Jobs:          s.hub.Statuses(),
+	})
+}

@@ -84,6 +84,10 @@ func Validate(nl *Netlist) error {
 // finish with the parallelism they started with, and the new cap applies
 // from the next kernel launch on. A mid-run resize never changes placement
 // results (see TestSetThreadsDuringRun in internal/par).
+//
+// SetThreads is the process-wide ceiling. To bound an individual run —
+// e.g. one job among several in a placement service — set Options.Threads
+// instead: per-run budgets compose with (and never exceed) the global cap.
 func SetThreads(n int) { par.SetThreads(n) }
 
 // Threads reports the current worker-pool size.
@@ -129,12 +133,22 @@ type (
 	// RunReport is the machine-readable summary of one observed run
 	// (JSON summary plus CSV iteration trace).
 	RunReport = obs.Report
+	// ObsHub fans the observability of many concurrent runs — one Observer
+	// per run — into a single HTTP surface with per-run routing and a
+	// job-labeled aggregated /metrics (used by cmd/complxd).
+	ObsHub = obs.Hub
+	// RunStatus is the live per-run view served by an Observer's /status
+	// endpoint (and, per job, by an ObsHub).
+	RunStatus = obs.Status
 )
 
 // NewObserver returns an enabled Observer ready to attach to
 // Options.Observer. One observer should watch one placement run at a time;
 // call Reset between sequential runs.
 func NewObserver() *Observer { return obs.New() }
+
+// NewObsHub returns an empty observer hub for multi-run processes.
+func NewObsHub() *ObsHub { return obs.NewHub() }
 
 // Cell kinds.
 const (
@@ -325,6 +339,15 @@ type Options struct {
 	// observed runs produce bitwise-identical placements; a nil observer
 	// costs one branch per call site.
 	Observer *Observer
+
+	// Threads caps the parallel-kernel helpers this run may occupy,
+	// independently of other concurrent runs in the same process. 0 (the
+	// default) leaves the run uncapped up to the process-wide pool set by
+	// SetThreads; n >= 1 admits at most n-1 pool helpers on top of the
+	// calling goroutine, so Threads: 1 runs the kernels fully serial.
+	// Like SetThreads, the budget only changes scheduling — placements are
+	// bitwise identical at any setting.
+	Threads int
 }
 
 // Result reports a full placement run.
@@ -372,10 +395,10 @@ type Result struct {
 	// stage, CGIterations the total CG inner iterations it spent, and
 	// PrecondTime the wall-clock spent building/refreshing the
 	// preconditioner (ComPLx and SimPL engines only).
-	Precond      string
-	CGIterations int
-	PrecondTime  time.Duration
-	DetailedRefine                          DetailedStats
+	Precond        string
+	CGIterations   int
+	PrecondTime    time.Duration
+	DetailedRefine DetailedStats
 	// LegalViolations counts remaining legality violations (0 after a
 	// successful legalization).
 	LegalViolations int
@@ -430,6 +453,19 @@ func Place(nl *Netlist, opt Options) (*Result, error) {
 // the cancel was observed. Non-cancellation failures return a nil Result
 // exactly as Place does.
 func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error) {
+	if opt.Threads > 0 {
+		// Bind the per-run kernel budget to this goroutine for the whole
+		// flow; parallel kernels pick it up via par.Current. The binding is
+		// scheduling-only, so it stays out of the checkpoint fingerprint.
+		var (
+			res *Result
+			err error
+		)
+		lim := par.NewLimit(opt.Threads)
+		opt.Threads = 0 // bound below; avoids double-binding on re-entry
+		par.With(lim, func() { res, err = PlaceContext(ctx, nl, opt) })
+		return res, err
+	}
 	start := time.Now()
 	if err := Validate(nl); err != nil {
 		return nil, err

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Hub fans the observability surfaces of many concurrent placement runs —
+// one Observer per run — into a single HTTP handler, the multi-tenant
+// counterpart of Observer.Handler:
+//
+//	/metrics         every registered observer's registry in one Prometheus
+//	                 exposition, each series labeled job="<name>"
+//	/status          JSON map of every observer's live Status by name
+//	/<name>/...      the named observer's own full surface (metrics, status,
+//	                 report, pprof), exactly as Observer.Handler serves it
+//
+// Register/Unregister are safe concurrently with serving; a scrape sees a
+// consistent snapshot of the membership at its start. Observer names become
+// label values and path segments, so keep them to URL- and
+// Prometheus-friendly characters (the job-server uses job IDs).
+type Hub struct {
+	mu      sync.Mutex
+	entries map[string]*hubEntry
+}
+
+type hubEntry struct {
+	o       *Observer
+	handler http.Handler
+}
+
+// NewHub returns an empty observer hub.
+func NewHub() *Hub { return &Hub{entries: map[string]*hubEntry{}} }
+
+// Register adds (or replaces) the named observer. Nil observers are ignored.
+func (h *Hub) Register(name string, o *Observer) {
+	if h == nil || o == nil {
+		return
+	}
+	h.mu.Lock()
+	h.entries[name] = &hubEntry{o: o, handler: o.Handler()}
+	h.mu.Unlock()
+}
+
+// Unregister removes the named observer; unknown names are a no-op.
+func (h *Hub) Unregister(name string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	delete(h.entries, name)
+	h.mu.Unlock()
+}
+
+// Get returns the named observer, or nil.
+func (h *Hub) Get(name string) *Observer {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.entries[name]; ok {
+		return e.o
+	}
+	return nil
+}
+
+// Names returns the registered observer names, sorted.
+func (h *Hub) Names() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.entries))
+	for n := range h.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Statuses snapshots every registered observer's live Status by name (the
+// per-run spans_dropped field makes truncated traces visible here).
+func (h *Hub) Statuses() map[string]Status {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	entries := make(map[string]*hubEntry, len(h.entries))
+	for n, e := range h.entries {
+		entries[n] = e
+	}
+	h.mu.Unlock()
+	out := make(map[string]Status, len(entries))
+	for n, e := range entries {
+		out[n] = e.o.Status()
+	}
+	return out
+}
+
+// labelSeries merges an extra label pair into a series name:
+// "m" → `m{k="v"}`, and "m{a=...}" → `m{k="v",a=...}`.
+func labelSeries(name, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + "{" + pair + "," + name[i+1:]
+	}
+	return name + "{" + pair + "}"
+}
+
+// WritePrometheus renders every registered observer's metrics as one
+// Prometheus text exposition. Series are labeled job="<name>"; HELP and
+// TYPE headers appear once per base metric name across all observers, as
+// the text format requires.
+func (h *Hub) WritePrometheus(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.entries))
+	for n := range h.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	observers := make([]*Observer, len(names))
+	for i, n := range names {
+		observers[i] = h.entries[n].o
+	}
+	h.mu.Unlock()
+
+	type group struct {
+		kind  byte
+		help  string
+		lines []string
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i, o := range observers {
+		job := names[i]
+		r := o.Metrics()
+		r.mu.Lock()
+		regNames := append([]string(nil), r.names...)
+		r.mu.Unlock()
+		for _, name := range regNames {
+			r.mu.Lock()
+			kind, help := r.kind[name], r.help[name]
+			c, g, hist := r.ctrs[name], r.gaug[name], r.hist[name]
+			r.mu.Unlock()
+			base := baseName(name)
+			grp, ok := groups[base]
+			if !ok {
+				grp = &group{kind: kind, help: help}
+				groups[base] = grp
+				order = append(order, base)
+			}
+			switch kind {
+			case 'c':
+				grp.lines = append(grp.lines, fmt.Sprintf("%s %v", labelSeries(name, "job", job), c.Value()))
+			case 'g':
+				grp.lines = append(grp.lines, fmt.Sprintf("%s %v", labelSeries(name, "job", job), g.Value()))
+			case 'h':
+				grp.lines = append(grp.lines, labeledHistogramLines(name, job, hist)...)
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, base := range order {
+		grp := groups[base]
+		var kindName string
+		switch grp.kind {
+		case 'c':
+			kindName = "counter"
+		case 'g':
+			kindName = "gauge"
+		case 'h':
+			kindName = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, grp.help, base, kindName); err != nil {
+			return err
+		}
+		for _, ln := range grp.lines {
+			if _, err := fmt.Fprintln(w, ln); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labeledHistogramLines renders one observer's histogram with the job label
+// merged into every bucket/sum/count series.
+func labeledHistogramLines(name, job string, h *Histogram) []string {
+	h.mu.Lock()
+	bounds := append([]float64(nil), h.bounds...)
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	lines := make([]string, 0, len(bounds)+3)
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		lines = append(lines, fmt.Sprintf("%s_bucket{job=%q,le=\"%v\"} %d", name, job, b, cum))
+	}
+	cum += counts[len(counts)-1]
+	lines = append(lines,
+		fmt.Sprintf("%s_bucket{job=%q,le=\"+Inf\"} %d", name, job, cum),
+		fmt.Sprintf("%s_sum{job=%q} %v", name, job, sum),
+		fmt.Sprintf("%s_count{job=%q} %d", name, job, total))
+	return lines
+}
+
+// Handler returns the hub's HTTP handler (see the type comment for routes).
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h.Statuses()) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		name, rest, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/"), "/")
+		h.mu.Lock()
+		e := h.entries[name]
+		h.mu.Unlock()
+		if e == nil {
+			http.NotFound(w, r)
+			return
+		}
+		http.StripPrefix("/"+name, e.handler).ServeHTTP(w, r)
+		_ = rest
+	})
+	return mux
+}

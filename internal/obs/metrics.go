@@ -24,6 +24,7 @@ const (
 	MetricGridNX           = "complx_grid_nx"
 	MetricPhaseChanges     = "complx_phase_changes_total"
 	MetricIterationSeconds = "complx_iteration_seconds"
+	MetricSpansDropped     = "complx_spans_dropped_total"
 
 	MetricCGSolves          = "complx_cg_solves_total"
 	MetricCGIterations      = "complx_cg_iterations_total"
@@ -85,6 +86,7 @@ var metricHelp = map[string]string{
 	MetricPi:                "Current L1 distance to the feasibility projection.",
 	MetricGridNX:            "Projection grid resolution of the current iteration.",
 	MetricPhaseChanges:      "Pipeline phase transitions (global/legalize/detailed/done).",
+	MetricSpansDropped:      "Spans discarded past the tracer's retention cap (a non-zero value means the trace is truncated).",
 	MetricIterationSeconds:  "Wall-clock seconds per global placement iteration.",
 	MetricCGSolves:          "Preconditioned-CG solves completed (one per dimension).",
 	MetricCGIterations:      "Total CG inner iterations across all solves.",

@@ -18,6 +18,9 @@ type Status struct {
 	Started   time.Time `json:"started"`
 	Updated   time.Time `json:"updated"`
 	Done      bool      `json:"done"`
+	// SpansDropped counts tracer spans discarded past the retention cap; a
+	// non-zero value flags the span tree as truncated.
+	SpansDropped int `json:"spans_dropped"`
 }
 
 // Status returns a snapshot of the live run status; nil-safe (zero value).
@@ -26,6 +29,11 @@ func (o *Observer) Status() Status {
 		return Status{}
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.status
+	st := o.status
+	o.mu.Unlock()
+	t := o.tracer
+	t.mu.Lock()
+	st.SpansDropped = t.dropped
+	t.mu.Unlock()
+	return st
 }

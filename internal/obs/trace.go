@@ -66,8 +66,13 @@ func (o *Observer) StartSpan(name string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.count >= maxSpans {
+		// Dropped spans are still timed into their caller's flow but not
+		// retained; the loss is observable via the counter (and /status), so
+		// a long run whose trace was truncated is detectable instead of
+		// silently looking complete.
 		t.dropped++
 		sp.dropped = true
+		o.Counter(MetricSpansDropped).Add(1)
 		return sp
 	}
 	t.count++

@@ -1,0 +1,179 @@
+package par
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// limitKernel is the same determinism-patterned reduction the SetThreads
+// test uses: per-chunk partials indexed by lo/grain, merged in index order.
+func limitKernel(n, grain int) float64 {
+	parts := make([]float64, Chunks(n, grain))
+	For(n, grain, func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += math.Sqrt(float64(i%89)) * 0.25
+		}
+		parts[lo/grain] = s
+	})
+	total := 0.0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+
+// TestLimitBudgetOne proves that a budget-1 job runs every chunk strictly on
+// its calling goroutine: the goroutine id observed inside each chunk must be
+// the caller's, no matter how large the global pool is.
+func TestLimitBudgetOne(t *testing.T) {
+	SetThreads(8)
+	defer SetThreads(0)
+
+	caller := goid()
+	var mu sync.Mutex
+	foreign := 0
+	With(NewLimit(1), func() {
+		For(1<<12, 64, func(lo, hi int) {
+			if goid() != caller {
+				mu.Lock()
+				foreign++
+				mu.Unlock()
+			}
+		})
+	})
+	if foreign > 0 {
+		t.Fatalf("budget-1 job ran %d chunks on helper goroutines", foreign)
+	}
+}
+
+// TestLimitHelperCap proves a budget-b job never has more than b−1 helper
+// goroutines in flight, across concurrent kernel launches from two job-owned
+// goroutines (the qp x/y split shape).
+func TestLimitHelperCap(t *testing.T) {
+	SetThreads(8)
+	defer SetThreads(0)
+
+	const budget = 3
+	lim := NewLimit(budget)
+	callers := map[uint64]bool{}
+	var mu sync.Mutex
+	record := func() {
+		id := goid()
+		mu.Lock()
+		callers[id] = true
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	launch := func() {
+		defer wg.Done()
+		With(lim, func() {
+			record()
+			for r := 0; r < 50; r++ {
+				For(1<<12, 32, func(lo, hi int) {
+					if goid() != 0 { // always true; keeps the chunk non-trivial
+						record()
+					}
+					// The invariant: in-flight helpers never exceed budget−1.
+					if h := lim.helpers.Load(); int(h) > budget-1 {
+						mu.Lock()
+						callers[0] = true // sentinel for violation
+						mu.Unlock()
+					}
+				})
+			}
+		})
+	}
+	wg.Add(2)
+	go launch()
+	go launch()
+	wg.Wait()
+
+	if callers[0] {
+		t.Fatalf("helper in-flight count exceeded budget-1 (%d)", budget-1)
+	}
+	// 2 launching goroutines + at most budget−1 helpers.
+	if len(callers) > 2+(budget-1) {
+		t.Fatalf("job used %d distinct goroutines, want <= %d", len(callers), 2+(budget-1))
+	}
+}
+
+// TestLimitDeterminism: the same kernel must produce bitwise-identical
+// results serial, globally parallel, and under every budget, including
+// concurrent jobs with different budgets.
+func TestLimitDeterminism(t *testing.T) {
+	SetThreads(1)
+	want := limitKernel(1<<14, 128)
+	SetThreads(8)
+	defer SetThreads(0)
+
+	if got := limitKernel(1<<14, 128); got != want {
+		t.Fatalf("global-parallel kernel %v != serial %v", got, want)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for _, budget := range []int{1, 2, 3, 0} {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			With(NewLimit(b), func() {
+				for r := 0; r < 20; r++ {
+					if got := limitKernel(1<<14, 128); got != want {
+						errc <- "budgeted kernel result diverged"
+						return
+					}
+				}
+			})
+		}(budget)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}
+
+// TestLimitNesting: the innermost With wins, the outer binding is restored,
+// and a nil Limit passes through unbound.
+func TestLimitNesting(t *testing.T) {
+	if Current() != nil {
+		t.Fatal("goroutine unexpectedly bound at test start")
+	}
+	outer, inner := NewLimit(2), NewLimit(1)
+	With(outer, func() {
+		if Current() != outer {
+			t.Error("outer binding not visible")
+		}
+		With(inner, func() {
+			if Current() != inner {
+				t.Error("inner binding not visible")
+			}
+		})
+		if Current() != outer {
+			t.Error("outer binding not restored after inner With")
+		}
+		With(nil, func() {
+			if Current() != outer {
+				t.Error("nil With must not disturb the binding")
+			}
+		})
+	})
+	if Current() != nil {
+		t.Fatal("binding leaked past With")
+	}
+}
+
+// TestLimitSetClamp: Set normalizes negatives to uncapped and Budget
+// reports the configured value.
+func TestLimitSetClamp(t *testing.T) {
+	l := NewLimit(-5)
+	if l.Budget() != 0 {
+		t.Fatalf("NewLimit(-5).Budget() = %d, want 0 (uncapped)", l.Budget())
+	}
+	l.Set(4)
+	if l.Budget() != 4 {
+		t.Fatalf("Budget() = %d after Set(4)", l.Budget())
+	}
+}

@@ -104,15 +104,23 @@ func SetThreads(n int) {
 
 // Run invokes fn(0), fn(1), …, fn(nchunks-1) exactly once each, possibly
 // concurrently on up to Threads() goroutines (the caller participates).
-// It returns when every chunk has completed. fn must not assume any
-// particular execution order or goroutine identity; chunks are claimed
-// dynamically for load balance.
+// When the calling goroutine is bound to a Limit (see With), the smaller of
+// the global cap and the remaining per-job budget applies instead. It
+// returns when every chunk has completed. fn must not assume any particular
+// execution order or goroutine identity; chunks are claimed dynamically for
+// load balance.
 func Run(nchunks int, fn func(chunk int)) {
 	if nchunks <= 0 {
 		return
 	}
 	ensureInit()
 	t := int(threads.Load())
+	lim := Current()
+	if lim != nil {
+		if b := lim.Budget(); b > 0 && b < t {
+			t = b
+		}
+	}
 	if t <= 1 || nchunks == 1 {
 		for c := 0; c < nchunks; c++ {
 			fn(c)
@@ -135,10 +143,28 @@ func Run(nchunks int, fn func(chunk int)) {
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < helpers; i++ {
+		// A bound job draws its helpers from the job budget before touching
+		// the pool, so concurrent kernel launches within one job (the qp x/y
+		// split) share budget−1 helper slots instead of each claiming a full
+		// complement.
+		if lim != nil && !lim.tryAcquireHelper() {
+			break
+		}
 		wg.Add(1)
-		task := func() {
-			defer wg.Done()
-			drain()
+		var task func()
+		if lim != nil {
+			task = func() {
+				defer wg.Done()
+				defer lim.releaseHelper()
+				// Bind the worker for the task's duration so kernels nested
+				// inside a chunk observe the same job budget.
+				With(lim, drain)
+			}
+		} else {
+			task = func() {
+				defer wg.Done()
+				drain()
+			}
 		}
 		select {
 		case work <- task:
@@ -146,6 +172,9 @@ func Run(nchunks int, fn func(chunk int)) {
 		default:
 			// No worker free (pool saturated or nested call): the caller
 			// will drain those chunks itself.
+			if lim != nil {
+				lim.releaseHelper()
+			}
 			wg.Done()
 		}
 	}

@@ -1,0 +1,151 @@
+package qp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"complx/internal/gen"
+	"complx/internal/geom"
+	"complx/internal/netlist"
+)
+
+// genDesign generates a small synthetic design with a per-stream seed so
+// concurrent solve streams work on structurally distinct netlists.
+func genDesign(t testing.TB, seed int64) *netlist.Netlist {
+	t.Helper()
+	nl, err := gen.Generate(gen.Spec{
+		Name: fmt.Sprintf("cache-%d", seed), NumCells: 200, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// positions flattens a netlist's movable centers for bitwise comparison.
+func positions(nl *netlist.Netlist) []geom.Point {
+	mov := nl.Movables()
+	out := make([]geom.Point, len(mov))
+	for k, i := range mov {
+		out[k] = nl.Cells[i].Center()
+	}
+	return out
+}
+
+// TestSolveConcurrentStreams runs several one-shot Solve streams on
+// distinct netlists concurrently (the multi-tenant daemon shape) and
+// requires each stream's trajectory to be bitwise identical to a serial
+// reference — proving the facade cache neither shares Solver state between
+// netlists nor perturbs results when entries are evicted or rebuilt. Run
+// under -race this is also the facade cache's data-race proof.
+func TestSolveConcurrentStreams(t *testing.T) {
+	ResetSolverCache()
+	const streams = 6 // more than SolverCacheSize: forces eviction churn
+	const rounds = 8
+
+	// Serial references: one fresh run per stream.
+	refs := make([][]geom.Point, streams)
+	for s := 0; s < streams; s++ {
+		nl := genDesign(t, int64(1000+s))
+		for r := 0; r < rounds; r++ {
+			if _, err := Solve(nl, nil, Options{Eps: 1}); err != nil {
+				t.Fatalf("stream %d serial round %d: %v", s, r, err)
+			}
+		}
+		refs[s] = positions(nl)
+	}
+	ResetSolverCache()
+
+	// Concurrent streams on freshly generated (identical-by-seed) netlists.
+	got := make([][]geom.Point, streams)
+	errs := make([]error, streams)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			nl := genDesign(t, int64(1000+s))
+			for r := 0; r < rounds; r++ {
+				if _, err := Solve(nl, nil, Options{Eps: 1}); err != nil {
+					errs[s] = fmt.Errorf("round %d: %w", r, err)
+					return
+				}
+			}
+			got[s] = positions(nl)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", s, err)
+		}
+	}
+	for s := range refs {
+		if len(got[s]) != len(refs[s]) {
+			t.Fatalf("stream %d: %d positions, want %d", s, len(got[s]), len(refs[s]))
+		}
+		for k := range refs[s] {
+			if got[s][k] != refs[s][k] {
+				t.Fatalf("stream %d movable %d: concurrent %v != serial %v",
+					s, k, got[s][k], refs[s][k])
+			}
+		}
+	}
+	if n := CachedSolvers(); n > SolverCacheSize {
+		t.Fatalf("cache retains %d solvers, bound is %d", n, SolverCacheSize)
+	}
+}
+
+// TestSolveCacheBounded cycles one-shot solves over many distinct netlists
+// and requires the retained-solver count to stay at the documented bound —
+// the regression test for the old single-slot cache's last-writer-wins
+// leak, where every concurrent loser's Solver allocation was stranded.
+func TestSolveCacheBounded(t *testing.T) {
+	ResetSolverCache()
+	defer ResetSolverCache()
+	for i := 0; i < 3*SolverCacheSize; i++ {
+		nl := genDesign(t, int64(5000+i))
+		if _, err := Solve(nl, nil, Options{Eps: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if n := CachedSolvers(); n > SolverCacheSize {
+			t.Fatalf("after %d netlists the cache holds %d solvers, bound is %d",
+				i+1, n, SolverCacheSize)
+		}
+	}
+	if n := CachedSolvers(); n != SolverCacheSize {
+		t.Fatalf("cache holds %d solvers after churn, want the full bound %d", n, SolverCacheSize)
+	}
+}
+
+// TestSolveCacheReuseAndEvict pins the cache mechanics: a repeat solve on
+// the same netlist reuses the cached instance (hit), a different netlist
+// gets its own entry, and a preconditioner change on a hit resets the
+// resolved kind so the factor is rebuilt.
+func TestSolveCacheReuseAndEvict(t *testing.T) {
+	ResetSolverCache()
+	defer ResetSolverCache()
+	nl := genDesign(t, 42)
+	if _, err := Solve(nl, nil, Options{Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := CachedSolvers(); n != 1 {
+		t.Fatalf("cache holds %d entries after one solve, want 1", n)
+	}
+	s := acquireSolver(nl, Options{Eps: 1})
+	if s.asm == nil || s.px == nil {
+		t.Fatal("acquire after release returned a fresh solver, want the cached instance")
+	}
+	if s.sinceSetup != 0 {
+		t.Fatalf("cached solver reacquired with sinceSetup=%d, want 0 (forced full Setup)", s.sinceSetup)
+	}
+	releaseSolver(nl, Options{Eps: 1}, s)
+
+	// A preconditioner switch on a cache hit must drop the resolved factor.
+	s = acquireSolver(nl, Options{Eps: 1, Precond: "ssor"})
+	if s.px != nil || s.kind != "" {
+		t.Fatal("preconditioner change must reset the cached factor state")
+	}
+	releaseSolver(nl, Options{Eps: 1, Precond: "ssor"}, s)
+}

@@ -24,6 +24,7 @@ import (
 	"complx/internal/netlist"
 	"complx/internal/netmodel"
 	"complx/internal/obs"
+	"complx/internal/par"
 	"complx/internal/sparse"
 )
 
@@ -465,11 +466,16 @@ func (s *Solver) SolveCtx(ctx context.Context, anchors *Anchors) (Result, error)
 	var errX, errY error
 	var wg sync.WaitGroup
 	wg.Add(1)
+	// Per-job thread budgets bind to goroutines, so the y-solve goroutine
+	// must re-bind the caller's limit or its kernels would run uncapped.
+	lim := par.Current()
 	go func() {
 		defer wg.Done()
-		cgOptY := cgOpt
-		cgOptY.Precond = s.py
-		res.Y, errY = sparse.SolvePCGCtx(ctx, sy.A, ys, sy.B, cgOptY, &s.cgY)
+		par.With(lim, func() {
+			cgOptY := cgOpt
+			cgOptY.Precond = s.py
+			res.Y, errY = sparse.SolvePCGCtx(ctx, sy.A, ys, sy.B, cgOptY, &s.cgY)
+		})
 	}()
 	cgOptX := cgOpt
 	cgOptX.Precond = s.px
@@ -518,20 +524,38 @@ func (s *Solver) SolveCtx(ctx context.Context, anchors *Anchors) (Result, error)
 	return res, nil
 }
 
-// solverCache holds the most recent package-level Solve's Solver so
-// repeated one-shot calls on the same netlist reuse the incremental
-// assembly shards, CG workspaces and preconditioner state instead of
-// rebuilding them per call. The cache is keyed by the netlist pointer plus
-// its structural counts and the assembly-relevant options (Model, Eps); it
-// intentionally keeps one netlist's solver alive between calls — callers
-// cycling many netlists pay nothing beyond the historical per-call build.
-var solverCache struct {
-	mu                sync.Mutex
+// SolverCacheSize bounds the number of idle facade solvers retained by
+// Solve. The cache is keyed per netlist, so concurrent one-shot streams on
+// up to this many distinct netlists each keep their incremental assembly
+// shards, CG workspaces and warm-start history between calls; a stream
+// rotating through more netlists evicts in least-recently-released order
+// and pays the historical per-call build, never an unbounded pile of
+// retained Solver allocations.
+const SolverCacheSize = 4
+
+// solverEntry is one idle cached solver with the identity it was built for:
+// the netlist pointer plus the structural counts and assembly-relevant
+// options (Model, Eps). The counts guard against a freed netlist's address
+// being reused and against structural edits that change the sizes; edits
+// that rewire connectivity at identical counts are — as for a long-lived
+// Solver — the caller's responsibility to avoid (the netlist structure must
+// not change between Solve calls, only positions).
+type solverEntry struct {
 	nl                *netlist.Netlist
 	model             netmodel.Model
 	eps               float64
 	cells, nets, pins int
 	s                 *Solver
+}
+
+// solverCache holds idle facade solvers in most-recently-released order.
+// Entries are removed while in use, so concurrent Solve calls never share a
+// Solver instance: a second concurrent solve on the same netlist simply
+// builds a fresh one, and on release only one instance per netlist is
+// retained (the loser is dropped, not leaked into a growing cache).
+var solverCache struct {
+	mu      sync.Mutex
+	entries []solverEntry
 }
 
 // acquireSolver returns a cached solver for (nl, opt) when one matches,
@@ -540,42 +564,86 @@ var solverCache struct {
 func acquireSolver(nl *netlist.Netlist, opt Options) *Solver {
 	c := &solverCache
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.s != nil && c.nl == nl && c.model == opt.Model && c.eps == opt.Eps &&
-		c.cells == nl.NumCells() && c.nets == nl.NumNets() && c.pins == nl.NumPins() {
-		s := c.s
-		c.s = nil
-		if s.opt.Precond != opt.Precond {
-			// A different preconditioner request invalidates the resolved
-			// kind, the factor state and the extrapolation history.
-			s.px, s.py, s.kind = nil, nil, ""
-			s.sinceSetup, s.histCount = 0, 0
+	for i, e := range c.entries {
+		if e.nl == nl && e.model == opt.Model && e.eps == opt.Eps &&
+			e.cells == nl.NumCells() && e.nets == nl.NumNets() && e.pins == nl.NumPins() {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			c.mu.Unlock()
+			s := e.s
+			if s.opt.Precond != opt.Precond {
+				// A different preconditioner request invalidates the resolved
+				// kind, the factor state and the extrapolation history.
+				s.px, s.py, s.kind = nil, nil, ""
+				s.histCount = 0
+			}
+			// Everything the assembler depends on (Model, Eps) matched; the
+			// remaining options only steer the solve itself.
+			s.opt = opt
+			// One-shot callers may have moved cells arbitrarily since the
+			// solver was cached, so a carried preconditioner factor can be
+			// stale for the system about to be assembled. Forcing the
+			// since-Setup count to zero makes the next preparePreconds do a
+			// full Setup even under a PrecondRefresh cadence > 1 — the
+			// λ-continuation diagonal refresh is only sound inside one
+			// owner's solve loop, which the facade cannot see.
+			s.sinceSetup = 0
+			return s
 		}
-		// Everything the assembler depends on (Model, Eps) matched; the
-		// remaining options only steer the solve itself.
-		s.opt = opt
-		return s
 	}
+	c.mu.Unlock()
 	return NewSolver(nl, opt)
 }
 
-// releaseSolver stores the solver back for the next one-shot call
-// (last-writer-wins under concurrency).
+// releaseSolver stores the solver back for the next one-shot call on the
+// same netlist, retaining at most one instance per netlist and at most
+// SolverCacheSize entries overall (least-recently-released eviction).
 func releaseSolver(nl *netlist.Netlist, opt Options, s *Solver) {
+	e := solverEntry{
+		nl: nl, model: opt.Model, eps: opt.Eps,
+		cells: nl.NumCells(), nets: nl.NumNets(), pins: nl.NumPins(),
+		s: s,
+	}
 	c := &solverCache
 	c.mu.Lock()
-	c.nl, c.model, c.eps = nl, opt.Model, opt.Eps
-	c.cells, c.nets, c.pins = nl.NumCells(), nl.NumNets(), nl.NumPins()
-	c.s = s
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	for i := range c.entries {
+		if c.entries[i].nl == nl {
+			// A concurrent solve on the same netlist released first; keep the
+			// newest instance and drop the older one instead of accumulating.
+			copy(c.entries[i:], c.entries[i+1:])
+			c.entries = c.entries[:len(c.entries)-1]
+			break
+		}
+	}
+	c.entries = append(c.entries, e)
+	if len(c.entries) > SolverCacheSize {
+		c.entries = append(c.entries[:0], c.entries[len(c.entries)-SolverCacheSize:]...)
+	}
+}
+
+// CachedSolvers reports the number of idle solvers currently retained by
+// the Solve facade cache (bounded by SolverCacheSize); exported for tests.
+func CachedSolvers() int {
+	solverCache.mu.Lock()
+	defer solverCache.mu.Unlock()
+	return len(solverCache.entries)
+}
+
+// ResetSolverCache drops every idle cached solver (test isolation helper).
+func ResetSolverCache() {
+	solverCache.mu.Lock()
+	defer solverCache.mu.Unlock()
+	solverCache.entries = nil
 }
 
 // Solve runs one anchored quadratic placement step and updates the movable
 // cell positions of nl in place. anchors may be nil for the initial
 // unconstrained solve (λ = 0). Hot loops should construct a Solver once and
-// reuse it; this convenience caches the most recent solver behind the
-// package facade, so repeated one-shot calls on the same netlist get
-// incremental assembly too.
+// reuse it; this convenience keeps a small per-netlist cache of solvers
+// behind the package facade (see SolverCacheSize), so repeated one-shot
+// calls on the same netlist get incremental assembly too — including
+// concurrent streams on distinct netlists, which each get their own cached
+// instance instead of thrashing a single slot.
 func Solve(nl *netlist.Netlist, anchors *Anchors, opt Options) (Result, error) {
 	s := acquireSolver(nl, opt)
 	res, err := s.Solve(anchors)
