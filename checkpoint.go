@@ -73,6 +73,11 @@ func checkpointFingerprint(nl *Netlist, opt Options) [32]byte {
 		// The preconditioner changes the CG arithmetic, hence the placement
 		// trajectory: a checkpoint is only resumable under the same kind.
 		"precond=" + opt.Precond,
+		// The V-cycle shape determines which netlist each snapshot level
+		// belongs to; a checkpoint is only resumable under the same shape.
+		fmt.Sprintf("multilevel=%t target=%d levels=%d refine=%d",
+			opt.Multilevel.Enabled, opt.Multilevel.TargetCells,
+			opt.Multilevel.MaxLevels, opt.Multilevel.RefineIters),
 	}
 	return chkpt.Fingerprint(parts...)
 }

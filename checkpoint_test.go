@@ -173,3 +173,166 @@ func TestPlaceCheckpointRejections(t *testing.T) {
 		}
 	})
 }
+
+// TestPlaceCheckpointResumeMidVCycle is the multilevel variant of the
+// resume contract (DESIGN.md §13): a V-cycle killed while a coarse level is
+// still solving — i.e. before the interpolation down to finer levels —
+// leaves a level-stamped checkpoint, and resuming rebuilds the coarsening
+// stack, skips the levels the snapshot already encodes, and finishes
+// bit-for-bit identical to the uninterrupted run.
+func TestPlaceCheckpointResumeMidVCycle(t *testing.T) {
+	spec := BenchSpec{Name: "mlckpt", NumCells: 700, Seed: 21, Utilization: 0.7}
+	design := func() *Netlist {
+		nl, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl
+	}
+	base := Options{
+		MaxIterations: 20,
+		SkipLegalize:  true,
+		SkipDetailed:  true,
+		Multilevel:    MultilevelOptions{Enabled: true, TargetCells: 150, RefineIters: 6},
+	}
+
+	for _, tc := range []struct {
+		name   string
+		cancel func(IterStats, int) bool // (stats, coarsest level) -> kill now
+	}{
+		// Mid-coarse-solve: the snapshot's level is the coarsest, so the
+		// resume finishes the coarse solve before any interpolation.
+		{"during-coarse-solve", func(it IterStats, top int) bool {
+			return it.Level == top && it.Iter == 10
+		}},
+		// After the coarse solve, during a middle refinement level: the
+		// resume must skip the coarser levels entirely.
+		{"during-refine-level", func(it IterStats, top int) bool {
+			return it.Level == 1 && it.Iter == 2
+		}},
+		// During the FIRST iteration of a warm level, before any of its
+		// deposits flushed: the level's pending iteration-0 snapshot has
+		// no schedule state and must not replace the coarser level's
+		// resumable snapshot (warmLevelSink drops it) — the resume lands
+		// on the coarser level and re-descends.
+		{"at-refine-level-entry", func(it IterStats, top int) bool {
+			return it.Level == top-1 && it.Iter == 1
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Uninterrupted reference.
+			nlRef := design()
+			resRef, err := Place(nlRef, base)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+
+			// Interrupted run.
+			dir := t.TempDir()
+			nlInt := design()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			optInt := base
+			optInt.Checkpoint = CheckpointOptions{Dir: dir, Interval: 1}
+			top := -1
+			optInt.OnIteration = func(it IterStats) {
+				if top < 0 {
+					top = it.Level // first iteration runs at the coarsest level
+				}
+				if tc.cancel(it, top) {
+					cancel()
+				}
+			}
+			resInt, err := PlaceContext(ctx, nlInt, optInt)
+			if err == nil || resInt == nil || !resInt.Cancelled {
+				t.Fatalf("want cancelled run with result, got res=%v err=%v", resInt, err)
+			}
+			if top < 1 {
+				t.Fatalf("expected a multi-level cycle, first level was %d", top)
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, chkpt.FileName))
+			if err != nil {
+				t.Fatalf("no checkpoint after cancellation: %v", err)
+			}
+			st, err := chkpt.Decode(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Level <= 0 {
+				t.Fatalf("checkpoint level = %d, want a coarse level (cancelled mid-V-cycle)", st.Level)
+			}
+
+			// Resume and compare bitwise.
+			nlRes := design()
+			optRes := base
+			optRes.Checkpoint = CheckpointOptions{Dir: dir, Interval: 1, Resume: true}
+			resRes, err := Place(nlRes, optRes)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if !resRes.Resumed {
+				t.Error("resumed run did not report Resumed")
+			}
+			if math.Float64bits(resRes.HPWL) != math.Float64bits(resRef.HPWL) {
+				t.Errorf("resume HPWL diverged: %v vs %v", resRes.HPWL, resRef.HPWL)
+			}
+			a, b := facadePositionsBits(nlRef), facadePositionsBits(nlRes)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("position word %d diverged after mid-V-cycle resume", i)
+				}
+			}
+		})
+	}
+}
+
+// TestPlaceMultilevelRejections covers the facade's multilevel option
+// validation.
+func TestPlaceMultilevelRejections(t *testing.T) {
+	base := Options{MaxIterations: 6, SkipLegalize: true, SkipDetailed: true}
+
+	t.Run("clustered-exclusive", func(t *testing.T) {
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Clustered = true
+		opt.Multilevel = MultilevelOptions{Enabled: true}
+		_, err := Place(nl, opt)
+		var pe *PlaceError
+		if !errors.As(err, &pe) || pe.Stage != perr.StageValidate {
+			t.Fatalf("want validate-stage error, got %v", err)
+		}
+	})
+
+	t.Run("algorithm-gate", func(t *testing.T) {
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Algorithm = AlgFastPlaceCS
+		opt.Multilevel = MultilevelOptions{Enabled: true}
+		_, err := Place(nl, opt)
+		var pe *PlaceError
+		if !errors.As(err, &pe) || pe.Stage != perr.StageValidate {
+			t.Fatalf("want validate-stage error, got %v", err)
+		}
+	})
+
+	t.Run("checkpoint-fingerprint-covers-multilevel", func(t *testing.T) {
+		dir := t.TempDir()
+		nl := genCheckpointNetlist(t)
+		opt := base
+		opt.Checkpoint = CheckpointOptions{Dir: dir, Interval: 2}
+		if _, err := Place(nl, opt); err != nil {
+			t.Fatal(err)
+		}
+		// Same directory, but now a multilevel run: the fingerprint must
+		// reject priming a V-cycle from a flat run's snapshot.
+		nl2 := genCheckpointNetlist(t)
+		opt2 := base
+		opt2.Multilevel = MultilevelOptions{Enabled: true, TargetCells: 150}
+		opt2.Checkpoint = CheckpointOptions{Dir: dir, Resume: true}
+		_, err := Place(nl2, opt2)
+		wantCheckpointError(t, err)
+		if !errors.Is(err, chkpt.ErrFingerprint) {
+			t.Errorf("want ErrFingerprint, got %v", err)
+		}
+	})
+}

@@ -71,16 +71,18 @@ func main() {
 		placers  = flag.String("placers", "complx,simpl,fastplace-cs", "comma-separated placers to measure (emit mode)")
 		precond  = flag.String("precond", "auto", "CG preconditioner for the quadratic placers (emit mode)")
 		out      = flag.String("out", "", "write the measured trajectory to this JSON file (emit mode)")
+		appendTo = flag.Bool("append", false, "merge into an existing -out baseline instead of replacing it (same machine assumed; entries with the same placer/design/scale/precond are replaced)")
 		compare  = flag.String("compare", "", "baseline trajectory JSON to re-run and compare against")
 		maxScale = flag.Float64("max-scale", math.Inf(1), "in compare mode, skip baseline entries with a larger recorded scale")
 		tol      = flag.Float64("tol", 0.10, "relative wall-clock tolerance in compare mode")
 		absSlack = flag.Float64("abs-slack", defaultAbsSlackSeconds, "absolute wall-clock slack in seconds; the effective slack is max(abs, relative)")
+		mlGate   = flag.Bool("ml-gate", false, "in compare mode, require the baseline to record a flat/multilevel pair at ≥60K cells (the relation itself is always checked on recorded pairs)")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, config{
 		scale: *scale, designs: split(*designs), placers: split(*placers),
-		precond: *precond, out: *out, compare: *compare,
-		maxScale: *maxScale, tol: *tol, absSlack: *absSlack,
+		precond: *precond, out: *out, appendTo: *appendTo, compare: *compare,
+		maxScale: *maxScale, tol: *tol, absSlack: *absSlack, mlGate: *mlGate,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
@@ -92,8 +94,10 @@ type config struct {
 	designs, placers []string
 	precond          string
 	out, compare     string
+	appendTo         bool
 	maxScale, tol    float64
 	absSlack         float64
+	mlGate           bool
 }
 
 func split(s string) []string {
@@ -159,7 +163,15 @@ func measure(placer, design string, scale float64, precond string) (Entry, error
 	if err != nil {
 		return Entry{}, err
 	}
-	alg, err := complx.ParseAlgorithm(placer)
+	name := placer
+	multilevel := false
+	if name == multilevelPlacer {
+		// The multilevel trajectory entry: the ComPLx engine through the
+		// V-cycle with the committed knobs, so flat ("complx") and V-cycle
+		// entries on the same design are directly comparable.
+		name, multilevel = "complx", true
+	}
+	alg, err := complx.ParseAlgorithm(name)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -172,6 +184,13 @@ func measure(placer, design string, scale float64, precond string) (Entry, error
 		// cheap and focused on the solver trajectory this tool gates.
 		SkipLegalize: true,
 		SkipDetailed: true,
+	}
+	if multilevel {
+		opt.Multilevel = complx.MultilevelOptions{
+			Enabled:     true,
+			TargetCells: multilevelTargetCells,
+			RefineIters: multilevelRefineIters,
+		}
 	}
 	start := time.Now()
 	res, err := complx.Place(nl, opt)
@@ -213,6 +232,18 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("calibration solve: %w", err)
 	}
 	tr := &Trajectory{Schema: TrajectorySchema, Go: runtime.Version(), CalibrationSeconds: calib}
+	if cfg.appendTo {
+		// Incremental baseline growth: keep the existing entries and the
+		// calibration they were normalized against. Valid only on the machine
+		// that emitted the baseline — new entries are recorded raw, so a
+		// different machine would mix incompatible wall-clock scales.
+		old, err := readTrajectory(cfg.out)
+		if err != nil {
+			return fmt.Errorf("-append: %w", err)
+		}
+		tr.CalibrationSeconds = old.CalibrationSeconds
+		tr.Entries = old.Entries
+	}
 	for _, d := range cfg.designs {
 		for _, p := range cfg.placers {
 			e, err := measure(p, d, cfg.scale, cfg.precond)
@@ -221,7 +252,7 @@ func run(w io.Writer, cfg config) error {
 			}
 			fmt.Fprintf(w, "%-14s %-10s scale=%.3g cells=%-7d hpwl=%.0f cg_iters=%-6d wall=%.2fs\n",
 				e.Placer, e.Design, e.Scale, e.Cells, e.HPWL, e.CGIters, e.WallSeconds)
-			tr.Entries = append(tr.Entries, e)
+			tr.Entries = upsertEntry(tr.Entries, e)
 		}
 	}
 	if cfg.out != "" {
@@ -229,6 +260,72 @@ func run(w io.Writer, cfg config) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s (calibration %.3fs)\n", cfg.out, calib)
+	}
+	return nil
+}
+
+// The multilevel trajectory entry and its committed V-cycle knobs. The
+// knobs are pinned here (not left to library defaults) so regenerating the
+// baseline measures the same configuration the committed entries recorded.
+const (
+	multilevelPlacer      = "complx-ml"
+	multilevelTargetCells = 24000
+	multilevelRefineIters = 8
+)
+
+// Relational multilevel gate (ISSUE: V-cycle ≥2× faster than flat at ≤5%
+// HPWL delta on ≥60K-cell analogs). Checked against the recorded baseline
+// entries in compare mode, so CI enforces the committed relation even when
+// -max-scale keeps the big entries out of the replay.
+const (
+	mlGateMinCells  = 60000
+	mlGateSpeedup   = 2.0
+	mlGateHPWLRatio = 1.05
+)
+
+// checkMultilevelGate verifies the recorded flat/multilevel entry pairs: on
+// every design with both a "complx" and a "complx-ml" entry at the same
+// scale and ≥60K cells, the V-cycle must be ≥2× faster at ≤5% HPWL delta,
+// and at least one such pair must exist in the baseline.
+func checkMultilevelGate(w io.Writer, base *Trajectory, requirePair bool) error {
+	type key struct {
+		design string
+		scale  float64
+	}
+	flat := map[key]Entry{}
+	for _, e := range base.Entries {
+		if e.Placer == "complx" {
+			flat[key{e.Design, e.Scale}] = e
+		}
+	}
+	pairs, failures := 0, 0
+	for _, ml := range base.Entries {
+		if ml.Placer != multilevelPlacer {
+			continue
+		}
+		fe, ok := flat[key{ml.Design, ml.Scale}]
+		if !ok || fe.Cells < mlGateMinCells {
+			continue
+		}
+		pairs++
+		speedup := fe.WallSeconds / ml.WallSeconds
+		delta := ml.HPWL/fe.HPWL - 1
+		status := "ok"
+		if speedup < mlGateSpeedup {
+			status = fmt.Sprintf("FAIL speedup %.2fx < %.1fx", speedup, mlGateSpeedup)
+			failures++
+		} else if ml.HPWL > fe.HPWL*mlGateHPWLRatio {
+			status = fmt.Sprintf("FAIL hpwl delta %+.2f%% > %+.0f%%", delta*100, (mlGateHPWLRatio-1)*100)
+			failures++
+		}
+		fmt.Fprintf(w, "ml-gate %-10s scale=%.3g cells=%-7d speedup=%.2fx hpwl-delta=%+.2f%%  %s\n",
+			ml.Design, ml.Scale, fe.Cells, speedup, delta*100, status)
+	}
+	if pairs == 0 && requirePair {
+		return fmt.Errorf("baseline records no flat/multilevel pair at ≥%d cells; regenerate it with a %s entry", mlGateMinCells, multilevelPlacer)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d multilevel gate pair(s) outside the committed relation", failures)
 	}
 	return nil
 }
@@ -266,6 +363,9 @@ func runCompare(w io.Writer, cfg config) error {
 	}
 	fmt.Fprintf(w, "machine factor %.2f (calibration %.3fs now vs %.3fs at baseline)\n",
 		factor, calib, base.CalibrationSeconds)
+	if err := checkMultilevelGate(w, base, cfg.mlGate); err != nil {
+		return err
+	}
 
 	failures := 0
 	ran := 0
@@ -304,6 +404,18 @@ func runCompare(w io.Writer, cfg config) error {
 	}
 	fmt.Fprintf(w, "all %d entries within the committed trajectory\n", ran)
 	return nil
+}
+
+// upsertEntry appends e, replacing an existing entry for the same
+// (placer, design, scale, precond) so -append re-measures in place.
+func upsertEntry(entries []Entry, e Entry) []Entry {
+	for i, old := range entries {
+		if old.Placer == e.Placer && old.Design == e.Design && old.Scale == e.Scale && old.Precond == e.Precond {
+			entries[i] = e
+			return entries
+		}
+	}
+	return append(entries, e)
 }
 
 func writeTrajectory(path string, tr *Trajectory) error {

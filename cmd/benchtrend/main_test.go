@@ -175,3 +175,51 @@ func TestSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestMultilevelGate pins the relational gate: every recorded flat/V-cycle
+// pair at ≥60K cells must show ≥2× speedup at ≤5% HPWL delta, and -ml-gate
+// additionally requires such a pair to exist at all.
+func TestMultilevelGate(t *testing.T) {
+	pair := func(flatWall, mlWall, flatHPWL, mlHPWL float64) *Trajectory {
+		return &Trajectory{Entries: []Entry{
+			{Placer: "complx", Design: "bigblue3", Scale: 8, Cells: 96000, HPWL: flatHPWL, WallSeconds: flatWall},
+			{Placer: multilevelPlacer, Design: "bigblue3", Scale: 8, Cells: 96000, HPWL: mlHPWL, WallSeconds: mlWall},
+		}}
+	}
+	var sb strings.Builder
+	if err := checkMultilevelGate(&sb, pair(40, 15, 1e7, 1.02e7), true); err != nil {
+		t.Errorf("healthy pair failed the gate: %v\n%s", err, sb.String())
+	}
+	if err := checkMultilevelGate(io.Discard, pair(40, 25, 1e7, 1.02e7), true); err == nil {
+		t.Error("1.6x speedup passed the 2x gate")
+	}
+	if err := checkMultilevelGate(io.Discard, pair(40, 15, 1e7, 1.06e7), true); err == nil {
+		t.Error("+6% HPWL passed the 5% gate")
+	}
+	// A small pair is outside the gate's scope entirely.
+	small := pair(4, 3, 1e6, 1.2e6)
+	for i := range small.Entries {
+		small.Entries[i].Cells = 5000
+	}
+	if err := checkMultilevelGate(io.Discard, small, false); err != nil {
+		t.Errorf("sub-60K pair was gated: %v", err)
+	}
+	if err := checkMultilevelGate(io.Discard, small, true); err == nil {
+		t.Error("-ml-gate accepted a baseline with no >=60K pair")
+	}
+}
+
+func TestUpsertEntryReplacesInPlace(t *testing.T) {
+	es := []Entry{
+		{Placer: "complx", Design: "a", Scale: 1, Precond: "auto", HPWL: 10},
+		{Placer: "simpl", Design: "a", Scale: 1, Precond: "auto", HPWL: 20},
+	}
+	es = upsertEntry(es, Entry{Placer: "complx", Design: "a", Scale: 1, Precond: "auto", HPWL: 11})
+	if len(es) != 2 || es[0].HPWL != 11 {
+		t.Errorf("replacement appended instead: %+v", es)
+	}
+	es = upsertEntry(es, Entry{Placer: "complx", Design: "a", Scale: 2, Precond: "auto"})
+	if len(es) != 3 {
+		t.Errorf("new scale should append: %+v", es)
+	}
+}

@@ -38,6 +38,26 @@ func parseHPWL(t *testing.T, out []byte) float64 {
 // uninterrupted run within 0.1% (the engine-level contract is bitwise; the
 // CLI check is deliberately looser so it stays robust to report formatting).
 func TestCrashSIGKILLResume(t *testing.T) {
+	// bigblue3 runs a couple of seconds at ~120ms per iteration: long
+	// enough that a kill shortly after the first snapshot always lands
+	// mid-run, short enough for a test. Legalization stays on — the
+	// recovered run must end in a *legal* placement — only detailed
+	// placement is skipped for speed.
+	crashDrill(t, []string{"-bench", "bigblue3", "-skip-detailed"})
+}
+
+// TestCrashSIGKILLResumeMultilevel runs the same drill through the V-cycle:
+// the kill lands inside a level's engine loop (usually the coarse solve,
+// which dominates the run), and the resume must rebuild the coarsening
+// stack, skip the already-solved coarser levels and finish the descent.
+func TestCrashSIGKILLResumeMultilevel(t *testing.T) {
+	crashDrill(t, []string{
+		"-bench", "bigblue3", "-skip-detailed",
+		"-multilevel", "-ml-target-cells", "2000", "-ml-refine-iters", "6",
+	})
+}
+
+func crashDrill(t *testing.T, args []string) {
 	if runtime.GOOS == "windows" {
 		t.Skip("SIGKILL semantics are POSIX-only")
 	}
@@ -50,13 +70,6 @@ func TestCrashSIGKILLResume(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building complx: %v\n%s", err, out)
 	}
-
-	// bigblue3 runs a couple of seconds at ~120ms per iteration: long
-	// enough that a kill shortly after the first snapshot always lands
-	// mid-run, short enough for a test. Legalization stays on — the
-	// recovered run must end in a *legal* placement — only detailed
-	// placement is skipped for speed.
-	args := []string{"-bench", "bigblue3", "-skip-detailed"}
 
 	// Uninterrupted reference.
 	refOut, err := exec.Command(bin, args...).CombinedOutput()

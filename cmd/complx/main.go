@@ -13,6 +13,7 @@
 //	complx -bench adaptec1 -timeout 30s -pl out.pl
 //	complx -bench adaptec1 -checkpoint ./ckpt            # crash-safe snapshots
 //	complx -bench adaptec1 -checkpoint ./ckpt -resume    # continue after a crash
+//	complx -bench bigblue3 -scale 82 -multilevel         # ~1M cells via the V-cycle
 //
 // A -timeout budget or an interrupt (Ctrl-C) does not abort the run: the
 // flow stops at the best placement found so far, finishes legalization on
@@ -59,7 +60,11 @@ func main() {
 		outDir    = flag.String("write-bookshelf", "", "write the full placed benchmark to this directory")
 		verbose   = flag.Bool("v", false, "print per-iteration statistics")
 		plot      = flag.Bool("plot", false, "print ASCII density/macro/congestion maps of the result")
-		clustered = flag.Bool("cluster", false, "multilevel placement: cluster, place coarse, expand, refine")
+		clustered = flag.Bool("cluster", false, "two-level placement: cluster, place coarse, expand, refine")
+		mlevel    = flag.Bool("multilevel", false, "multilevel V-cycle: coarsen to -ml-target-cells, place coarsest, interpolate+refine each level")
+		mlTarget  = flag.Int("ml-target-cells", 0, "movable-cell count the V-cycle coarsens to (0 = default 10000)")
+		mlLevels  = flag.Int("ml-max-levels", 0, "max coarsening passes of the V-cycle (0 = default 6)")
+		mlRefine  = flag.Int("ml-refine-iters", 0, "iteration budget per V-cycle refinement level (0 = default 8)")
 		abacus    = flag.Bool("abacus", false, "use the Abacus legalizer instead of Tetris")
 		routab    = flag.Bool("routability", false, "congestion-driven cell inflation (SimPLR-style)")
 		threads   = flag.Int("threads", 0, "worker-pool size for the parallel kernels (0 = GOMAXPROCS)")
@@ -84,6 +89,7 @@ func main() {
 		skipLegal: *skipLegal, skipDP: *skipDP, maxIter: *maxIter,
 		plOut: *plOut, outDir: *outDir, verbose: *verbose, plot: *plot,
 		clustered: *clustered, abacus: *abacus, routability: *routab,
+		multilevel: *mlevel, mlTarget: *mlTarget, mlLevels: *mlLevels, mlRefine: *mlRefine,
 		timeout: *timeout, obsAddr: *obsAddr, reportBase: *report,
 		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 	}); err != nil {
@@ -100,7 +106,8 @@ type runCfg struct {
 	scale, target                                 float64
 	finest, projDP, useLSE, skipLegal, skipDP     bool
 	verbose, plot, clustered, abacus, routability bool
-	resume                                        bool
+	resume, multilevel                            bool
+	mlTarget, mlLevels, mlRefine                  int
 	maxIter, ckptEvery                            int
 	timeout                                       time.Duration
 }
@@ -180,15 +187,21 @@ func run(ctx context.Context, cfg runCfg) error {
 	fmt.Printf("design %s: %s\n", nl.Name, st)
 
 	opt := complx.Options{
-		Algorithm:       alg,
-		TargetDensity:   target,
-		MaxIterations:   cfg.maxIter,
-		FinestGrid:      cfg.finest,
-		ProjectionDP:    cfg.projDP,
-		UseLSE:          cfg.useLSE,
-		SkipLegalize:    cfg.skipLegal,
-		SkipDetailed:    cfg.skipDP,
-		Clustered:       cfg.clustered,
+		Algorithm:     alg,
+		TargetDensity: target,
+		MaxIterations: cfg.maxIter,
+		FinestGrid:    cfg.finest,
+		ProjectionDP:  cfg.projDP,
+		UseLSE:        cfg.useLSE,
+		SkipLegalize:  cfg.skipLegal,
+		SkipDetailed:  cfg.skipDP,
+		Clustered:     cfg.clustered,
+		Multilevel: complx.MultilevelOptions{
+			Enabled:     cfg.multilevel,
+			TargetCells: cfg.mlTarget,
+			MaxLevels:   cfg.mlLevels,
+			RefineIters: cfg.mlRefine,
+		},
 		AbacusLegalizer: cfg.abacus,
 		Routability:     cfg.routability,
 		Precond:         cfg.precond,

@@ -45,6 +45,14 @@ type JobSpec struct {
 	SkipLegalize  bool    `json:"skip_legalize,omitempty"`
 	SkipDetailed  bool    `json:"skip_detailed,omitempty"`
 
+	// Multilevel runs the V-cycle (complx.Options.Multilevel) with the
+	// given knobs; zero knobs select the driver defaults. ComPLx and SimPL
+	// only.
+	Multilevel    bool `json:"multilevel,omitempty"`
+	MLTargetCells int  `json:"ml_target_cells,omitempty"`
+	MLMaxLevels   int  `json:"ml_max_levels,omitempty"`
+	MLRefineIters int  `json:"ml_refine_iters,omitempty"`
+
 	// Threads caps the parallel-kernel helpers this job may occupy
 	// (complx.Options.Threads); 0 leaves the job uncapped up to the
 	// process-wide pool. Budgets only change scheduling, never results.
@@ -74,6 +82,13 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Threads < 0 {
 		return fmt.Errorf("threads must be >= 0")
+	}
+	if s.Multilevel {
+		switch s.Algorithm {
+		case "", "complx", "simpl":
+		default:
+			return fmt.Errorf("multilevel requires the complx or simpl algorithm (got %q)", s.Algorithm)
+		}
 	}
 	return nil
 }

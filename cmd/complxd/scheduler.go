@@ -393,9 +393,15 @@ func runPlacement(ctx context.Context, j *Job, ckptDir string, ckptEach int,
 		Precond:       j.Spec.Precond,
 		SkipLegalize:  j.Spec.SkipLegalize,
 		SkipDetailed:  j.Spec.SkipDetailed,
-		Threads:       j.Spec.Threads,
-		Observer:      observer,
-		OnIteration:   onIter,
+		Multilevel: complx.MultilevelOptions{
+			Enabled:     j.Spec.Multilevel,
+			TargetCells: j.Spec.MLTargetCells,
+			MaxLevels:   j.Spec.MLMaxLevels,
+			RefineIters: j.Spec.MLRefineIters,
+		},
+		Threads:     j.Spec.Threads,
+		Observer:    observer,
+		OnIteration: onIter,
 		Checkpoint: complx.CheckpointOptions{
 			Dir:      ckptDir,
 			Interval: ckptEach,

@@ -58,6 +58,54 @@ type evalResult struct {
 	// when no report was given.
 	Precond string
 	CGIters int
+	// Levels is the multilevel V-cycle breakdown reconstructed from the
+	// report's iteration trace (DESIGN.md §13); nil for flat runs or when
+	// no report was given. Levels[0] is the coarsest.
+	Levels []levelScore
+}
+
+// levelScore aggregates one V-cycle level from the iteration trace.
+type levelScore struct {
+	Level      int `json:"level"`
+	Iterations int `json:"iterations"`
+	// KernelSeconds is the level's kernel wall-clock (projection, assembly,
+	// solves, preconditioning) summed over its iterations.
+	KernelSeconds float64 `json:"kernel_seconds"`
+	// HPWL is the level's final wirelength: the last traced HPWL, falling
+	// back to the anchor-placement upper bound when the trace carries no
+	// HPWL samples.
+	HPWL float64 `json:"hpwl"`
+}
+
+// levelBreakdown groups the iteration trace by V-cycle level, coarsest
+// first (the order the levels ran). A flat run yields a single level 0
+// group, reported as nil so flat score files stay unchanged.
+func levelBreakdown(trace []obs.IterSample) []levelScore {
+	byLevel := map[int]*levelScore{}
+	var order []int
+	for _, s := range trace {
+		ls := byLevel[s.Level]
+		if ls == nil {
+			ls = &levelScore{Level: s.Level}
+			byLevel[s.Level] = ls
+			order = append(order, s.Level)
+		}
+		ls.Iterations++
+		ls.KernelSeconds += s.ProjectSeconds + s.AssemblySeconds + s.SolveSeconds + s.PrecondSeconds
+		if s.HPWL != 0 {
+			ls.HPWL = s.HPWL
+		} else if ls.HPWL == 0 && s.PhiUpper != 0 {
+			ls.HPWL = s.PhiUpper
+		}
+	}
+	if len(order) <= 1 {
+		return nil
+	}
+	out := make([]levelScore, 0, len(order))
+	for _, lv := range order {
+		out = append(out, *byLevel[lv])
+	}
+	return out
 }
 
 // evaluate loads the benchmark, overlays the placement (when given) and
@@ -106,6 +154,9 @@ type jsonScores struct {
 	Violations   int     `json:"legal_violations"`
 	Precond      string  `json:"precond,omitempty"`
 	CGIters      int     `json:"cg_iters,omitempty"`
+	// Multilevel V-cycle breakdown (coarsest first); omitted for flat runs.
+	LevelCount int          `json:"level_count,omitempty"`
+	Levels     []levelScore `json:"levels,omitempty"`
 }
 
 // writeJSON atomically replaces path with the JSON scores, so a crash (or an
@@ -126,6 +177,8 @@ func writeJSON(path string, r *evalResult) error {
 			Violations:   len(r.Violations),
 			Precond:      r.Precond,
 			CGIters:      r.CGIters,
+			LevelCount:   len(r.Levels),
+			Levels:       r.Levels,
 		})
 	})
 }
@@ -150,6 +203,7 @@ func applyReport(r *evalResult, path string) error {
 	}
 	r.Precond = rep.Result.Precond
 	r.CGIters = rep.Result.CGIters
+	r.Levels = levelBreakdown(rep.Trace)
 	return nil
 }
 
@@ -176,6 +230,13 @@ func run(aux, pl string, target float64, jsonPath, report string) error {
 	}
 	if r.Precond != "" {
 		fmt.Printf("solver:        precond=%s cg_iters=%d\n", r.Precond, r.CGIters)
+	}
+	if len(r.Levels) > 0 {
+		fmt.Printf("multilevel:    %d levels (coarsest first)\n", len(r.Levels))
+		for _, ls := range r.Levels {
+			fmt.Printf("  level %d:     iters=%d kernel=%.2fs hpwl=%.1f\n",
+				ls.Level, ls.Iterations, ls.KernelSeconds, ls.HPWL)
+		}
 	}
 	if jsonPath != "" {
 		if err := writeJSON(jsonPath, r); err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"complx"
+	"complx/internal/obs"
 )
 
 func TestEvalPl(t *testing.T) {
@@ -89,5 +90,90 @@ func TestEvalPlErrors(t *testing.T) {
 	}
 	if err := run("/does/not/exist.aux", "", 0, "", ""); err == nil {
 		t.Error("expected error for missing aux")
+	}
+}
+
+// TestLevelBreakdown pins the V-cycle trace aggregation: grouped by level in
+// first-seen (descending) order, kernel seconds summed, last HPWL kept with
+// PhiUpper as the fallback, and flat (single-level) traces yielding nil so
+// flat score files are unchanged.
+func TestLevelBreakdown(t *testing.T) {
+	trace := []obs.IterSample{
+		{Level: 2, ProjectSeconds: 1, AssemblySeconds: 2, SolveSeconds: 3, PrecondSeconds: 4, PhiUpper: 500},
+		{Level: 2, SolveSeconds: 1, HPWL: 900},
+		{Level: 1, AssemblySeconds: 2, PhiUpper: 950},
+		{Level: 0, SolveSeconds: 3, HPWL: 1000},
+	}
+	got := levelBreakdown(trace)
+	if len(got) != 3 {
+		t.Fatalf("levels = %d, want 3", len(got))
+	}
+	want := []levelScore{
+		{Level: 2, Iterations: 2, KernelSeconds: 11, HPWL: 900},
+		{Level: 1, Iterations: 1, KernelSeconds: 2, HPWL: 950},
+		{Level: 0, Iterations: 1, KernelSeconds: 3, HPWL: 1000},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("level[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if flat := levelBreakdown(trace[3:]); flat != nil {
+		t.Errorf("single-level trace produced a breakdown: %+v", flat)
+	}
+	if empty := levelBreakdown(nil); empty != nil {
+		t.Errorf("empty trace produced a breakdown: %+v", empty)
+	}
+}
+
+// TestEvalPlMultilevelReport drives the full path: a multilevel placement's
+// run report handed to -report yields the per-level breakdown.
+func TestEvalPlMultilevelReport(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := complx.BenchmarkByName("adaptec1")
+	spec = complx.ScaleBenchmark(spec, 0.3)
+	nl, err := complx.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := complx.WriteBookshelf(dir, nl, spec.TargetDensity); err != nil {
+		t.Fatal(err)
+	}
+	ob := complx.NewObserver()
+	if _, err := complx.Place(nl, complx.Options{
+		MaxIterations: 12, Observer: ob,
+		SkipLegalize: true, SkipDetailed: true,
+		Multilevel: complx.MultilevelOptions{Enabled: true, TargetCells: 300, RefineIters: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	report := filepath.Join(dir, "report.json")
+	f, err := os.Create(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Report().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := evaluate(filepath.Join(dir, "adaptec1.aux"), "", spec.TargetDensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := applyReport(r, report); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Levels) < 2 {
+		t.Fatalf("multilevel report produced %d levels, want >= 2", len(r.Levels))
+	}
+	for i, ls := range r.Levels {
+		if want := len(r.Levels) - 1 - i; ls.Level != want {
+			t.Errorf("levels[%d].Level = %d, want %d (coarsest first)", i, ls.Level, want)
+		}
+		if ls.Iterations <= 0 || ls.HPWL <= 0 {
+			t.Errorf("levels[%d] missing data: %+v", i, ls)
+		}
 	}
 }

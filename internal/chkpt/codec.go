@@ -35,6 +35,7 @@ func Encode(st *State) []byte {
 	p.str(string(st.Kind))
 	p.bytes(st.Fingerprint[:])
 	p.i64(st.Iter)
+	p.i64(st.Level)
 	p.points(st.Positions)
 	p.f64(st.Lambda)
 	p.f64(st.H)
@@ -106,6 +107,7 @@ func Decode(data []byte) (*State, error) {
 	st.Kind = Kind(r.str())
 	copy(st.Fingerprint[:], r.take(32))
 	st.Iter = r.i64()
+	st.Level = r.i64()
 	st.Positions = r.points()
 	st.Lambda = r.f64()
 	st.H = r.f64()

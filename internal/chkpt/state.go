@@ -39,7 +39,10 @@ import (
 
 // Version is the current checkpoint format version. Decode refuses other
 // versions (forward compatibility is explicit, never silent).
-const Version = 2
+//
+// Version history: 2 added per-solver PrimalState; 3 added the multilevel
+// Level field.
+const Version = 3
 
 // magic identifies a complx checkpoint file.
 const magic = "CPLXCKP1"
@@ -77,6 +80,11 @@ type State struct {
 
 	// Iter is the last fully completed global placement iteration.
 	Iter int
+	// Level is the V-cycle level the snapshot belongs to (0 = finest /
+	// flat placement, higher = coarser). A resume must land on the same
+	// level of the same deterministic coarsening stack; engine loops
+	// reject checkpoints carrying any other level.
+	Level int
 	// Positions are the lower-left coordinates of every cell (fixed cells
 	// included), in netlist order — netlist.SnapshotPositions format.
 	Positions []geom.Point

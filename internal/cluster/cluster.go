@@ -35,9 +35,15 @@ func Cluster(nl *netlist.Netlist, ratio float64) (*Clustering, error) {
 		ratio = 1
 	}
 	n := len(nl.Cells)
-	// Connectivity scoring between pairs sharing small nets.
-	type edgeKey struct{ a, b int }
-	conn := make(map[edgeKey]float64)
+	// Connectivity scoring between pairs sharing small nets. Contributions
+	// are collected flat and aggregated after a key sort — on large designs
+	// this is severalfold faster than accumulating in a hash map, and the
+	// coarsening pass is a visible slice of V-cycle wall-clock.
+	type pairw struct {
+		key uint64 // a<<32 | b, a < b
+		w   float64
+	}
+	var contribs []pairw
 	for ni := range nl.Nets {
 		net := &nl.Nets[ni]
 		d := len(net.Pins)
@@ -59,17 +65,24 @@ func Cluster(nl *netlist.Netlist, ratio float64) (*Clustering, error) {
 				if a > b {
 					a, b = b, a
 				}
-				conn[edgeKey{a, b}] += w
+				contribs = append(contribs, pairw{uint64(a)<<32 | uint64(b), w})
 			}
 		}
 	}
+	sort.Slice(contribs, func(x, y int) bool { return contribs[x].key < contribs[y].key })
 	type scored struct {
 		a, b int
 		w    float64
 	}
-	edges := make([]scored, 0, len(conn))
-	for k, w := range conn {
-		edges = append(edges, scored{k.a, k.b, w})
+	var edges []scored
+	for i := 0; i < len(contribs); {
+		j, w := i, 0.0
+		for ; j < len(contribs) && contribs[j].key == contribs[i].key; j++ {
+			w += contribs[j].w
+		}
+		k := contribs[i].key
+		edges = append(edges, scored{int(k >> 32), int(k & 0xffffffff), w})
+		i = j
 	}
 	sort.Slice(edges, func(x, y int) bool {
 		if edges[x].w != edges[y].w {
@@ -137,9 +150,16 @@ func Cluster(nl *netlist.Netlist, ratio float64) (*Clustering, error) {
 		}
 		j := mate[i]
 		other := &nl.Cells[j]
-		// Cluster cell: widths add, height is the row height (std cells
-		// only are clusterable).
-		id := addCoarse(cell.Name+"+"+other.Name, cell.W+other.W, cell.H, netlist.Std, 0, 0)
+		// Cluster cell: the exact merged area at the row height (std cells
+		// only are clusterable), so Σ movable area is invariant per level
+		// even when member heights differ.
+		name := cell.Name + "+" + other.Name
+		if len(name) > 48 {
+			// Deep multi-pass stacks would otherwise double name length per
+			// level; (i, j) is unique within this pass.
+			name = fmt.Sprintf("cl%d+%d", i, j)
+		}
+		id := addCoarse(name, (cell.Area()+other.Area())/cell.H, cell.H, netlist.Std, 0, 0)
 		if id < 0 {
 			break
 		}
@@ -148,23 +168,38 @@ func Cluster(nl *netlist.Netlist, ratio float64) (*Clustering, error) {
 		c.members = append(c.members, []int{i, j})
 	}
 	// Nets: remap pins to coarse cells, dropping nets collapsed inside one
-	// cluster and duplicate pins on the same coarse cell.
+	// cluster and duplicate pins on the same coarse cell. Weights are
+	// rescaled so the net's surviving cross-cluster clique mass is exact:
+	// a d-pin net of weight w spreads w/(d−1) over its d(d−1)/2 cell pairs;
+	// pairs absorbed into one cluster vanish, and the coarse d'-pin net
+	// carries w' = 2·crossMass/d' so that w'·d'/2 equals the cross mass.
+	// Nets that lose no pins keep their weight bitwise unchanged.
 	for ni := range nl.Nets {
 		net := &nl.Nets[ni]
-		seen := map[int]bool{}
+		d := len(net.Pins)
+		seen := map[int]int{} // coarse cell -> collapsed pin multiplicity
 		var pins []netlist.PinSpec
 		for _, p := range net.Pins {
 			cc := c.coarseOf[nl.Pins[p].Cell]
-			if seen[cc] {
-				continue
+			if seen[cc] == 0 {
+				pins = append(pins, netlist.PinSpec{Cell: cc, DX: nl.Pins[p].DX, DY: nl.Pins[p].DY})
 			}
-			seen[cc] = true
-			pins = append(pins, netlist.PinSpec{Cell: cc, DX: nl.Pins[p].DX, DY: nl.Pins[p].DY})
+			seen[cc]++
 		}
-		if len(pins) < 2 {
+		dp := len(pins)
+		if dp < 2 {
 			continue
 		}
-		b.AddNet(net.Name, net.Weight, pins)
+		w := net.Weight
+		if dp < d && d >= 2 {
+			intraPairs := 0
+			for _, m := range seen {
+				intraPairs += m * (m - 1) / 2
+			}
+			crossPairs := d*(d-1)/2 - intraPairs
+			w = 2 * net.Weight * float64(crossPairs) / (float64(d-1) * float64(dp))
+		}
+		b.AddNet(net.Name, w, pins)
 	}
 	coarse, err := b.Build()
 	if err != nil {
@@ -208,7 +243,9 @@ func (c *Clustering) Ratio() float64 {
 }
 
 // Expand writes the coarse placement back onto the fine netlist: cluster
-// members are placed side by side around the cluster center.
+// members are laid out side by side by cumulative width, centered on the
+// cluster cell's center so the member centroid lands on the cluster
+// centroid the coarse solve optimized.
 func (c *Clustering) Expand() {
 	for g, mem := range c.members {
 		cc := c.Coarse.Cells[c.coarseIndexOfGroup(g)]
@@ -220,10 +257,46 @@ func (c *Clustering) Expand() {
 			c.Fine.Cells[mem[0]].SetCenter(ctr)
 			continue
 		}
-		// Two members: split the cluster width left/right.
-		a, b := &c.Fine.Cells[mem[0]], &c.Fine.Cells[mem[1]]
-		total := a.W + b.W
-		a.SetCenter(geom.Point{X: ctr.X - total/2 + a.W/2, Y: ctr.Y})
-		b.SetCenter(geom.Point{X: ctr.X + total/2 - b.W/2, Y: ctr.Y})
+		total := 0.0
+		for _, i := range mem {
+			total += c.Fine.Cells[i].W
+		}
+		x := ctr.X - total/2
+		for _, i := range mem {
+			f := &c.Fine.Cells[i]
+			f.SetCenter(geom.Point{X: x + f.W/2, Y: ctr.Y})
+			x += f.W
+		}
 	}
+}
+
+// Coarsen builds the bottom-up coarsening stack of a multilevel V-cycle:
+// repeated full-matching Cluster passes until the coarsest netlist has at
+// most targetCells movable cells, maxLevels passes have run, or a pass
+// stops making progress (<5% reduction — the matching has dried up on
+// macros, pads and region-constrained cells). stack[k] maps level k to
+// level k+1 (level 0 = the input netlist, len(stack) = coarsest level); an
+// empty stack means nl is already at or below the target. The stack is a
+// pure function of nl, so a resumed run rebuilds it deterministically.
+func Coarsen(nl *netlist.Netlist, targetCells, maxLevels int) ([]*Clustering, error) {
+	if targetCells <= 0 {
+		targetCells = 10000
+	}
+	if maxLevels <= 0 {
+		maxLevels = 6
+	}
+	var stack []*Clustering
+	cur := nl
+	for len(stack) < maxLevels && cur.NumMovable() > targetCells {
+		cl, err := Cluster(cur, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		if float64(cl.Coarse.NumMovable()) > 0.95*float64(cur.NumMovable()) {
+			break
+		}
+		stack = append(stack, cl)
+		cur = cl.Coarse
+	}
+	return stack, nil
 }

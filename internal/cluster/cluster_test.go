@@ -1,14 +1,14 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
-	"complx/internal/core"
 	"complx/internal/gen"
 	"complx/internal/geom"
 	"complx/internal/netlist"
-	"complx/internal/netmodel"
 )
 
 func design(t *testing.T, n int, seed int64) *netlist.Netlist {
@@ -138,38 +138,6 @@ func TestExpandPlacesMembersSideBySide(t *testing.T) {
 	}
 }
 
-// TestClusteredPlacementFlow: place coarse, expand, refine — final quality
-// should be comparable to flat placement and the flow must stay legal-able.
-func TestClusteredPlacementFlow(t *testing.T) {
-	flat := design(t, 800, 4)
-	flatRes, err := core.Place(flat, core.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	fine := design(t, 800, 4)
-	c, err := Cluster(fine, 1.0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := core.Place(c.Coarse, core.Options{}); err != nil {
-		t.Fatal(err)
-	}
-	c.Expand()
-	// Short refinement on the fine netlist from the expanded placement.
-	refined, err := core.Place(fine, core.Options{InitialSolves: 1, MaxIterations: 15})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if refined.HPWL <= 0 {
-		t.Fatal("no refined placement")
-	}
-	hpwl := netmodel.HPWL(fine)
-	if hpwl > 1.4*flatRes.HPWL {
-		t.Errorf("clustered flow HPWL %v vs flat %v", hpwl, flatRes.HPWL)
-	}
-}
-
 func TestClusterRatioBudget(t *testing.T) {
 	nl := design(t, 600, 5)
 	half, err := Cluster(nl, 0.4)
@@ -182,5 +150,171 @@ func TestClusterRatioBudget(t *testing.T) {
 	}
 	if half.Ratio() <= full.Ratio() {
 		t.Errorf("ratio budget ignored: %v vs %v", half.Ratio(), full.Ratio())
+	}
+}
+
+// TestClusterConservation pins the two invariants multilevel coarsening
+// relies on (DESIGN.md §13): total movable area is preserved exactly per
+// pass, and net-weight propagation keeps each net's surviving cross-cluster
+// clique mass — w/(d−1) per cell pair — exact, with untouched nets keeping
+// their weight bitwise.
+func TestClusterConservation(t *testing.T) {
+	b := netlist.NewBuilder("conserve")
+	b.SetCore(geom.Rect{XMax: 60, YMax: 60})
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = b.AddCell(fmt.Sprintf("c%d", i), float64(1+i%3), 1)
+	}
+	mc := b.AddMacro("mac", 6, 6)
+	pad := b.AddFixed("pad", 0, 0, 1, 1)
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 60; n++ {
+		deg := 2 + rng.Intn(5)
+		seen := map[int]bool{}
+		var pins []netlist.PinSpec
+		for len(pins) < deg {
+			ci := ids[rng.Intn(len(ids))]
+			if seen[ci] {
+				continue
+			}
+			seen[ci] = true
+			pins = append(pins, netlist.PinSpec{Cell: ci})
+		}
+		if n%7 == 0 {
+			pins = append(pins, netlist.PinSpec{Cell: mc})
+		}
+		if n%11 == 0 {
+			pins = append(pins, netlist.PinSpec{Cell: pad})
+		}
+		b.AddNet(fmt.Sprintf("n%d", n), 0.5+rng.Float64(), pins)
+	}
+	// Parallel pair: the macro never clusters, so these two nets always land
+	// on the same coarse cell pair; each must survive with its own weight.
+	b.AddNet("par0", 0.3, []netlist.PinSpec{{Cell: ids[5]}, {Cell: mc, DX: 1}})
+	b.AddNet("par1", 0.4, []netlist.PinSpec{{Cell: ids[5], DX: 0.2}, {Cell: mc, DX: -1}})
+	b.AddUniformRows(60, 1, 1)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		nl.Cells[id].SetCenter(geom.Point{X: float64(1 + i%6*2), Y: float64(1 + i/6*2)})
+	}
+
+	movableArea := func(d *netlist.Netlist) float64 {
+		var sum float64
+		for i := range d.Cells {
+			if !d.Cells[i].Fixed() {
+				sum += d.Cells[i].Area()
+			}
+		}
+		return sum
+	}
+
+	cl, err := Cluster(nl, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Coarse.NumMovable() >= nl.NumMovable() {
+		t.Fatalf("no coarsening: %d -> %d movables", nl.NumMovable(), cl.Coarse.NumMovable())
+	}
+	if fine, coarse := movableArea(nl), movableArea(cl.Coarse); fine != coarse {
+		t.Errorf("movable area not preserved exactly: fine %v, coarse %v", fine, coarse)
+	}
+
+	// Recompute every fine net's expected surviving clique mass from the
+	// cell -> cluster mapping, independent of the implementation.
+	coarseNet := map[string]*netlist.Net{}
+	for ni := range cl.Coarse.Nets {
+		coarseNet[cl.Coarse.Nets[ni].Name] = &cl.Coarse.Nets[ni]
+	}
+	var totalMass float64
+	checked, unchanged := 0, 0
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		d := len(net.Pins)
+		mult := map[int]int{}
+		var cells []int
+		for _, p := range net.Pins {
+			cc := cl.coarseOf[nl.Pins[p].Cell]
+			if mult[cc] == 0 {
+				cells = append(cells, cc)
+			}
+			mult[cc]++
+		}
+		dp := len(cells)
+		if dp < 2 {
+			if coarseNet[net.Name] != nil {
+				t.Errorf("net %s collapsed to %d pins but survived", net.Name, dp)
+			}
+			continue
+		}
+		// Surviving cross-cluster pairs of the fine clique, and the mass
+		// they carry: cross·w/(d−1).
+		intra := 0
+		for _, m := range mult {
+			intra += m * (m - 1) / 2
+		}
+		cross := d*(d-1)/2 - intra
+		fineMass := float64(cross) * net.Weight / float64(d-1)
+		totalMass += fineMass
+		cn := coarseNet[net.Name]
+		if cn == nil {
+			t.Errorf("net %s (%d coarse pins) missing from coarse netlist", net.Name, dp)
+			continue
+		}
+		if len(cn.Pins) != dp {
+			t.Errorf("net %s: coarse degree %d, want %d", net.Name, len(cn.Pins), dp)
+		}
+		if dp == d {
+			// Untouched nets keep their weight bitwise unchanged.
+			if cn.Weight != net.Weight {
+				t.Errorf("net %s lost no pins but weight changed: %v -> %v", net.Name, net.Weight, cn.Weight)
+			}
+			unchanged++
+			continue
+		}
+		// Clique-mass identity: the coarse net spreads w'/(d'−1) over
+		// d'(d'−1)/2 pairs, i.e. carries w'·d'/2 mass.
+		coarseMass := cn.Weight * float64(dp) / 2
+		if math.Abs(fineMass-coarseMass) > 1e-12*fineMass {
+			t.Errorf("net %s: cross clique mass %v, coarse carries %v", net.Name, fineMass, coarseMass)
+		}
+		checked++
+	}
+	// The global invariant: total surviving clique mass is exact.
+	var coarseTotal float64
+	for ni := range cl.Coarse.Nets {
+		cn := &cl.Coarse.Nets[ni]
+		coarseTotal += cn.Weight * float64(len(cn.Pins)) / 2
+	}
+	if math.Abs(totalMass-coarseTotal) > 1e-9*totalMass {
+		t.Errorf("total clique mass %v, coarse carries %v", totalMass, coarseTotal)
+	}
+	// Parallel 2-pin nets on one coarse pair stay independent nets, each
+	// keeping its own weight (they share the pair ids[5]–macro).
+	for name, w := range map[string]float64{"par0": 0.3, "par1": 0.4} {
+		cn := coarseNet[name]
+		if cn == nil || cn.Weight != w {
+			t.Errorf("parallel net %s: got %v, want weight %v preserved", name, cn, w)
+		}
+	}
+	if checked == 0 || unchanged == 0 {
+		t.Fatalf("test design too easy: %d rescaled, %d unchanged nets", checked, unchanged)
+	}
+
+	// Multi-pass coarsening preserves area through the whole stack.
+	stack, err := Coarsen(nl, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stack) == 0 {
+		t.Fatal("Coarsen produced no levels")
+	}
+	want := movableArea(nl)
+	for k, cl := range stack {
+		if got := movableArea(cl.Coarse); got != want {
+			t.Errorf("level %d: movable area %v, want %v", k+1, got, want)
+		}
 	}
 }

@@ -1,0 +1,55 @@
+// External test package: these tests drive internal/core, which (via the
+// multilevel driver) imports internal/cluster — an in-package test would be
+// an import cycle.
+package cluster_test
+
+import (
+	"testing"
+
+	"complx/internal/cluster"
+	"complx/internal/core"
+	"complx/internal/gen"
+	"complx/internal/netlist"
+	"complx/internal/netmodel"
+)
+
+func design(t *testing.T, n int, seed int64) *netlist.Netlist {
+	t.Helper()
+	nl, err := gen.Generate(gen.Spec{Name: "cl", NumCells: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestClusteredPlacementFlow: place coarse, expand, refine — final quality
+// should be comparable to flat placement and the flow must stay legal-able.
+func TestClusteredPlacementFlow(t *testing.T) {
+	flat := design(t, 800, 4)
+	flatRes, err := core.Place(flat, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fine := design(t, 800, 4)
+	c, err := cluster.Cluster(fine, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Place(c.Coarse, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c.Expand()
+	// Short refinement on the fine netlist from the expanded placement.
+	refined, err := core.Place(fine, core.Options{InitialSolves: 1, MaxIterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.HPWL <= 0 {
+		t.Fatal("no refined placement")
+	}
+	hpwl := netmodel.HPWL(fine)
+	if hpwl > 1.4*flatRes.HPWL {
+		t.Errorf("clustered flow HPWL %v vs flat %v", hpwl, flatRes.HPWL)
+	}
+}

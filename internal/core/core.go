@@ -31,6 +31,7 @@ import (
 
 	"complx/internal/chkpt"
 	"complx/internal/engine"
+	"complx/internal/multilevel"
 	"complx/internal/netlist"
 	"complx/internal/obs"
 	"complx/internal/perr"
@@ -146,6 +147,28 @@ type Options struct {
 	// RecoveryPolicy overrides the solver fallback ladder (nil selects
 	// resilience.DefaultPolicy).
 	RecoveryPolicy *resilience.Policy
+
+	// Multilevel, when Enabled, routes the run through the V-cycle driver
+	// (DESIGN.md §13): coarsen to TargetCells movable cells, solve the
+	// coarsest level with this Options' full budget, then interpolate and
+	// warm-start-refine each finer level with RefineIters iterations. The
+	// flat path (Enabled false) is bitwise untouched.
+	Multilevel MultilevelOptions
+}
+
+// MultilevelOptions configures the multilevel V-cycle (multilevel.Options
+// plus the enable switch; zero values select the driver defaults).
+type MultilevelOptions struct {
+	// Enabled turns the V-cycle on.
+	Enabled bool
+	// TargetCells is the movable-cell count coarsening descends to
+	// (default 10000).
+	TargetCells int
+	// MaxLevels caps the coarsening passes (default 6).
+	MaxLevels int
+	// RefineIters is the per-level iteration budget of the warm-started
+	// refinement levels below the coarsest (default 8).
+	RefineIters int
 }
 
 func (o *Options) fill() {
@@ -207,6 +230,191 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 // Result.Cancelled is set, and the returned error wraps ctx.Err() in a
 // *perr.Error carrying the stage and iteration.
 func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Result, error) {
+	if opt.Multilevel.Enabled {
+		return placeMultilevel(ctx, nl, opt)
+	}
+	return placeSingle(ctx, nl, opt, 0, false, 0, 1)
+}
+
+// warmDamp scales the multiplier schedule's initial (λ₁, h) at warm-started
+// refinement levels that have no coarser-level multiplier to continue from
+// (e.g. a post-cancellation descent). A warm start is already near-feasible,
+// so the ComPLx initialization λ₁ = Φ/(100·Π) lands orders of magnitude
+// higher than on a cold start and would freeze the placement at its
+// interpolated wirelength; damping gives the refinement a window of
+// interconnect-driven iterations before the anchors take over.
+const warmDamp = 1.0 / 4
+
+// dampedSchedule scales First's (λ₁, h) by a constant factor; Next is the
+// wrapped schedule's rule unchanged.
+type dampedSchedule struct {
+	engine.Schedule
+	factor float64
+}
+
+func (d dampedSchedule) First(phi, pi float64) (lambda, h float64) {
+	l, h := d.Schedule.First(phi, pi)
+	return l * d.factor, h * d.factor
+}
+
+// warmChainDamp, coarseHandoffGap and refineCGTol are the V-cycle's tuned
+// constants (bigblue3 analogs, 190K-290K cells; see DESIGN.md, section 13).
+//
+// warmChainDamp scales the chained multiplier a warm level starts from:
+// the refinement needs a window of interconnect-driven iterations below
+// the coarse level's final price before its own ramp climbs back through
+// it. 1/4 and above freeze the interpolated placement; 1/8 collapses it
+// faster than the short budget can re-spread.
+//
+// coarseHandoffGap is the duality-gap floor at which the coarsest level
+// stops. Past it the coarse schedule only inflates its multiplier and
+// spreads the clusters to near-full feasibility - baking cluster-grain
+// positions in at a wirelength the refines cannot pull back - without
+// improving the feasible upper bound at all.
+//
+// refineCGTol is the relative CG residual for warm refinement solves.
+const (
+	warmChainDamp    = 0.18
+	coarseHandoffGap = 0.35
+	refineCGTol      = 3e-3
+)
+
+// continuedSchedule continues the coarser level's dual trajectory: First
+// ignores the warm state's phi/pi (near-feasibility would re-derive a
+// frozen multiplier) and returns the renormalized chained lambda with the
+// standard h = 100*lambda ramp. Next is the wrapped schedule's rule
+// unchanged.
+type continuedSchedule struct {
+	engine.Schedule
+	lambda float64
+	h      float64
+}
+
+func (c continuedSchedule) First(phi, pi float64) (lambda, h float64) {
+	return c.lambda, c.h
+}
+
+// placeMultilevel maps Options onto the multilevel V-cycle driver: each
+// level is solved by placeSingle over the level's netlist, the coarsest
+// with the caller's full budget from a cold start, every finer level
+// warm-started from the interpolated coarse placement with the shortened
+// RefineIters budget. Per-cell penalties apply at the finest level only
+// (they are indexed by the fine movables). A Resume snapshot lands on its
+// recorded level; see multilevel.Run for the resume contract.
+func placeMultilevel(ctx context.Context, nl *netlist.Netlist, opt Options) (*Result, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, perr.Wrap(perr.StageValidate, err)
+	}
+	refine := opt.Multilevel.RefineIters
+	if refine <= 0 {
+		refine = multilevel.DefaultRefineIters
+	}
+	cfg := multilevel.Config{
+		Options: multilevel.Options{
+			TargetCells: opt.Multilevel.TargetCells,
+			MaxLevels:   opt.Multilevel.MaxLevels,
+			RefineIters: refine,
+		},
+		Checkpoint: opt.Checkpoint,
+		Resume:     opt.Resume,
+		Obs:        opt.Obs,
+		Solve: func(ctx context.Context, lv multilevel.Level) (*Result, error) {
+			lopt := opt
+			lopt.Multilevel = MultilevelOptions{}
+			lopt.Checkpoint = lv.Checkpoint
+			lopt.Resume = lv.Resume
+			if lv.Level > 0 {
+				// Coarse netlists have their own movables order; the fine
+				// per-cell criticalities apply at the finest level only.
+				lopt.CellPenalty = nil
+			}
+			warm := false
+			firstScale := 1.0
+			if lv.Coarsest {
+				// λ₁ = Φ/(100·Π) is calibrated for the fine design: the
+				// anchor force is λ per cell while the interconnect pull on
+				// a cluster is the sum over its members, so the cold coarse
+				// schedule spends its first ~6 iterations ramping λ through
+				// a dead zone where nothing spreads. Boost (λ₁, h) by the
+				// coarsening ratio so the coarse dual starts at an
+				// equivalent per-cell price.
+				if cn := lv.Netlist.NumMovable(); cn > 0 {
+					firstScale = float64(nl.NumMovable()) / float64(cn)
+				}
+			}
+			if lv.Coarsest {
+				// The coarse solve only has to get the global structure
+				// right — refinement repairs detail — and the cluster
+				// netlist holds a wide duality gap far past the overflow
+				// point where the flat schedule would stop on the fine
+				// design. Running it to the flat tolerances spreads the
+				// clusters to near-full feasibility, baking cluster-grain
+				// positions in at a wirelength the short refines cannot
+				// pull back (and a final λ far past any useful refine
+				// price). The coarsest level therefore stops at a 2×
+				// looser gap and, more importantly, at the overflow where
+				// the flat schedule itself hands off to legalization:
+				// Π/Π₁ ≈ 0.06 on the synthetic suites, 3× the default
+				// PiTol.
+				gap := opt.GapTol
+				if gap <= 0 {
+					gap = 0.08
+				}
+				lopt.GapTol = 2 * gap
+				if lopt.GapTol < coarseHandoffGap {
+					lopt.GapTol = coarseHandoffGap
+				}
+				pit := opt.PiTol
+				if pit <= 0 {
+					pit = 0.02
+				}
+				if 3*pit > lopt.PiTol {
+					lopt.PiTol = 3 * pit
+				}
+			} else {
+				// Intermediate levels only bridge to the next interpolation,
+				// so their budget halves per level above the finest; the
+				// finest level gets the full RefineIters. Budgets are a pure
+				// function of the level, so a resumed run sees the same ones.
+				budget := refine
+				for l := 0; l < lv.Level; l++ {
+					budget = (budget + 1) / 2
+				}
+				if budget < 3 {
+					budget = 3
+				}
+				lopt.MaxIterations = budget
+				minIt := opt.MinIterations
+				if minIt <= 0 {
+					minIt = 8
+				}
+				if budget < minIt {
+					lopt.MinIterations = budget
+				}
+				warm = lv.Resume == nil
+				// Refinement solves are re-anchored by the next projection
+				// anyway, so converging CG to the flat 1e-6 residual is
+				// wasted work - the warm levels run a looser tolerance
+				// unless the caller pinned one. Cuts the finest level's
+				// solve time ~3x at unchanged legalized wirelength on the
+				// bigblue3 analogs.
+				if lopt.CG.Tol == 0 {
+					lopt.CG.Tol = refineCGTol
+				}
+			}
+			return placeSingle(ctx, lv.Netlist, lopt, lv.Level, warm, lv.StartLambda, firstScale)
+		},
+	}
+	return multilevel.Run(ctx, nl, cfg)
+}
+
+// placeSingle runs one flat primal-dual placement over nl — the whole run
+// when multilevel is off (level 0, cold start), one V-cycle level
+// otherwise. warm skips the initial interconnect solves so the loop starts
+// from nl's current (interpolated) placement; startLambda, when positive,
+// continues the coarser level's multiplier trajectory instead of
+// re-deriving λ₁ from the warm state.
+func placeSingle(ctx context.Context, nl *netlist.Netlist, opt Options, level int, warm bool, startLambda, firstScale float64) (*Result, error) {
 	opt.fill()
 	if err := nl.Validate(); err != nil {
 		return nil, perr.Wrap(perr.StageValidate, err)
@@ -282,6 +490,17 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 	if opt.Schedule == ScheduleSimPL {
 		sched = engine.SimPLSchedule{}
 	}
+	if !warm && firstScale > 0 && firstScale != 1 {
+		sched = dampedSchedule{Schedule: sched, factor: firstScale}
+	}
+	if warm {
+		if startLambda > 0 {
+			l1 := warmChainDamp * startLambda
+			sched = continuedSchedule{Schedule: sched, lambda: l1, h: 100 * l1}
+		} else {
+			sched = dampedSchedule{Schedule: sched, factor: warmDamp}
+		}
+	}
 	var mon engine.Monitor
 	if opt.OnIteration != nil {
 		mon = engine.MonitorFunc(opt.OnIteration)
@@ -302,6 +521,8 @@ func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Resul
 		LambdaScale:    scale,
 		Design:         nl.Name,
 		Algorithm:      opt.Schedule.String(),
+		Level:          level,
+		WarmStart:      warm,
 		Checkpoint:     opt.Checkpoint,
 		Resume:         opt.Resume,
 		RecoveryPolicy: opt.RecoveryPolicy,

@@ -109,6 +109,7 @@ func (l *Loop) captureState(iter int, s *loopState, res *Result) *chkpt.State {
 		Algorithm: l.Algorithm,
 		Kind:      chkpt.KindLoop,
 		Iter:      iter,
+		Level:     l.Level,
 		Positions: l.lastFinite,
 
 		Lambda: s.lambda, H: s.h, PiFirst: s.piFirst, PiPrev: s.piPrev,
@@ -136,6 +137,10 @@ func (l *Loop) primeResume(res *Result, s *loopState) error {
 	if st.Kind != chkpt.KindLoop {
 		return perr.New(perr.StageCheckpoint,
 			"engine: checkpoint kind %q cannot resume a primal-dual loop", st.Kind)
+	}
+	if st.Level != l.Level {
+		return perr.New(perr.StageCheckpoint,
+			"engine: checkpoint from V-cycle level %d cannot resume level %d", st.Level, l.Level)
 	}
 	nl := l.Netlist
 	if err := nl.RestorePositions(st.Positions); err != nil {

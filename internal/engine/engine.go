@@ -143,6 +143,9 @@ type IterStats struct {
 	Overflow float64
 	// GridNX is the projection grid resolution used.
 	GridNX int
+	// Level is the multilevel V-cycle level the iteration ran at (0 for
+	// flat placement and the finest level, higher = coarser).
+	Level int
 
 	// ProjectTime is the wall-clock of this iteration's feasibility
 	// projection (grid build, spreading, interpolation, refinement).
@@ -252,6 +255,16 @@ type Loop struct {
 	// Design and Algorithm describe the run for checkpoints and error
 	// messages; both are optional metadata.
 	Design, Algorithm string
+	// Level is the multilevel V-cycle level this loop solves (0 = finest /
+	// flat). It is stamped into every IterStats, iteration sample and
+	// checkpoint, and a Resume snapshot must carry the same level.
+	Level int
+	// WarmStart skips the initial interconnect-only solves and instead
+	// starts the primal-dual iterations directly from the netlist's current
+	// placement — the multilevel refinement entry point, where the
+	// interpolated coarse placement seeds the first projection. Ignored
+	// when Resume is set (a resume restores its own iterate).
+	WarmStart bool
 	// Checkpoint, when non-nil, receives a complete state snapshot every
 	// IntervalOrDefault-th completed iteration and best-effort on
 	// cancellation. A failed save is logged in Result.Recovery, never
@@ -453,18 +466,20 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 		startIter = l.Resume.Iter + 1
 	} else {
 		l.lastFinite = nl.SnapshotPositions()
-		// Initial interconnect-only iterations.
-		initSpan := l.Obs.StartSpan("initial_solves")
-		for i := 0; i < l.InitialSolves; i++ {
-			if err := l.solveStep(ctx, 0, nil, nil, nil); err != nil {
-				initSpan.End()
-				if ctx.Err() != nil {
-					return cancelExit(0, err)
+		if !l.WarmStart {
+			// Initial interconnect-only iterations.
+			initSpan := l.Obs.StartSpan("initial_solves")
+			for i := 0; i < l.InitialSolves; i++ {
+				if err := l.solveStep(ctx, 0, nil, nil, nil); err != nil {
+					initSpan.End()
+					if ctx.Err() != nil {
+						return cancelExit(0, err)
+					}
+					return nil, err
 				}
-				return nil, err
 			}
+			initSpan.End()
 		}
-		initSpan.End()
 		if ckpt != nil {
 			ckpt.set(0, l.captureState(0, &s, res))
 		}
@@ -550,6 +565,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			Pi: pi, L: phi + s.lambda*pi,
 			Overflow: pr.Overflow(),
 			GridNX:   pr.GridNX,
+			Level:    l.Level,
 
 			ProjectTime:  projTime,
 			AssemblyTime: asm - lastAsm,
@@ -568,6 +584,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			Phi: st.Phi, PhiUpper: st.PhiUpper,
 			Pi: st.Pi, L: st.L,
 			Overflow: st.Overflow, GridNX: st.GridNX,
+			Level:           st.Level,
 			ProjectSeconds:  st.ProjectTime.Seconds(),
 			AssemblySeconds: st.AssemblyTime.Seconds(),
 			SolveSeconds:    st.SolveTime.Seconds(),

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"complx/internal/geom"
 	"complx/internal/netlist"
@@ -89,13 +90,20 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	b := netlist.NewBuilder(spec.Name)
+	// Pre-size the builder so generation streams cells and nets into their
+	// final storage instead of paying append re-growth copies (the estimates
+	// mirror the counts derived below; peak memory is the point — see the
+	// alloc-bound test).
+	numNets := int(float64(spec.NumCells) * spec.NetsPerCell)
+	b.Reserve(spec.NumCells+spec.NumMacros+spec.NumPads, numNets,
+		int(float64(numNets)*(2.2+spec.AvgDegreeExtra)))
 
 	// Standard cell sizes: widths 1..3 (mean 2), height 1.
-	widths := make([]float64, spec.NumCells)
+	widths := make([]uint8, spec.NumCells)
 	var stdArea float64
 	for i := range widths {
-		widths[i] = float64(1 + rng.Intn(3))
-		stdArea += widths[i]
+		widths[i] = uint8(1 + rng.Intn(3))
+		stdArea += float64(widths[i])
 	}
 	macroArea := 0.0
 	if spec.NumMacros > 0 && spec.MacroAreaFrac > 0 {
@@ -122,7 +130,6 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 	cellW := side / float64(cols)
 	cellH := side / float64(rows)
 	homes := make([]geom.Point, spec.NumCells)
-	ids := make([]int, spec.NumCells)
 	perm := rng.Perm(spec.NumCells) // scatter cell index vs. home position
 	for i := 0; i < spec.NumCells; i++ {
 		slot := perm[i]
@@ -131,7 +138,8 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 			X: (float64(gx) + 0.2 + 0.6*rng.Float64()) * cellW,
 			Y: (float64(gy) + 0.2 + 0.6*rng.Float64()) * cellH,
 		}
-		ids[i] = b.AddCell(fmt.Sprintf("o%d", i), widths[i], 1)
+		// Standard cells are the first adds, so cell i's netlist index is i.
+		b.AddCell("o"+strconv.Itoa(i), float64(widths[i]), 1)
 	}
 
 	// Macros: sized as squares (rounded to integers), homed in a coarse
@@ -143,7 +151,7 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 		for m := 0; m < spec.NumMacros; m++ {
 			x := math.Round((side - mside) * rng.Float64())
 			y := math.Round((side - mside) * rng.Float64())
-			name := fmt.Sprintf("m%d", m)
+			name := "m" + strconv.Itoa(m)
 			if spec.MovableMacros {
 				id := b.AddMacro(name, mside, mside)
 				macroIDs = append(macroIDs, id)
@@ -171,15 +179,35 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 		}
 		x = geom.Clamp(math.Floor(x), 0, side-1)
 		y = geom.Clamp(math.Floor(y), 0, side-1)
-		padIDs = append(padIDs, b.AddFixed(fmt.Sprintf("p%d", p), x, y, 1, 1))
+		padIDs = append(padIDs, b.AddFixed("p"+strconv.Itoa(p), x, y, 1, 1))
 	}
 
-	// Home-grid buckets for locality sampling.
-	bucket := make([][]int, cols*rows)
-	for i, h := range homes {
+	// Home-grid buckets for locality sampling, in CSR layout: one shared
+	// index array instead of cols*rows individually allocated slices (which
+	// dominated generation's footprint at million-cell scale). Cells appear
+	// in ascending order within each bucket, exactly as the per-bucket
+	// appends used to produce.
+	bucketOf := func(h geom.Point) int {
 		bx := int(geom.Clamp(h.X/cellW, 0, float64(cols-1)))
 		by := int(geom.Clamp(h.Y/cellH, 0, float64(rows-1)))
-		bucket[by*cols+bx] = append(bucket[by*cols+bx], i)
+		return by*cols + bx
+	}
+	bucketStart := make([]int32, cols*rows+1)
+	for _, h := range homes {
+		bucketStart[bucketOf(h)+1]++
+	}
+	for i := 0; i < cols*rows; i++ {
+		bucketStart[i+1] += bucketStart[i]
+	}
+	bucketCells := make([]int32, spec.NumCells)
+	{
+		next := make([]int32, cols*rows)
+		copy(next, bucketStart[:cols*rows])
+		for i, h := range homes {
+			bkt := bucketOf(h)
+			bucketCells[next[bkt]] = int32(i)
+			next[bkt]++
+		}
 	}
 	pickNear := func(seed int, reach float64) int {
 		h := homes[seed]
@@ -189,28 +217,38 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 			r := reach * math.Pow(rng.Float64(), 2) * (1 + 9*math.Pow(rng.Float64(), 8))
 			bx := int(geom.Clamp((h.X+r*cellW*math.Cos(ang))/cellW, 0, float64(cols-1)))
 			by := int(geom.Clamp((h.Y+r*cellH*math.Sin(ang))/cellH, 0, float64(rows-1)))
-			cands := bucket[by*cols+bx]
+			bkt := by*cols + bx
+			cands := bucketCells[bucketStart[bkt]:bucketStart[bkt+1]]
 			if len(cands) > 0 {
-				return cands[rng.Intn(len(cands))]
+				return int(cands[rng.Intn(len(cands))])
 			}
 		}
 		return rng.Intn(spec.NumCells)
 	}
 
-	numNets := int(float64(spec.NumCells) * spec.NetsPerCell)
 	pGeom := 1 / (1 + spec.AvgDegreeExtra)
+	// One pin buffer reused across nets (AddNet copies); membership is a
+	// linear scan of the current pins — nets have at most 14 — replacing the
+	// per-net map that used to dominate generation's allocation count.
+	pins := make([]netlist.PinSpec, 0, 16)
+	onNet := func(ci int) bool {
+		for _, ps := range pins {
+			if ps.Cell == ci {
+				return true
+			}
+		}
+		return false
+	}
 	for n := 0; n < numNets; n++ {
 		deg := 2
 		for deg < 12 && rng.Float64() > pGeom {
 			deg++
 		}
-		seen := map[int]bool{}
-		var pins []netlist.PinSpec
+		pins = pins[:0]
 		addCellPin := func(ci int) {
-			if seen[ci] {
+			if onNet(ci) {
 				return
 			}
-			seen[ci] = true
 			pins = append(pins, netlist.PinSpec{
 				Cell: ci,
 				DX:   (rng.Float64() - 0.5) * 0.8,
@@ -219,24 +257,24 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 		}
 		global := rng.Float64() < spec.GlobalNetFrac
 		seed := rng.Intn(spec.NumCells)
-		addCellPin(ids[seed])
+		addCellPin(seed)
 		stuck := 0
 		for len(pins) < deg && stuck < 24 {
 			ci := -1
 			if global {
-				ci = ids[rng.Intn(spec.NumCells)]
+				ci = rng.Intn(spec.NumCells)
 			} else {
 				// Retry with growing reach: buckets hold ~1 cell, so the
 				// first candidates are often already on the net.
 				for tries := 0; tries < 8; tries++ {
-					cand := ids[pickNear(seed, spec.Reach*(1+float64(tries)))]
-					if !seen[cand] {
+					cand := pickNear(seed, spec.Reach*(1+float64(tries)))
+					if !onNet(cand) {
 						ci = cand
 						break
 					}
 				}
 			}
-			if ci < 0 || seen[ci] {
+			if ci < 0 || onNet(ci) {
 				stuck++
 				continue
 			}
@@ -245,15 +283,13 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 		// A slice of nets touch pads or macros.
 		if len(padIDs) > 0 && rng.Float64() < 0.08 {
 			pad := padIDs[rng.Intn(len(padIDs))]
-			if !seen[pad] {
-				seen[pad] = true
+			if !onNet(pad) {
 				pins = append(pins, netlist.PinSpec{Cell: pad})
 			}
 		}
 		if len(macroIDs) > 0 && rng.Float64() < 0.10 {
 			mc := macroIDs[rng.Intn(len(macroIDs))]
-			if !seen[mc] {
-				seen[mc] = true
+			if !onNet(mc) {
 				pins = append(pins, netlist.PinSpec{
 					Cell: mc,
 					DX:   (rng.Float64() - 0.5) * 2,
@@ -264,7 +300,7 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 		if len(pins) < 2 {
 			continue
 		}
-		b.AddNet(fmt.Sprintf("n%d", n), 1, pins)
+		b.AddNet("n"+strconv.Itoa(n), 1, pins)
 	}
 
 	b.AddUniformRows(int(side), 1, 1)
@@ -275,7 +311,7 @@ func Generate(spec Spec) (*netlist.Netlist, error) {
 	// Initial positions: standard cells at their homes, movable macros
 	// scattered (non-overlap not required before placement).
 	for i := 0; i < spec.NumCells; i++ {
-		nl.Cells[ids[i]].SetCenter(homes[i])
+		nl.Cells[i].SetCenter(homes[i])
 	}
 	if spec.MovableMacros {
 		for _, id := range macroIDs {

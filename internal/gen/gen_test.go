@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"complx/internal/netlist"
@@ -223,5 +224,35 @@ func TestGenerateMesh(t *testing.T) {
 func TestGenerateMeshTooSmall(t *testing.T) {
 	if _, _, err := GenerateMesh(MeshSpec{Name: "x", Cols: 1, Rows: 5}); err == nil {
 		t.Error("expected error")
+	}
+}
+
+// TestGenerateAllocBound pins generation's allocation footprint: cells and
+// nets stream into pre-reserved builder storage, locality buckets share one
+// CSR index array, and per-net bookkeeping reuses one buffer. The old
+// map-per-net / slice-per-bucket implementation spent ~1.9 KB and 14
+// mallocs per cell; the bounds would catch a regression back to that shape
+// while leaving ~2x headroom over the current ~550 B and ~10 mallocs.
+func TestGenerateAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement on a 50K-cell design")
+	}
+	spec := Spec{Name: "alloc", NumCells: 50000, Seed: 9, NumMacros: 12, MacroAreaFrac: 0.2}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	nl, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	perCell := float64(after.TotalAlloc-before.TotalAlloc) / float64(spec.NumCells)
+	mallocs := float64(after.Mallocs-before.Mallocs) / float64(spec.NumCells)
+	t.Logf("%d cells: %.0f B/cell, %.1f mallocs/cell", nl.NumCells(), perCell, mallocs)
+	if perCell > 1100 {
+		t.Errorf("allocated %.0f B/cell, want <= 1100", perCell)
+	}
+	if mallocs > 13 {
+		t.Errorf("%.1f mallocs/cell, want <= 13", mallocs)
 	}
 }

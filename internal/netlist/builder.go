@@ -114,6 +114,34 @@ func (b *Builder) AddNet(name string, weight float64, pins []PinSpec) int {
 	return netID
 }
 
+// Reserve pre-sizes the builder's backing storage for a design whose
+// approximate shape is known up front, so bulk generation does not pay
+// append re-growth copies. Estimates may be low (storage still grows) and
+// are most effective when Reserve is called before the first Add.
+func (b *Builder) Reserve(cells, nets, pins int) {
+	if cells > cap(b.nl.Cells) {
+		grown := make([]Cell, len(b.nl.Cells), cells)
+		copy(grown, b.nl.Cells)
+		b.nl.Cells = grown
+	}
+	if nets > cap(b.nl.Nets) {
+		grown := make([]Net, len(b.nl.Nets), nets)
+		copy(grown, b.nl.Nets)
+		b.nl.Nets = grown
+	}
+	if pins > cap(b.nl.Pins) {
+		grown := make([]Pin, len(b.nl.Pins), pins)
+		copy(grown, b.nl.Pins)
+		b.nl.Pins = grown
+	}
+	if len(b.cellIndex) == 0 && cells > 0 {
+		b.cellIndex = make(map[string]int, cells)
+	}
+	if len(b.netIndex) == 0 && nets > 0 {
+		b.netIndex = make(map[string]int, nets)
+	}
+}
+
 // SetCore sets the placement area.
 func (b *Builder) SetCore(r geom.Rect) { b.nl.Core = r }
 

@@ -56,6 +56,14 @@ const (
 	MetricCheckpointBytes   = "complx_checkpoint_bytes"
 	MetricCheckpointIter    = "complx_checkpoint_iteration"
 	MetricResumes           = "complx_resume_total"
+
+	// Multilevel V-cycle catalog (DESIGN.md §13). Per-level series are
+	// labeled with the V-cycle level they describe, e.g.
+	// complx_level_seconds_total{level="2"} (level 0 = finest).
+	MetricLevels       = "complx_levels"
+	MetricLevelCells   = "complx_level_cells"
+	MetricLevelSeconds = "complx_level_seconds_total"
+	MetricLevelHPWL    = "complx_level_hpwl"
 )
 
 // helpFor returns the exposition help string for a cataloged metric name
@@ -112,6 +120,10 @@ var metricHelp = map[string]string{
 	MetricCheckpointBytes:   "Size of the last persisted checkpoint in bytes.",
 	MetricCheckpointIter:    "Iteration of the last persisted checkpoint.",
 	MetricResumes:           "Runs resumed from a checkpoint.",
+	MetricLevels:            "Levels in the multilevel V-cycle (1 = flat).",
+	MetricLevelCells:        "Movable cells solved at a V-cycle level, by level.",
+	MetricLevelSeconds:      "Wall-clock seconds spent solving a V-cycle level, by level.",
+	MetricLevelHPWL:         "HPWL of the placement a V-cycle level handed down, by level.",
 }
 
 // bucketsFor returns histogram bucket bounds by metric name.

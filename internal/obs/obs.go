@@ -195,6 +195,9 @@ type IterSample struct {
 	Overflow float64 `json:"overflow"`
 	HPWL     float64 `json:"hpwl,omitempty"`
 	GridNX   int     `json:"grid_nx,omitempty"`
+	// Level is the multilevel V-cycle level the iteration ran at (0 for
+	// flat placement and the finest level, higher = coarser).
+	Level int `json:"level,omitempty"`
 	// CGIterations is the number of CG inner iterations spent since the
 	// previous sample (both dimensions); filled automatically from the
 	// metrics registry when zero.
