@@ -77,12 +77,14 @@ func main() {
 		tol      = flag.Float64("tol", 0.10, "relative wall-clock tolerance in compare mode")
 		absSlack = flag.Float64("abs-slack", defaultAbsSlackSeconds, "absolute wall-clock slack in seconds; the effective slack is max(abs, relative)")
 		mlGate   = flag.Bool("ml-gate", false, "in compare mode, require the baseline to record a flat/multilevel pair at ≥60K cells (the relation itself is always checked on recorded pairs)")
+		pfGate   = flag.Bool("pf-gate", false, "in compare mode, require the baseline to record a flat/portfolio pair at ≥9K cells (the relation itself is always checked on recorded pairs)")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, config{
 		scale: *scale, designs: split(*designs), placers: split(*placers),
 		precond: *precond, out: *out, appendTo: *appendTo, compare: *compare,
 		maxScale: *maxScale, tol: *tol, absSlack: *absSlack, mlGate: *mlGate,
+		pfGate: *pfGate,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
@@ -98,6 +100,7 @@ type config struct {
 	maxScale, tol    float64
 	absSlack         float64
 	mlGate           bool
+	pfGate           bool
 }
 
 func split(s string) []string {
@@ -164,12 +167,19 @@ func measure(placer, design string, scale float64, precond string) (Entry, error
 		return Entry{}, err
 	}
 	name := placer
-	multilevel := false
-	if name == multilevelPlacer {
+	multilevel, portfolio := false, false
+	switch name {
+	case multilevelPlacer:
 		// The multilevel trajectory entry: the ComPLx engine through the
 		// V-cycle with the committed knobs, so flat ("complx") and V-cycle
 		// entries on the same design are directly comparable.
 		name, multilevel = "complx", true
+	case portfolioPlacer:
+		// The portfolio trajectory entry: the ComPLx engine through the
+		// competitive portfolio search with the committed knobs; member 0
+		// runs the unperturbed flat configuration, so the winner's HPWL is
+		// directly comparable to (and never worse than) the flat entry.
+		name, portfolio = "complx", true
 	}
 	alg, err := complx.ParseAlgorithm(name)
 	if err != nil {
@@ -190,6 +200,15 @@ func measure(placer, design string, scale float64, precond string) (Entry, error
 			Enabled:     true,
 			TargetCells: multilevelTargetCells,
 			RefineIters: multilevelRefineIters,
+		}
+	}
+	if portfolio {
+		opt.Portfolio = complx.PortfolioOptions{
+			Enabled:      true,
+			Members:      portfolioMembers,
+			Rounds:       portfolioRounds,
+			CullFraction: portfolioCullFraction,
+			Seed:         portfolioSeed,
 		}
 	}
 	start := time.Now()
@@ -330,6 +349,71 @@ func checkMultilevelGate(w io.Writer, base *Trajectory, requirePair bool) error 
 	return nil
 }
 
+// The portfolio trajectory entry and its committed search knobs, pinned for
+// the same reason as the multilevel ones: regenerating the baseline measures
+// the configuration the committed entries recorded.
+const (
+	portfolioPlacer       = "complx-pf"
+	portfolioMembers      = 4
+	portfolioRounds       = 4
+	portfolioCullFraction = 0.25
+	portfolioSeed         = 1
+)
+
+// Relational portfolio gate (ISSUE: on a recorded ≥9K-cell pair, the
+// portfolio winner's HPWL must not exceed the flat run's). Member 0 runs the
+// unperturbed flat configuration and is never culled, so the relation holds
+// by construction; the gate pins that elitism invariant against regression.
+const (
+	pfGateMinCells = 9000
+	// Quality metrics are deterministic; the epsilon only absorbs float
+	// formatting round-trip, matching the HPWL check in runCompare.
+	pfGateHPWLEps = 1e-9
+)
+
+// checkPortfolioGate verifies the recorded flat/portfolio entry pairs: on
+// every design with both a "complx" and a "complx-pf" entry at the same
+// scale and ≥9K cells, the portfolio HPWL must be ≤ the flat HPWL, and at
+// least one such pair must exist in the baseline when requirePair is set.
+func checkPortfolioGate(w io.Writer, base *Trajectory, requirePair bool) error {
+	type key struct {
+		design string
+		scale  float64
+	}
+	flat := map[key]Entry{}
+	for _, e := range base.Entries {
+		if e.Placer == "complx" {
+			flat[key{e.Design, e.Scale}] = e
+		}
+	}
+	pairs, failures := 0, 0
+	for _, pf := range base.Entries {
+		if pf.Placer != portfolioPlacer {
+			continue
+		}
+		fe, ok := flat[key{pf.Design, pf.Scale}]
+		if !ok || fe.Cells < pfGateMinCells {
+			continue
+		}
+		pairs++
+		delta := pf.HPWL/fe.HPWL - 1
+		status := "ok"
+		if pf.HPWL > fe.HPWL*(1+pfGateHPWLEps) {
+			status = fmt.Sprintf("FAIL hpwl %.0f > flat %.0f", pf.HPWL, fe.HPWL)
+			failures++
+		}
+		fmt.Fprintf(w, "pf-gate %-10s scale=%.3g cells=%-7d hpwl-delta=%+.3f%%  %s\n",
+			pf.Design, pf.Scale, fe.Cells, delta*100, status)
+	}
+	if pairs == 0 && requirePair {
+		return fmt.Errorf("baseline records no flat/portfolio pair at ≥%d cells; regenerate it with a %s entry", pfGateMinCells, portfolioPlacer)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d portfolio gate pair(s) outside the committed relation", failures)
+	}
+	return nil
+}
+
 // defaultAbsSlackSeconds absorbs scheduler noise on sub-second entries: a
 // tiny run can miss a 10% relative bound on timer jitter alone. The slack
 // is max(absolute, relative), not their sum — long entries are judged by
@@ -364,6 +448,9 @@ func runCompare(w io.Writer, cfg config) error {
 	fmt.Fprintf(w, "machine factor %.2f (calibration %.3fs now vs %.3fs at baseline)\n",
 		factor, calib, base.CalibrationSeconds)
 	if err := checkMultilevelGate(w, base, cfg.mlGate); err != nil {
+		return err
+	}
+	if err := checkPortfolioGate(w, base, cfg.pfGate); err != nil {
 		return err
 	}
 

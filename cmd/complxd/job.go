@@ -53,6 +53,16 @@ type JobSpec struct {
 	MLMaxLevels   int  `json:"ml_max_levels,omitempty"`
 	MLRefineIters int  `json:"ml_refine_iters,omitempty"`
 
+	// Portfolio runs the competitive portfolio search
+	// (complx.Options.Portfolio) with the given knobs; zero knobs select
+	// the driver defaults. ComPLx and SimPL only, exclusive with
+	// Multilevel.
+	Portfolio      bool    `json:"portfolio,omitempty"`
+	PFMembers      int     `json:"pf_members,omitempty"`
+	PFRounds       int     `json:"pf_rounds,omitempty"`
+	PFCullFraction float64 `json:"pf_cull_fraction,omitempty"`
+	PFSeed         int64   `json:"pf_seed,omitempty"`
+
 	// Threads caps the parallel-kernel helpers this job may occupy
 	// (complx.Options.Threads); 0 leaves the job uncapped up to the
 	// process-wide pool. Budgets only change scheduling, never results.
@@ -90,7 +100,33 @@ func (s *JobSpec) Validate() error {
 			return fmt.Errorf("multilevel requires the complx or simpl algorithm (got %q)", s.Algorithm)
 		}
 	}
+	if s.Portfolio {
+		if s.Multilevel {
+			return fmt.Errorf("portfolio and multilevel are mutually exclusive")
+		}
+		switch s.Algorithm {
+		case "", "complx", "simpl":
+		default:
+			return fmt.Errorf("portfolio requires the complx or simpl algorithm (got %q)", s.Algorithm)
+		}
+		// Surfaces the facade's stage-"options" *PlaceError for out-of-range
+		// knobs before the job is queued.
+		if err := s.portfolioOptions().Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// portfolioOptions maps the spec's portfolio knobs onto the facade options.
+func (s *JobSpec) portfolioOptions() complx.PortfolioOptions {
+	return complx.PortfolioOptions{
+		Enabled:      s.Portfolio,
+		Members:      s.PFMembers,
+		Rounds:       s.PFRounds,
+		CullFraction: s.PFCullFraction,
+		Seed:         s.PFSeed,
+	}
 }
 
 // JobResult is the subset of complx.Result persisted with the job.
@@ -106,6 +142,13 @@ type JobResult struct {
 	Precond          string  `json:"precond,omitempty"`
 	CGIterations     int     `json:"cg_iterations"`
 	TotalSeconds     float64 `json:"total_seconds"`
+	// Portfolio summary, present only when the job ran a portfolio search
+	// (a pointer so that winner member 0 is distinguishable from "no
+	// portfolio").
+	PortfolioWinner  *int   `json:"portfolio_winner,omitempty"`
+	PortfolioVariant string `json:"portfolio_variant,omitempty"`
+	PortfolioCulls   int    `json:"portfolio_culls,omitempty"`
+	PortfolioReseeds int    `json:"portfolio_reseeds,omitempty"`
 }
 
 // Job is one persisted job record: the spec, the lifecycle state, and the

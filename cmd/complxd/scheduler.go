@@ -399,6 +399,7 @@ func runPlacement(ctx context.Context, j *Job, ckptDir string, ckptEach int,
 			MaxLevels:   j.Spec.MLMaxLevels,
 			RefineIters: j.Spec.MLRefineIters,
 		},
+		Portfolio:   j.Spec.portfolioOptions(),
 		Threads:     j.Spec.Threads,
 		Observer:    observer,
 		OnIteration: onIter,
@@ -447,7 +448,7 @@ func summarize(res *complx.Result) *JobResult {
 	if res == nil {
 		return nil
 	}
-	return &JobResult{
+	jr := &JobResult{
 		HPWL:             res.HPWL,
 		ScaledHPWL:       res.ScaledHPWL,
 		OverflowPercent:  res.OverflowPercent,
@@ -460,4 +461,11 @@ func summarize(res *complx.Result) *JobResult {
 		CGIterations:     res.CGIterations,
 		TotalSeconds:     res.Total.Seconds(),
 	}
+	if pf := res.Portfolio; pf != nil {
+		jr.PortfolioWinner = &pf.Winner
+		jr.PortfolioVariant = pf.WinnerVariant
+		jr.PortfolioCulls = pf.Culls
+		jr.PortfolioReseeds = pf.Reseeds
+	}
+	return jr
 }

@@ -52,6 +52,16 @@ func testSpec(seed int64, threads, priority int) JobSpec {
 	}
 }
 
+// heavySpec is a job big enough to occupy a worker for a few seconds —
+// used to hold the (single) worker busy while the test stages the queue
+// behind it, so scheduling-order assertions cannot race the blocker's
+// completion.
+func heavySpec(seed int64, threads, priority int) JobSpec {
+	s := testSpec(seed, threads, priority)
+	s.Gen.NumCells = 4000
+	return s
+}
+
 func submit(t *testing.T, srv *httptest.Server, spec JobSpec) *Job {
 	t.Helper()
 	body, err := json.Marshal(spec)
@@ -87,6 +97,24 @@ func getJob(t *testing.T, srv *httptest.Server, id string) *Job {
 		t.Fatal(err)
 	}
 	return &j
+}
+
+// waitRunning blocks until the job has been picked up by a worker (or has
+// already finished, for robustness on fast machines).
+func waitRunning(t *testing.T, srv *httptest.Server, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j := getJob(t, srv, id)
+		switch j.State {
+		case StateRunning, StateDone, StateFailed, StateCancelled:
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, j.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func waitDone(t *testing.T, srv *httptest.Server, id string, timeout time.Duration) *Job {
@@ -285,9 +313,14 @@ func TestDaemonSmoke(t *testing.T) {
 func TestDaemonPriorityAndCancel(t *testing.T) {
 	srv, _ := startTestServer(t, t.TempDir(), 1)
 
-	// Occupy the single worker, then queue three jobs with priorities
-	// 0, 5, 5 — the priority-5 pair must run first, in FIFO order.
-	blocker := submit(t, srv, testSpec(300, 1, 0))
+	// Occupy the single worker with a multi-second job, wait until it is
+	// actually running, then queue three jobs with priorities 0, 5, 5 —
+	// the priority-5 pair must run first, in FIFO order. The running-state
+	// wait plus the blocker's weight guarantee all three are queued while
+	// the worker is still busy, so dispatch order is decided by priority
+	// alone.
+	blocker := submit(t, srv, heavySpec(300, 1, 0))
+	waitRunning(t, srv, blocker.ID, time.Minute)
 	low := submit(t, srv, testSpec(301, 1, 0))
 	hiA := submit(t, srv, testSpec(302, 1, 5))
 	hiB := submit(t, srv, testSpec(303, 1, 5))
@@ -311,7 +344,8 @@ func TestDaemonPriorityAndCancel(t *testing.T) {
 	_ = order
 
 	// Cancel a queued job: occupy the worker again, cancel while queued.
-	busy := submit(t, srv, testSpec(304, 1, 9))
+	busy := submit(t, srv, heavySpec(304, 1, 9))
+	waitRunning(t, srv, busy.ID, time.Minute)
 	victim := submit(t, srv, testSpec(305, 1, 0))
 	req, _ := http.NewRequest("POST", srv.URL+"/jobs/"+victim.ID+"/cancel", nil)
 	resp, err := srv.Client().Do(req)

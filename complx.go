@@ -42,6 +42,7 @@ import (
 	"complx/internal/obs"
 	"complx/internal/par"
 	"complx/internal/perr"
+	"complx/internal/portfolio"
 	"complx/internal/sparse"
 	"complx/internal/timing"
 	"complx/internal/viz"
@@ -335,6 +336,20 @@ type Options struct {
 	// non-ComPLx/SimPL baselines.
 	Multilevel MultilevelOptions
 
+	// Portfolio runs a competitive portfolio/restart search for ComPLx/SimPL
+	// (DESIGN.md §14): Members engine instances race under perturbed
+	// configurations (λ ramp/damp, LSE primal, preconditioner choice,
+	// jittered starting positions), meet at Rounds synchronization rounds
+	// where each is scored by overflow-weighted HPWL, and the worst
+	// CullFraction are reseeded by forking the leader's checkpoint state.
+	// Member 0 always runs the unperturbed configuration and is never
+	// culled, so the winner can only match or beat the flat run. The search
+	// is deterministic for a fixed Seed at any Threads setting; Checkpoint
+	// persists the whole member table, so an interrupted search resumes
+	// bitwise. Mutually exclusive with Multilevel and Clustered; not
+	// available for the non-ComPLx/SimPL baselines.
+	Portfolio PortfolioOptions
+
 	// CellPenalty weighs the Lagrangian penalty per movable cell
 	// (timing/power criticalities γ⃗ of Formula 13).
 	CellPenalty []float64
@@ -379,6 +394,51 @@ type MultilevelOptions struct {
 	RefineIters int
 }
 
+// PortfolioOptions configures the competitive portfolio search
+// (Options.Portfolio). Zero values select the driver defaults; explicit
+// out-of-range values (Members < 2, Rounds < 1, CullFraction outside (0,1))
+// are rejected up front with a *PlaceError of stage "options".
+type PortfolioOptions struct {
+	// Enabled turns the portfolio search on.
+	Enabled bool
+	// Members is the number of concurrent engine instances K (default 4).
+	Members int
+	// Rounds is the number of synchronization rounds the iteration budget
+	// is split into (default 4).
+	Rounds int
+	// CullFraction is the fraction of members culled and reseeded at each
+	// round boundary; floor(CullFraction·Members) members (default 0.25).
+	CullFraction float64
+	// Seed seeds the member perturbation RNG streams (default 1). The
+	// whole search is a pure function of the seed.
+	Seed int64
+}
+
+// Validate rejects unusable portfolio configurations with a *PlaceError of
+// stage "options": Members < 2, Rounds < 1, CullFraction outside (0,1).
+// Zero fields are validated at their defaults; disabled options are always
+// valid. PlaceContext validates automatically; services can call this
+// directly to reject a bad configuration before queueing a run.
+func (o PortfolioOptions) Validate() error {
+	if !o.Enabled {
+		return nil
+	}
+	po := portfolio.Options{
+		Members:      o.Members,
+		Rounds:       o.Rounds,
+		CullFraction: o.CullFraction,
+		Seed:         o.Seed,
+	}
+	po.Fill()
+	return po.Validate()
+}
+
+// PortfolioStats reports a portfolio search (Result.Portfolio): the winning
+// member, its variant name, cull/reseed totals and the final per-member
+// scores (overflow-weighted HPWL, +Inf for members that never completed a
+// round).
+type PortfolioStats = core.PortfolioStats
+
 // Result reports a full placement run.
 type Result struct {
 	// HPWL and WHPWL are the final (legal, when legalization ran)
@@ -407,6 +467,9 @@ type Result struct {
 	// Resumed reports that global placement was primed from a checkpoint
 	// (Options.Checkpoint.Resume with a matching snapshot on disk).
 	Resumed bool
+	// Portfolio reports the portfolio search when Options.Portfolio was
+	// enabled; nil otherwise.
+	Portfolio *PortfolioStats
 	// Recovery is the structured solver-recovery log: one event per
 	// fallback-ladder attempt and per failed checkpoint save. Empty on a
 	// clean run.
@@ -457,6 +520,13 @@ func coreOptions(opt Options) core.Options {
 			TargetCells: opt.Multilevel.TargetCells,
 			MaxLevels:   opt.Multilevel.MaxLevels,
 			RefineIters: opt.Multilevel.RefineIters,
+		},
+		Portfolio: core.PortfolioOptions{
+			Enabled:      opt.Portfolio.Enabled,
+			Members:      opt.Portfolio.Members,
+			Rounds:       opt.Portfolio.Rounds,
+			CullFraction: opt.Portfolio.CullFraction,
+			Seed:         opt.Portfolio.Seed,
 		},
 	}
 }
@@ -518,9 +588,40 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 				"complx: Multilevel requires the ComPLx or SimPL engine (got %v)", opt.Algorithm)
 		}
 	}
+	if opt.Portfolio.Enabled {
+		if opt.Multilevel.Enabled {
+			return nil, perr.New(perr.StageOptions,
+				"complx: Portfolio and Multilevel are mutually exclusive")
+		}
+		if opt.Clustered {
+			return nil, perr.New(perr.StageOptions,
+				"complx: Portfolio and Clustered are mutually exclusive")
+		}
+		if opt.Algorithm != AlgComPLx && opt.Algorithm != AlgSimPL {
+			return nil, perr.New(perr.StageOptions,
+				"complx: Portfolio requires the ComPLx or SimPL engine (got %v)", opt.Algorithm)
+		}
+		// Normalize to the filled values before validation and before the
+		// checkpoint fingerprint is taken, so explicit defaults and zero
+		// values are the same run.
+		po := portfolio.Options{
+			Members:      opt.Portfolio.Members,
+			Rounds:       opt.Portfolio.Rounds,
+			CullFraction: opt.Portfolio.CullFraction,
+			Seed:         opt.Portfolio.Seed,
+		}
+		po.Fill()
+		if err := po.Validate(); err != nil {
+			return nil, err
+		}
+		opt.Portfolio.Members = po.Members
+		opt.Portfolio.Rounds = po.Rounds
+		opt.Portfolio.CullFraction = po.CullFraction
+		opt.Portfolio.Seed = po.Seed
+	}
 	// Persistent checkpointing (after the density normalization above, so
 	// the fingerprint sees canonical option values).
-	ckptMgr, resumeState, ckptErr := setupCheckpoint(nl, opt)
+	ckptMgr, resumeState, pfResume, ckptErr := setupCheckpoint(nl, opt)
 	if ckptErr != nil {
 		return nil, ckptErr
 	}
@@ -554,6 +655,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 		// the interface field would defeat the engine's `!= nil` guards.
 		coreOpt.Checkpoint = ckptMgr
 		coreOpt.Resume = resumeState
+		coreOpt.PortfolioResume = pfResume
 	}
 	if opt.ProjectionDP {
 		coreOpt.ProjectionRefine = func(n *Netlist) error {
@@ -610,6 +712,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 			res.CGIterations = r.CGIters
 			res.PrecondTime = r.PrecondTime
 			res.Resumed = r.Resumed
+			res.Portfolio = r.Portfolio
 			if r.Recovery != nil {
 				res.Recovery = r.Recovery.Events
 			}
@@ -631,6 +734,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, opt Options) (*Result, error
 			res.CGIterations = r.CGIters
 			res.PrecondTime = r.PrecondTime
 			res.Resumed = r.Resumed
+			res.Portfolio = r.Portfolio
 			if r.Recovery != nil {
 				res.Recovery = r.Recovery.Events
 			}

@@ -1,0 +1,171 @@
+package chkpt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func fullPortfolioState() *PortfolioState {
+	snap := Encode(fullState())
+	ps := &PortfolioState{
+		Design:  "adaptec-mini",
+		Round:   2,
+		RNG:     []uint64{0, 1, math.MaxUint64, 0x9e3779b97f4a7c15},
+		Culls:   3,
+		Reseeds: 3,
+		Members: []MemberState{
+			{Variant: 0, Score: 12345.5, Snapshot: snap},
+			{Variant: 1, Finished: true, Score: 13000.25, Snapshot: append([]byte(nil), snap...)},
+			{Variant: 2, Score: math.Inf(1), Snapshot: nil}, // cold member
+		},
+	}
+	ps.Fingerprint = Fingerprint("algo=complx", "design=adaptec-mini")
+	return ps
+}
+
+func TestPortfolioEncodeDecodeRoundTrip(t *testing.T) {
+	ps := fullPortfolioState()
+	got, err := DecodePortfolio(EncodePortfolio(ps))
+	if err != nil {
+		t.Fatalf("DecodePortfolio: %v", err)
+	}
+	if !reflect.DeepEqual(ps, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", ps, got)
+	}
+	// Nested member snapshots must survive byte-for-byte: a resumed member
+	// decodes the exact image the interrupted run encoded.
+	if !bytes.Equal(got.Members[0].Snapshot, ps.Members[0].Snapshot) {
+		t.Fatal("member snapshot bytes changed across the portfolio round trip")
+	}
+}
+
+func TestPortfolioEncodeDeterministic(t *testing.T) {
+	a := EncodePortfolio(fullPortfolioState())
+	b := EncodePortfolio(fullPortfolioState())
+	if !bytes.Equal(a, b) {
+		t.Fatal("EncodePortfolio is not deterministic")
+	}
+}
+
+func TestPortfolioDecodeRejectsCorruption(t *testing.T) {
+	good := EncodePortfolio(fullPortfolioState())
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodePortfolio(good[:len(good)-7]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := DecodePortfolio(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		copy(bad, "NOTAPFKP")
+		if _, err := DecodePortfolio(bad); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("want ErrBadMagic, got %v", err)
+		}
+	})
+	t.Run("single-run-checkpoint", func(t *testing.T) {
+		// The two formats share a directory; feeding one to the other's
+		// decoder must fail loudly, not misparse.
+		if _, err := DecodePortfolio(Encode(fullState())); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("want ErrBadMagic, got %v", err)
+		}
+	})
+}
+
+// TestForkRoundTripsCodec pins the fork contract: forking an encoded
+// snapshot yields a state that is deep-equal to the original and re-encodes
+// to the identical bytes, so a reseeded member starts bitwise as a resume
+// would.
+func TestForkRoundTripsCodec(t *testing.T) {
+	st := fullState()
+	data := Encode(st)
+	forked, err := Fork(data, st.Fingerprint)
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if !reflect.DeepEqual(st, forked) {
+		t.Fatalf("forked state differs from original:\n in: %+v\nout: %+v", st, forked)
+	}
+	if !bytes.Equal(Encode(forked), data) {
+		t.Fatal("forked state does not re-encode to the original bytes")
+	}
+	// The fork is a deep copy: mutating it must not alias the original.
+	forked.Positions[0].X = 777
+	forked.History[0].Phi = -1
+	if st.Positions[0].X == 777 || st.History[0].Phi == -1 {
+		t.Fatal("Fork aliased the original state's slices")
+	}
+}
+
+// TestForkRejectsFingerprintMismatch: a member snapshot from a different
+// design/option set must not be forked into this portfolio.
+func TestForkRejectsFingerprintMismatch(t *testing.T) {
+	st := fullState()
+	other := Fingerprint("algo=complx", "design=somebody-else")
+	if _, err := Fork(Encode(st), other); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("want ErrFingerprint, got %v", err)
+	}
+}
+
+// TestForkCorruptSnapshot: forking a corrupt snapshot reports ErrCorrupt —
+// the portfolio driver's reseed path treats that as "snapshot unusable"
+// and cold-restarts the member instead of failing the run (pinned end to
+// end by the driver tests in internal/portfolio).
+func TestForkCorruptSnapshot(t *testing.T) {
+	st := fullState()
+	data := Encode(st)
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0x01 // break the checksum
+	if _, err := Fork(bad, st.Fingerprint); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if _, err := Fork(nil, st.Fingerprint); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("nil snapshot: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestManagerPortfolioSaveLoadRoundTrip(t *testing.T) {
+	m := newManager(t)
+	ps := fullPortfolioState()
+	ps.Fingerprint = [32]byte{} // SavePortfolio must stamp the manager's
+	if err := m.SavePortfolio(ps); err != nil {
+		t.Fatalf("SavePortfolio: %v", err)
+	}
+	if !m.PortfolioExists() {
+		t.Fatal("PortfolioExists is false after SavePortfolio")
+	}
+	got, err := m.LoadPortfolio()
+	if err != nil {
+		t.Fatalf("LoadPortfolio: %v", err)
+	}
+	if got.Fingerprint != m.Fingerprint {
+		t.Fatal("loaded portfolio does not carry the manager fingerprint")
+	}
+	if !reflect.DeepEqual(ps, got) {
+		t.Fatalf("portfolio save/load mismatch:\n in: %+v\nout: %+v", ps, got)
+	}
+	// The single-run checkpoint file is untouched by portfolio saves.
+	if m.Exists() {
+		t.Fatal("SavePortfolio created the single-run checkpoint file")
+	}
+}
+
+func TestManagerLoadPortfolioRejectsWrongFingerprint(t *testing.T) {
+	m := newManager(t)
+	if err := m.SavePortfolio(fullPortfolioState()); err != nil {
+		t.Fatalf("SavePortfolio: %v", err)
+	}
+	m2 := &Manager{Dir: m.Dir, Fingerprint: Fingerprint("design=other")}
+	if _, err := m2.LoadPortfolio(); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("want ErrFingerprint, got %v", err)
+	}
+}

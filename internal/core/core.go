@@ -154,6 +154,32 @@ type Options struct {
 	// warm-start-refine each finer level with RefineIters iterations. The
 	// flat path (Enabled false) is bitwise untouched.
 	Multilevel MultilevelOptions
+
+	// Portfolio, when Enabled, routes the run through the competitive
+	// portfolio driver (DESIGN.md §14): Members perturbed engine instances
+	// race in Rounds synchronization rounds, losers are culled and reseeded
+	// from the leader's forked checkpoint, and the best-scoring member's
+	// placement wins. Mutually exclusive with Multilevel. The flat path
+	// (Enabled false) is bitwise untouched.
+	Portfolio PortfolioOptions
+	// PortfolioResume, when non-nil, resumes a portfolio search from its
+	// round-boundary checkpoint (member table, RNG streams, round index).
+	PortfolioResume *chkpt.PortfolioState
+}
+
+// PortfolioOptions configures the portfolio search (portfolio.Options plus
+// the enable switch; zero values select the driver defaults).
+type PortfolioOptions struct {
+	// Enabled turns the portfolio search on.
+	Enabled bool
+	// Members is the number of concurrent engine instances (default 4).
+	Members int
+	// Rounds is the number of synchronization rounds (default 4).
+	Rounds int
+	// CullFraction is the fraction of members culled per round (default 0.25).
+	CullFraction float64
+	// Seed seeds the perturbation RNG streams (default 1).
+	Seed int64
 }
 
 // MultilevelOptions configures the multilevel V-cycle (multilevel.Options
@@ -205,6 +231,9 @@ type SelfConsistency = engine.SelfConsistency
 // Result summarizes a placement run.
 type Result = engine.Result
 
+// PortfolioStats summarizes a portfolio search (Result.Portfolio).
+type PortfolioStats = engine.PortfolioStats
+
 // Place runs ComPLx global placement on nl in place. The final placement is
 // the best C-feasible (anchor) placement found; it is nearly overlap-free
 // and intended to be finished by legalization and detailed placement.
@@ -230,10 +259,13 @@ func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
 // Result.Cancelled is set, and the returned error wraps ctx.Err() in a
 // *perr.Error carrying the stage and iteration.
 func PlaceContext(ctx context.Context, nl *netlist.Netlist, opt Options) (*Result, error) {
+	if opt.Portfolio.Enabled {
+		return placePortfolio(ctx, nl, opt)
+	}
 	if opt.Multilevel.Enabled {
 		return placeMultilevel(ctx, nl, opt)
 	}
-	return placeSingle(ctx, nl, opt, 0, false, 0, 1)
+	return placeSingle(ctx, nl, opt, 0, false, 0, 1, 0)
 }
 
 // warmDamp scales the multiplier schedule's initial (λ₁, h) at warm-started
@@ -402,19 +434,21 @@ func placeMultilevel(ctx context.Context, nl *netlist.Netlist, opt Options) (*Re
 					lopt.CG.Tol = refineCGTol
 				}
 			}
-			return placeSingle(ctx, lv.Netlist, lopt, lv.Level, warm, lv.StartLambda, firstScale)
+			return placeSingle(ctx, lv.Netlist, lopt, lv.Level, warm, lv.StartLambda, firstScale, 0)
 		},
 	}
 	return multilevel.Run(ctx, nl, cfg)
 }
 
 // placeSingle runs one flat primal-dual placement over nl — the whole run
-// when multilevel is off (level 0, cold start), one V-cycle level
-// otherwise. warm skips the initial interconnect solves so the loop starts
-// from nl's current (interpolated) placement; startLambda, when positive,
-// continues the coarser level's multiplier trajectory instead of
-// re-deriving λ₁ from the warm state.
-func placeSingle(ctx context.Context, nl *netlist.Netlist, opt Options, level int, warm bool, startLambda, firstScale float64) (*Result, error) {
+// when multilevel is off (level 0, cold start), one V-cycle level or one
+// portfolio member segment otherwise. warm skips the initial interconnect
+// solves so the loop starts from nl's current (interpolated) placement;
+// startLambda, when positive, continues the coarser level's multiplier
+// trajectory instead of re-deriving λ₁ from the warm state; member is the
+// portfolio member index stamped into the iteration statistics (0 outside
+// a portfolio).
+func placeSingle(ctx context.Context, nl *netlist.Netlist, opt Options, level int, warm bool, startLambda, firstScale float64, member int) (*Result, error) {
 	opt.fill()
 	if err := nl.Validate(); err != nil {
 		return nil, perr.Wrap(perr.StageValidate, err)
@@ -522,6 +556,7 @@ func placeSingle(ctx context.Context, nl *netlist.Netlist, opt Options, level in
 		Design:         nl.Name,
 		Algorithm:      opt.Schedule.String(),
 		Level:          level,
+		Member:         member,
 		WarmStart:      warm,
 		Checkpoint:     opt.Checkpoint,
 		Resume:         opt.Resume,

@@ -81,6 +81,11 @@ func historyRecords(hist []IterStats) []chkpt.IterRecord {
 	return out
 }
 
+// HistoryStats converts checkpointed history records back into run history
+// (timings zero). Exported for drivers that rebuild a Result from an
+// encoded snapshot, e.g. the portfolio's resume materialization.
+func HistoryStats(recs []chkpt.IterRecord) []IterStats { return historyStats(recs) }
+
 // historyStats is the inverse of historyRecords (timings zero).
 func historyStats(recs []chkpt.IterRecord) []IterStats {
 	if recs == nil {

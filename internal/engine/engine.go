@@ -146,6 +146,9 @@ type IterStats struct {
 	// Level is the multilevel V-cycle level the iteration ran at (0 for
 	// flat placement and the finest level, higher = coarser).
 	Level int
+	// Member is the portfolio member the iteration belongs to (0 for flat
+	// runs and for the portfolio's unperturbed base member).
+	Member int
 
 	// ProjectTime is the wall-clock of this iteration's feasibility
 	// projection (grid build, spreading, interpolation, refinement).
@@ -219,6 +222,22 @@ type Result struct {
 	// recovery attempt (and per failed checkpoint save). Never nil; empty
 	// when no recovery was needed.
 	Recovery *resilience.Log
+	// Portfolio summarizes the portfolio search that produced this result;
+	// nil for flat (single-member) runs. Filled by internal/portfolio.
+	Portfolio *PortfolioStats
+}
+
+// PortfolioStats summarizes a portfolio/restart search: how many members
+// ran, which one won, and how much culling/reseeding the synchronization
+// rounds performed. Scores are the final scalarized overflow-weighted HPWL
+// per member (lower is better; +Inf for members that never produced a
+// placement).
+type PortfolioStats struct {
+	Members, Rounds int
+	Winner          int
+	WinnerVariant   string
+	Culls, Reseeds  int
+	Scores          []float64
 }
 
 // Loop is the pluggable ComPLx-style primal-dual loop. Every field with a
@@ -259,6 +278,11 @@ type Loop struct {
 	// flat). It is stamped into every IterStats, iteration sample and
 	// checkpoint, and a Resume snapshot must carry the same level.
 	Level int
+	// Member is the portfolio member index this loop runs as (0 outside a
+	// portfolio). Stamped into IterStats and iteration samples; unlike
+	// Level it is pure observability metadata and is not checkpointed —
+	// the portfolio's member table owns that association.
+	Member int
 	// WarmStart skips the initial interconnect-only solves and instead
 	// starts the primal-dual iterations directly from the netlist's current
 	// placement — the multilevel refinement entry point, where the
@@ -566,6 +590,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			Overflow: pr.Overflow(),
 			GridNX:   pr.GridNX,
 			Level:    l.Level,
+			Member:   l.Member,
 
 			ProjectTime:  projTime,
 			AssemblyTime: asm - lastAsm,
@@ -585,6 +610,7 @@ func (l *Loop) Run(ctx context.Context) (*Result, error) {
 			Pi: st.Pi, L: st.L,
 			Overflow: st.Overflow, GridNX: st.GridNX,
 			Level:           st.Level,
+			Member:          st.Member,
 			ProjectSeconds:  st.ProjectTime.Seconds(),
 			AssemblySeconds: st.AssemblyTime.Seconds(),
 			SolveSeconds:    st.SolveTime.Seconds(),

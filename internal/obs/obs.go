@@ -198,6 +198,9 @@ type IterSample struct {
 	// Level is the multilevel V-cycle level the iteration ran at (0 for
 	// flat placement and the finest level, higher = coarser).
 	Level int `json:"level,omitempty"`
+	// Member is the portfolio member the iteration belongs to (0 for flat
+	// runs and the portfolio's unperturbed base member).
+	Member int `json:"member,omitempty"`
 	// CGIterations is the number of CG inner iterations spent since the
 	// previous sample (both dimensions); filled automatically from the
 	// metrics registry when zero.

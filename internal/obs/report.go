@@ -82,7 +82,7 @@ var TraceCSVHeader = []string{
 	"iter", "lambda", "phi", "phi_upper", "pi", "lagrangian", "overflow",
 	"hpwl", "grid_nx", "cg_iters", "precond",
 	"project_seconds", "assembly_seconds", "solve_seconds", "precond_seconds",
-	"level",
+	"level", "member",
 }
 
 // WriteCSV writes the per-iteration convergence trace as CSV (see
@@ -99,7 +99,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			f(s.Pi), f(s.L), f(s.Overflow), f(s.HPWL),
 			strconv.Itoa(s.GridNX), strconv.Itoa(s.CGIterations), r.Result.Precond,
 			f(s.ProjectSeconds), f(s.AssemblySeconds), f(s.SolveSeconds), f(s.PrecondSeconds),
-			strconv.Itoa(s.Level),
+			strconv.Itoa(s.Level), strconv.Itoa(s.Member),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -33,6 +33,7 @@ const (
 
 	StageCheckpoint = "checkpoint" // checkpoint persistence / resumption
 	StageRecover    = "recover"    // solver fallback ladder exhausted
+	StageOptions    = "options"    // caller-supplied option validation
 )
 
 // Error is a structured placement-pipeline error.

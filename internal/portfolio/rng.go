@@ -1,0 +1,34 @@
+package portfolio
+
+// rngStream is a splitmix64 pseudo-random stream. Chosen over math/rand
+// because its entire state is one uint64 — it checkpoints trivially
+// (chkpt.PortfolioState.RNG) and restores bitwise, which the portfolio's
+// resume determinism depends on. Statistical quality is far beyond what a
+// position jitter needs.
+type rngStream struct{ state uint64 }
+
+// golden is the splitmix64 increment (the 64-bit golden ratio).
+const golden = 0x9e3779b97f4a7c15
+
+// newStream derives member i's stream from the portfolio seed. Streams are
+// decorrelated by spacing their initial states a large odd multiple of the
+// golden-ratio increment apart and discarding one output.
+func newStream(seed int64, member int) rngStream {
+	s := rngStream{state: uint64(seed) ^ (uint64(member+1) * 0xbf58476d1ce4e5b9)}
+	s.next()
+	return s
+}
+
+// next advances the stream and returns the next 64 uniform bits.
+func (r *rngStream) next() uint64 {
+	r.state += golden
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *rngStream) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,125 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"complx/internal/chkpt"
+	"complx/internal/netlist"
+)
+
+// reseedJitterRows is the reseed perturbation radius in row heights: a
+// forked loser starts at the leader's iterate displaced by up to this many
+// rows per axis, enough to fall into a different spreading basin without
+// discarding the leader's global structure.
+const reseedJitterRows = 2.0
+
+// Variant is one member's configuration perturbation. The table is a pure
+// function of the member index (variantFor), so a resumed or re-run
+// portfolio rebuilds identical configurations without persisting them.
+type Variant struct {
+	// Index is the member index the variant was derived for.
+	Index int
+	// Name labels the perturbation for stats and logs.
+	Name string
+	// LambdaScale scales the λ schedule's initial multiplier and additive
+	// step (1 = the caller's schedule): < 1 damps the feasibility price —
+	// longer wirelength-driven exploration; > 1 ramps it — earlier
+	// spreading.
+	LambdaScale float64
+	// UseLSE switches the member's primal step to the log-sum-exp model.
+	UseLSE bool
+	// Precond overrides the CG preconditioner ("" keeps the caller's).
+	Precond string
+	// FinestGrid forces every projection onto the finest grid.
+	FinestGrid bool
+	// Jitter is the round-1 starting-position perturbation radius in row
+	// heights (0 = start from the caller's placement exactly).
+	Jitter float64
+}
+
+// variantFor derives member i's configuration. Member 0 is always the
+// unperturbed base configuration — it is exempt from culling, so the flat
+// run's trajectory is always in the portfolio and the winner can only
+// match or beat it. Members beyond the table are pure RNG restarts (their
+// diversity comes from the jittered start alone, which perturbs the CG
+// iterates' early-stopping path).
+func variantFor(i int) Variant {
+	v := Variant{Index: i, LambdaScale: 1}
+	switch i {
+	case 0:
+		v.Name = "base"
+	case 1:
+		v.Name = "lambda-damp"
+		v.LambdaScale = 0.5
+		v.Jitter = 2
+	case 2:
+		v.Name = "lambda-ramp"
+		v.LambdaScale = 2
+		v.Jitter = 2
+	case 3:
+		v.Name = "precond-ssor"
+		v.Precond = "ssor"
+		v.Jitter = 2
+	case 4:
+		v.Name = "finest-grid"
+		v.FinestGrid = true
+		v.Jitter = 2
+	case 5:
+		v.Name = "lse"
+		v.UseLSE = true
+		v.Jitter = 2
+	default:
+		v.Name = fmt.Sprintf("restart-%d", i)
+		v.Jitter = 4
+	}
+	return v
+}
+
+// jitterPositions displaces every movable cell of nl by a uniform draw in
+// [-rows, +rows] row heights per axis, clamped so the cell stays inside the
+// core. rows == 0 is a no-op that consumes no RNG draws. The draw order is
+// the netlist's movable order — deterministic.
+func jitterPositions(nl *netlist.Netlist, rows float64, rng *rngStream) {
+	if rows == 0 {
+		return
+	}
+	amp := rows * nl.RowHeight()
+	for _, ci := range nl.Movables() {
+		c := &nl.Cells[ci]
+		c.X = clamp(c.X+amp*(2*rng.float64()-1), nl.Core.XMin, nl.Core.XMax-c.W)
+		c.Y = clamp(c.Y+amp*(2*rng.float64()-1), nl.Core.YMin, nl.Core.YMax-c.H)
+	}
+}
+
+// jitterState applies the reseed perturbation to a forked engine state: the
+// movable entries of st.Positions are displaced like jitterPositions, and
+// the primal solver's warm-start history is dropped (it extrapolates the
+// leader's trajectory, which the jitter just left). Result-selection state
+// (best-so-far anchors) is kept, so a reseeded member can never end worse
+// than the leader was at the fork point.
+func jitterState(st *chkpt.State, nl *netlist.Netlist, rows float64, rng *rngStream) {
+	amp := rows * nl.RowHeight()
+	for _, ci := range nl.Movables() {
+		if ci >= len(st.Positions) {
+			break
+		}
+		c := &nl.Cells[ci]
+		p := &st.Positions[ci]
+		p.X = clamp(p.X+amp*(2*rng.float64()-1), nl.Core.XMin, nl.Core.XMax-c.W)
+		p.Y = clamp(p.Y+amp*(2*rng.float64()-1), nl.Core.YMin, nl.Core.YMax-c.H)
+	}
+	st.PrimalState = nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -27,6 +27,7 @@ var engineInternalCoreOptions = map[string]string{
 	"CG":                   "CG solver tuning stays internal",
 	"Checkpoint":           "constructed by the facade from Options.Checkpoint (a chkpt.Manager, wired in PlaceContext, not coreOptions)",
 	"Resume":               "loaded by the facade from the checkpoint directory when Options.Checkpoint.Resume is set",
+	"PortfolioResume":      "loaded by the facade from the checkpoint directory (portfolio.ckpt) when Options.Checkpoint.Resume is set",
 	"RecoveryPolicy":       "engine-internal recovery-ladder tuning; the facade always uses the default policy",
 	"PrecondRefresh":       "factor-refresh cadence stays internal; qp.DefaultPrecondRefresh is the measured sweet spot",
 }
