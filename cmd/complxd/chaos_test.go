@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"complx/internal/faultinject"
+)
+
+// The chaos drill re-execs the test binary as a real complxd process (so it
+// can be SIGKILLed and crash-looped) while still arming the in-process
+// fault injector — the helper below runs inside the child and calls run()
+// directly. Env vars carry the drill parameters.
+const (
+	chaosHelperEnv  = "COMPLXD_CHAOS_HELPER"
+	chaosDataDirEnv = "COMPLXD_CHAOS_DATADIR"
+	chaosPersistEnv = "COMPLXD_CHAOS_PERSIST" // job ID whose next persist fails once
+)
+
+// TestChaosDaemonHelper is not a test of its own: it is the daemon process
+// the chaos drill crash-loops. It arms the poison rule — any design whose
+// name contains "poison" hard-exits the process at its first engine
+// iteration, simulating a job that OOM-kills or segfaults the server — plus
+// a one-shot dispatch flake and (optionally) a one-shot persist failure,
+// then serves until killed.
+func TestChaosDaemonHelper(t *testing.T) {
+	if os.Getenv(chaosHelperEnv) != "1" {
+		t.Skip("not a chaos helper invocation")
+	}
+	inj := faultinject.New().Add(faultinject.Rule{
+		Point: faultinject.EngineIteration,
+		Match: "poison",
+		Times: 1 << 20,
+		Do:    func(string) { os.Exit(3) },
+	}).Add(faultinject.Rule{
+		Point: faultinject.WorkerStart,
+		After: 1,
+		Times: 1,
+	})
+	if match := os.Getenv(chaosPersistEnv); match != "" {
+		inj.Add(faultinject.Rule{Point: faultinject.JobPersist, Match: match, Times: 1})
+	}
+	faultinject.Activate(inj)
+
+	cfg := defaultConfig()
+	cfg.workers = 1
+	cfg.ckptEvery = 1
+	cfg.maxAttempts = 3
+	if err := run("127.0.0.1:0", os.Getenv(chaosDataDirEnv), 0, cfg); err != nil {
+		t.Fatalf("chaos helper daemon: %v", err)
+	}
+}
+
+// startChaosHelper launches the helper process and returns once the listen
+// line appears on its stderr.
+func startChaosHelper(t *testing.T, dataDir string, extraEnv ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosDaemonHelper$")
+	cmd.Env = append(os.Environ(),
+		chaosHelperEnv+"=1",
+		chaosDataDirEnv+"="+dataDir,
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() { // keep draining so the child never blocks on stderr
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				select {
+				case addrc <- fields[0]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(2 * time.Minute):
+		_ = cmd.Process.Kill()
+		t.Fatal("chaos helper did not report its listen address")
+		return nil, ""
+	}
+}
+
+// TestChaosDrill is the daemon-level chaos harness (DESIGN.md §15.4): a mix
+// of good, slow and poison jobs is run through repeated daemon deaths —
+// three crash-loop cycles where the poison job hard-exits the process the
+// moment it is dispatched, then one SIGKILL mid-placement — with dispatch
+// and persistence faults injected along the way. Afterwards every job must
+// be terminal with nothing lost or duplicated: the goods and the slow job
+// done, and the poison job quarantined after exactly the configured attempt
+// cap. Runs in -short mode (the CI chaos-smoke job) by design.
+func TestChaosDrill(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics are POSIX-only")
+	}
+	dataDir := t.TempDir()
+
+	// Cycle 1: boot, submit the mixed workload, and let the poison job take
+	// the daemon down. The poison job runs at priority 9 on the single
+	// worker, so after each restart it is dispatched first and kills the
+	// process before the innocent jobs accumulate attempts — exactly the
+	// crash-loop shape the quarantine breaker exists for.
+	cmd, base := startChaosHelper(t, dataDir)
+	var goodIDs []string
+	for i := 0; i < 3; i++ {
+		goodIDs = append(goodIDs, postJob(t, base, testSpec(int64(900+i), 1, 0)))
+	}
+	slowID := postJob(t, base, heavySpec(910, 1, 0))
+	poison := testSpec(920, 1, 9)
+	poison.Gen.Name = "poison-1"
+	poisonID := postJob(t, base, poison)
+	all := append(append([]string{}, goodIDs...), slowID, poisonID)
+
+	waitPoisonExit := func(cmd *exec.Cmd, cycle int) {
+		t.Helper()
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+			if code := cmd.ProcessState.ExitCode(); code != 3 {
+				t.Fatalf("cycle %d: daemon exited with code %d, want the poison exit 3", cycle, code)
+			}
+		case <-time.After(2 * time.Minute):
+			_ = cmd.Process.Kill()
+			t.Fatalf("cycle %d: poison job did not kill the daemon", cycle)
+		}
+	}
+	waitPoisonExit(cmd, 1)
+
+	// Cycles 2 and 3: restart on the same data directory; the recovered
+	// poison job is re-dispatched and kills the daemon again, consuming one
+	// attempt per cycle.
+	for cycle := 2; cycle <= 3; cycle++ {
+		cmd, _ = startChaosHelper(t, dataDir)
+		waitPoisonExit(cmd, cycle)
+	}
+
+	// Cycle 4: with the poison job's attempts at the cap, this boot
+	// quarantines it and starts placing the innocents — which we SIGKILL
+	// mid-placement (with a persist fault armed on the slow job for good
+	// measure), exactly like an external OOM kill.
+	cmd, base = startChaosHelper(t, dataDir, chaosPersistEnv+"="+slowID)
+	time.Sleep(4 * time.Second)
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+
+	// Final boot: everything must converge to a terminal state.
+	cmd, base = startChaosHelper(t, dataDir)
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	deadline := time.Now().Add(4 * time.Minute)
+	jobs := map[string]*Job{}
+	for {
+		allTerminal := true
+		for _, id := range all {
+			j, err := fetchJob(t, base, id)
+			if err != nil {
+				allTerminal = false
+				break
+			}
+			jobs[id] = j
+			if !j.State.Terminal() {
+				allTerminal = false
+				break
+			}
+		}
+		if allTerminal {
+			break
+		}
+		if time.Now().After(deadline) {
+			for id, j := range jobs {
+				t.Logf("job %s: %s attempts=%d err=%q", id, j.State, j.Attempts, j.Error)
+			}
+			t.Fatal("jobs did not all reach a terminal state after the chaos cycles")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Nothing lost, nothing duplicated: the daemon knows exactly the jobs
+	// that were submitted, each exactly once.
+	resp, err := http.Get(base + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []*Job
+	if err := decodeBody(resp, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(all) {
+		t.Fatalf("daemon knows %d jobs, want %d (lost or duplicated work)", len(list), len(all))
+	}
+	seen := map[string]bool{}
+	for _, j := range list {
+		if seen[j.ID] {
+			t.Fatalf("job %s appears twice", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	for _, id := range all {
+		if !seen[id] {
+			t.Fatalf("job %s was lost", id)
+		}
+	}
+
+	// The poison job is quarantined after exactly the configured cap; the
+	// innocents all completed despite four daemon deaths.
+	pj := jobs[poisonID]
+	if pj.State != StateQuarantined {
+		t.Fatalf("poison job: %s (%s), want quarantined", pj.State, pj.Error)
+	}
+	if pj.Attempts != 3 {
+		t.Fatalf("poison job quarantined at %d attempts, want exactly the cap (3)", pj.Attempts)
+	}
+	if !strings.Contains(pj.Error, "crash-loop") {
+		t.Errorf("poison job error %q, want a crash-loop message", pj.Error)
+	}
+	for _, id := range append(goodIDs, slowID) {
+		if j := jobs[id]; j.State != StateDone {
+			t.Fatalf("innocent job %s: %s (%s), want done", id, j.State, j.Error)
+		}
+	}
+
+	// The surviving daemon is healthy and its heap is bounded.
+	var sv statusView
+	sresp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeBody(sresp, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.HeapAllocMB > 512 {
+		t.Errorf("daemon heap after the drill: %.0f MiB, want < 512", sv.HeapAllocMB)
+	}
+	if sv.Quarantined != 1 {
+		t.Errorf("status reports %d quarantined jobs, want 1", sv.Quarantined)
+	}
+	rresp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after the drill: %d, want 200", rresp.StatusCode)
+	}
+}
+
+func decodeBody(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,80 @@
+package main
+
+import "time"
+
+// config collects every production-hardening knob of the daemon in one
+// place, shared by the scheduler (queue, governance, quarantine, GC) and
+// the HTTP server (body limits, SSE keepalive, drain). main wires the
+// flags; tests construct it directly. Zero values mean "disabled" for the
+// optional subsystems (watermark, watchdog, retention, rate limit) and
+// defaultConfig supplies production defaults for the rest.
+type config struct {
+	// workers is the placement worker-pool size (min 1).
+	workers int
+	// ckptEvery is the per-job checkpoint interval in iterations
+	// (0 = facade default).
+	ckptEvery int
+
+	// Admission control (DESIGN.md §15.1).
+
+	// maxQueue caps the number of queued (not running) jobs; submissions
+	// beyond it get 503 + Retry-After. 0 = unbounded.
+	maxQueue int
+	// maxBody caps a request body in bytes; larger submissions get 413.
+	maxBody int64
+	// memWatermark pauses intake (503) and sheds lowest-priority queued
+	// jobs while the process heap exceeds this many bytes. 0 = disabled.
+	memWatermark uint64
+	// memPoll is the watermark sampling period.
+	memPoll time.Duration
+	// submitRate limits POST /jobs to this many submissions per second
+	// (token bucket of submitBurst); excess gets 429. 0 = unlimited.
+	submitRate  float64
+	submitBurst float64
+	// retryAfter is the Retry-After hint in seconds on 503/429 responses.
+	retryAfter int
+
+	// Per-job governance (DESIGN.md §15.2).
+
+	// watchdogStall cancels-and-fails a job that reports no iteration
+	// progress for this long. 0 = disabled. The window must exceed the
+	// worst-case time between engine iterations (including netlist
+	// generation and the first assembly) for the workload served.
+	watchdogStall time.Duration
+
+	// Quarantine and retention (DESIGN.md §15.3).
+
+	// maxAttempts quarantines a job whose scheduling attempts reach this
+	// cap without a graceful accounting — i.e. a job that keeps taking the
+	// server down with it. 0 = never quarantine.
+	maxAttempts int
+	// retain removes a terminal job's directory this long after it
+	// finished. 0 = keep forever.
+	retain time.Duration
+	// gcEvery is the retention janitor period.
+	gcEvery time.Duration
+
+	// HTTP surface.
+
+	// sseKeepalive is the idle-comment period on /jobs/{id}/events so
+	// proxies do not drop quiet long-running streams. 0 = no keepalives.
+	sseKeepalive time.Duration
+	// drainTimeout bounds the graceful HTTP drain on shutdown.
+	drainTimeout time.Duration
+}
+
+// defaultConfig returns the production defaults main's flags start from.
+func defaultConfig() config {
+	return config{
+		workers:      2,
+		maxQueue:     256,
+		maxBody:      1 << 20, // 1 MiB of JSON is a very large job spec
+		memPoll:      2 * time.Second,
+		submitBurst:  16,
+		retryAfter:   5,
+		maxAttempts:  3,
+		gcEvery:      time.Minute,
+		sseKeepalive: 15 * time.Second,
+		drainTimeout: 10 * time.Second,
+	}
+}

@@ -162,11 +162,8 @@ func TestDaemonSIGKILLRestart(t *testing.T) {
 		deadline := time.Now().Add(4 * time.Minute)
 		for {
 			j, err := fetchJob(t, base2, id)
-			if err == nil {
-				switch j.State {
-				case StateDone, StateFailed, StateCancelled:
-					return j
-				}
+			if err == nil && j.State.Terminal() {
+				return j
 			}
 			if time.Now().After(deadline) {
 				t.Fatalf("job %s did not finish after restart", id)

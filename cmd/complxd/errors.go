@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"complx"
+)
+
+// apiError is an error with a fixed HTTP mapping: handlers return it from
+// the scheduler/admission layers and writeError renders the right status,
+// Retry-After header and structured body without per-handler switches.
+type apiError struct {
+	code       int    // HTTP status
+	stage      string // pipeline/daemon stage for the body (may be empty)
+	retryAfter int    // Retry-After seconds; 0 = no header
+	err        error  // human-readable cause
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+// errorBody is the structured JSON error envelope every non-2xx response
+// carries:
+//
+//	{"error": {"stage": "admission", "message": "...", "retry_after_seconds": 5}}
+//
+// Stage comes from the daemon's *apiError or, for placement failures, from
+// the *complx.PlaceError the run produced, so clients can dispatch on the
+// failing layer without parsing messages.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Stage             string `json:"stage,omitempty"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// writeError renders err as a structured JSON error. fallback is the status
+// used when err carries no *apiError mapping of its own.
+func writeError(w http.ResponseWriter, fallback int, err error) {
+	code := fallback
+	detail := errorDetail{Message: err.Error()}
+	var ae *apiError
+	if errors.As(err, &ae) {
+		code = ae.code
+		detail.Stage = ae.stage
+		detail.Message = ae.err.Error()
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+			detail.RetryAfterSeconds = ae.retryAfter
+		}
+	}
+	if detail.Stage == "" {
+		var pe *complx.PlaceError
+		if errors.As(err, &pe) {
+			detail.Stage = pe.Stage
+		}
+	}
+	writeJSON(w, code, errorBody{Error: detail})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort over HTTP
+}

@@ -26,6 +26,11 @@ func FuzzJobSpec(f *testing.F) {
 	f.Add(`{"bench":"adaptec1","portfolio":true,"pf_members":1}`)
 	f.Add(`{"bench":"adaptec1","portfolio":true,"pf_cull_fraction":1.5}`)
 	f.Add(`{"bench":"adaptec1","portfolio":true,"pf_rounds":-1}`)
+	// Governance fields: deadlines must be non-negative and finite-friendly.
+	f.Add(`{"bench":"adaptec1","deadline_seconds":30}`)
+	f.Add(`{"bench":"adaptec1","deadline_seconds":0.001}`)
+	f.Add(`{"bench":"adaptec1","deadline_seconds":-1}`)
+	f.Add(`{"bench":"adaptec1","deadline_seconds":1e308}`)
 	f.Fuzz(func(t *testing.T, data string) {
 		var s JobSpec
 		if err := json.Unmarshal([]byte(data), &s); err != nil {
@@ -37,6 +42,9 @@ func FuzzJobSpec(f *testing.F) {
 		// Accepted specs must satisfy the invariants the scheduler relies on.
 		if s.Scale < 0 || s.Threads < 0 {
 			t.Fatalf("Validate accepted negative scale/threads: %+v", s)
+		}
+		if s.DeadlineSeconds < 0 {
+			t.Fatalf("Validate accepted a negative deadline: %+v", s)
 		}
 		if s.Portfolio {
 			po := s.portfolioOptions()

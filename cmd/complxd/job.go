@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,21 +12,35 @@ import (
 	"time"
 
 	"complx"
+	"complx/internal/faultinject"
 	"complx/internal/fsatomic"
 )
 
 // JobState is a job's position in the lifecycle. Transitions are
 // queued → running → {done, failed, cancelled}; a running job whose server
-// dies is re-queued on restart and resumes from its checkpoint.
+// dies is re-queued on restart and resumes from its checkpoint — unless its
+// attempts have reached the quarantine cap, in which case the crash-loop
+// breaker parks it in quarantined instead of re-running it (DESIGN.md §15).
 type JobState string
 
 const (
-	StateQueued    JobState = "queued"
-	StateRunning   JobState = "running"
-	StateDone      JobState = "done"
-	StateFailed    JobState = "failed"
-	StateCancelled JobState = "cancelled"
+	StateQueued      JobState = "queued"
+	StateRunning     JobState = "running"
+	StateDone        JobState = "done"
+	StateFailed      JobState = "failed"
+	StateCancelled   JobState = "cancelled"
+	StateQuarantined JobState = "quarantined"
 )
+
+// Terminal reports whether the state is final: the job will never run
+// again and its record/result are immutable from here on.
+func (s JobState) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateQuarantined:
+		return true
+	}
+	return false
+}
 
 // JobSpec is the client-supplied description of one placement job.
 type JobSpec struct {
@@ -68,8 +83,14 @@ type JobSpec struct {
 	// process-wide pool. Budgets only change scheduling, never results.
 	Threads int `json:"threads,omitempty"`
 	// Priority orders dispatch: higher runs first; equal priorities run in
-	// submission order (FIFO).
+	// submission order (FIFO). Under memory pressure the watermark monitor
+	// sheds queued jobs lowest-priority-first.
 	Priority int `json:"priority,omitempty"`
+	// DeadlineSeconds bounds the job's wall-clock once it starts running;
+	// past it the run is cancelled cooperatively and the job fails with a
+	// stage-"deadline" error (best-so-far result attached when one
+	// exists). 0 = no deadline.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 // Validate rejects specs the scheduler could not run.
@@ -92,6 +113,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Threads < 0 {
 		return fmt.Errorf("threads must be >= 0")
+	}
+	if s.DeadlineSeconds < 0 {
+		return fmt.Errorf("deadline_seconds must be >= 0")
 	}
 	if s.Multilevel {
 		switch s.Algorithm {
@@ -177,6 +201,10 @@ type store struct {
 
 	mu      sync.Mutex
 	nextSeq int
+	// corrupt counts the unreadable job records skipped by the most recent
+	// LoadAll — a truncated or invalid job.json is logged and skipped,
+	// never fatal to startup (the record stays on disk for forensics).
+	corrupt int
 }
 
 func newStore(dir string) (*store, error) {
@@ -191,6 +219,18 @@ func newStore(dir string) (*store, error) {
 	for _, j := range jobs {
 		if j.Seq >= s.nextSeq {
 			s.nextSeq = j.Seq + 1
+		}
+	}
+	// Also advance past unreadable directories, so a new job never reuses —
+	// and overwrites — the directory of a record LoadAll skipped as corrupt.
+	entries, err := os.ReadDir(filepath.Join(dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "job-%d", &seq); err == nil && seq >= s.nextSeq {
+			s.nextSeq = seq + 1
 		}
 	}
 	return s, nil
@@ -222,6 +262,9 @@ func (s *store) CheckpointDir(id string) string { return filepath.Join(s.jobDir(
 
 // Save atomically rewrites the job record.
 func (s *store) Save(j *Job) error {
+	if err := faultinject.FireErr(faultinject.JobPersist, j.ID); err != nil {
+		return err
+	}
 	dir := s.jobDir(j.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -247,8 +290,9 @@ func (s *store) Load(id string) (*Job, error) {
 }
 
 // LoadAll reads every job record, sorted by sequence number. Directories
-// without a readable record (e.g. a crash before the first Save committed)
-// are skipped.
+// without a readable record — a crash before the first Save committed, or
+// a truncated/corrupted job.json — are skipped with a logged warning and
+// counted (CorruptSkipped), never fatal to startup.
 func (s *store) LoadAll() ([]*Job, error) {
 	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
 	if err != nil {
@@ -258,16 +302,30 @@ func (s *store) LoadAll() ([]*Job, error) {
 		return nil, err
 	}
 	var jobs []*Job
+	corrupt := 0
 	for _, e := range entries {
 		if !e.IsDir() || !strings.HasPrefix(e.Name(), "job-") {
 			continue
 		}
 		j, err := s.Load(e.Name())
 		if err != nil {
+			corrupt++
+			log.Printf("complxd: skipping unreadable job record %s: %v", e.Name(), err)
 			continue
 		}
 		jobs = append(jobs, j)
 	}
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Seq < jobs[b].Seq })
+	s.mu.Lock()
+	s.corrupt = corrupt
+	s.mu.Unlock()
 	return jobs, nil
+}
+
+// CorruptSkipped reports how many unreadable records the last LoadAll
+// skipped.
+func (s *store) CorruptSkipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
 }

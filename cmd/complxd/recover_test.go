@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeJobRecord persists a hand-built record the way the store would.
+func writeJobRecord(t *testing.T, dir string, j *Job) {
+	t.Helper()
+	jd := filepath.Join(dir, "jobs", j.ID)
+	if err := os.MkdirAll(jd, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jd, "job.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverSkipsCorruptRecords pins the corruption contract: a truncated
+// job.json, an invalid one and a job directory with no record at all are
+// each skipped with a counted warning — never fatal — while healthy records
+// recover and run to completion.
+func TestRecoverSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+
+	// A healthy queued job.
+	spec := testSpec(700, 1, 0)
+	writeJobRecord(t, dir, &Job{
+		ID: "job-000001", Seq: 1, Spec: spec,
+		State: StateQueued, Submitted: time.Now().UTC(),
+	})
+	// Truncated mid-write (no atomic replace ran).
+	trunc := filepath.Join(dir, "jobs", "job-000002")
+	if err := os.MkdirAll(trunc, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(trunc, "job.json"), []byte(`{"id": "job-0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON, wrong shape (state is an object).
+	bad := filepath.Join(dir, "jobs", "job-000003")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, "job.json"), []byte(`{"id": "job-000003", "state": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A directory with no record at all (crash before the first Save).
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", "job-000004"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, sched := startTestServer(t, dir, 1)
+	if got := sched.store.CorruptSkipped(); got != 3 {
+		t.Fatalf("CorruptSkipped = %d, want 3", got)
+	}
+	if n := sched.dobs.Counter("complx_recover_corrupt_total").Value(); n != 3 {
+		t.Errorf("complx_recover_corrupt_total = %v, want 3", n)
+	}
+
+	// Only the healthy job is known, and it runs to completion.
+	if got := len(sched.List()); got != 1 {
+		t.Fatalf("%d jobs recovered, want 1", got)
+	}
+	if j := waitDone(t, srv, "job-000001", 2*time.Minute); j.State != StateDone {
+		t.Fatalf("recovered job: %s (%s)", j.State, j.Error)
+	}
+
+	// The corrupt records stay on disk for forensics.
+	for _, id := range []string{"job-000002", "job-000003"} {
+		if _, err := os.Stat(filepath.Join(dir, "jobs", id, "job.json")); err != nil {
+			t.Errorf("corrupt record %s was removed: %v", id, err)
+		}
+	}
+
+	// New IDs never collide with skipped directories: the next sequence is
+	// past every directory the store could read.
+	j, err := sched.Submit(testSpec(701, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Seq <= 4 {
+		t.Errorf("new job seq %d, want > 4 (must not reuse a skipped directory)", j.Seq)
+	}
+}
+
+// TestRecoverQuarantinesCrashLoop pins the breaker at recovery time: a job
+// found running with attempts at the cap is quarantined — exactly at the
+// cap, with a stage-"quarantine" error — instead of being re-queued.
+func TestRecoverQuarantinesCrashLoop(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now().UTC()
+	started := now.Add(-time.Minute)
+	writeJobRecord(t, dir, &Job{
+		ID: "job-000001", Seq: 1, Spec: testSpec(710, 1, 0),
+		State: StateRunning, Submitted: now, Started: &started,
+		Attempts: 3,
+	})
+	// One attempt below the cap: must be re-queued, not quarantined.
+	writeJobRecord(t, dir, &Job{
+		ID: "job-000002", Seq: 2, Spec: testSpec(711, 1, 0),
+		State: StateRunning, Submitted: now, Started: &started,
+		Attempts: 2,
+	})
+
+	srv, sched := startTestServer(t, dir, 1) // testConfig: maxAttempts = 3
+
+	q := sched.Get("job-000001")
+	if q.State != StateQuarantined {
+		t.Fatalf("crash-loop job: state %s, want quarantined", q.State)
+	}
+	if q.Attempts != 3 {
+		t.Fatalf("quarantined at %d attempts, want exactly the cap (3)", q.Attempts)
+	}
+	if !strings.Contains(q.Error, "crash-loop") {
+		t.Errorf("quarantine error %q, want a crash-loop message", q.Error)
+	}
+	if q.Finished == nil {
+		t.Errorf("quarantined job has no finish time")
+	}
+	if n := sched.dobs.Counter("complx_jobs_quarantined_total").Value(); n != 1 {
+		t.Errorf("complx_jobs_quarantined_total = %v, want 1", n)
+	}
+
+	// Quarantine is terminal over HTTP: the record says quarantined, the
+	// result endpoint answers 409, cancel answers 409.
+	if j := getJob(t, srv, "job-000001"); j.State != StateQuarantined {
+		t.Fatalf("HTTP view: %s", j.State)
+	}
+	rresp, err := srv.Client().Get(srv.URL + "/jobs/job-000001/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.StatusCode != 409 {
+		t.Fatalf("result of quarantined job: %d, want 409", rresp.StatusCode)
+	}
+	det := decodeError(t, rresp)
+	if !strings.Contains(det.Message, "quarantined") {
+		t.Errorf("result error %q, want it to mention quarantine", det.Message)
+	}
+
+	// The under-cap sibling resumes and completes.
+	if j := waitDone(t, srv, "job-000002", 2*time.Minute); j.State != StateDone {
+		t.Fatalf("under-cap job: %s (%s)", j.State, j.Error)
+	}
+}
+
+// TestJanitorRemovesTerminalJobs pins retention: gcOnce removes terminal
+// jobs' directories past the cutoff, unregisters their metrics, and leaves
+// live jobs alone.
+func TestJanitorRemovesTerminalJobs(t *testing.T) {
+	srv, sched := startTestServer(t, t.TempDir(), 1)
+
+	done := submit(t, srv, testSpec(720, 1, 0))
+	if j := waitDone(t, srv, done.ID, 2*time.Minute); j.State != StateDone {
+		t.Fatalf("job: %s (%s)", j.State, j.Error)
+	}
+	keep := submit(t, srv, heavySpec(721, 1, 0))
+	waitRunning(t, srv, keep.ID, time.Minute)
+
+	sched.gcOnce(time.Now().Add(time.Hour)) // cutoff in the future: everything terminal goes
+
+	if j := sched.Get(done.ID); j != nil {
+		t.Fatalf("terminal job survived GC: %+v", j)
+	}
+	if _, err := os.Stat(sched.store.jobDir(done.ID)); !os.IsNotExist(err) {
+		t.Errorf("terminal job directory survived GC: %v", err)
+	}
+	if j := sched.Get(keep.ID); j == nil {
+		t.Fatal("running job was GCed")
+	}
+	if n := sched.dobs.Counter("complx_jobs_gced_total").Value(); n != 1 {
+		t.Errorf("complx_jobs_gced_total = %v, want 1", n)
+	}
+	if j := waitDone(t, srv, keep.ID, 2*time.Minute); j.State != StateDone {
+		t.Fatalf("running job after GC: %s (%s)", j.State, j.Error)
+	}
+}

@@ -16,21 +16,36 @@ import (
 	"complx"
 )
 
+// testConfig is the daemon config tests start from: production defaults
+// with the optional governance subsystems (watermark, watchdog, rate limit,
+// retention) left disabled so each test arms only what it exercises.
+func testConfig(workers int) config {
+	cfg := defaultConfig()
+	cfg.workers = workers
+	return cfg
+}
+
 // startTestServer boots an in-process daemon (store + scheduler + HTTP) on
 // a fresh data directory.
 func startTestServer(t *testing.T, dir string, workers int) (*httptest.Server, *scheduler) {
+	return startTestServerCfg(t, dir, testConfig(workers))
+}
+
+// startTestServerCfg is startTestServer with a caller-supplied config, for
+// tests that arm admission control, governance or retention knobs.
+func startTestServerCfg(t *testing.T, dir string, cfg config) (*httptest.Server, *scheduler) {
 	t.Helper()
 	st, err := newStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hub := complx.NewObsHub()
-	sched := newScheduler(st, hub, workers, 0)
+	sched := newScheduler(st, hub, cfg)
 	if err := sched.Recover(); err != nil {
 		t.Fatal(err)
 	}
 	sched.Start()
-	srv := httptest.NewServer(newServer(sched, hub).handler())
+	srv := httptest.NewServer(newServer(sched, hub, cfg, nil).handler())
 	t.Cleanup(func() {
 		srv.Close()
 		sched.Stop()
@@ -106,8 +121,7 @@ func waitRunning(t *testing.T, srv *httptest.Server, id string, timeout time.Dur
 	deadline := time.Now().Add(timeout)
 	for {
 		j := getJob(t, srv, id)
-		switch j.State {
-		case StateRunning, StateDone, StateFailed, StateCancelled:
+		if j.State == StateRunning || j.State.Terminal() {
 			return
 		}
 		if time.Now().After(deadline) {
@@ -122,8 +136,7 @@ func waitDone(t *testing.T, srv *httptest.Server, id string, timeout time.Durati
 	deadline := time.Now().Add(timeout)
 	for {
 		j := getJob(t, srv, id)
-		switch j.State {
-		case StateDone, StateFailed, StateCancelled:
+		if j.State.Terminal() {
 			return j
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"complx/internal/faultinject"
+)
+
+// TestSSEImmediateFlushAndKeepalive pins the slow-job streaming contract:
+// the stream flushes a `: connected` comment the moment the subscription is
+// accepted — before any iteration exists — and carries `: keepalive`
+// comment frames while the job is quiet, so buffering proxies neither delay
+// nor drop it. The subscribed job is held queued behind a blocker for the
+// whole observation window, then cancelled to close the stream with `done`.
+func TestSSEImmediateFlushAndKeepalive(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.sseKeepalive = 50 * time.Millisecond
+	srv, _ := startTestServerCfg(t, t.TempDir(), cfg)
+
+	blocker := submit(t, srv, heavySpec(800, 1, 9))
+	waitRunning(t, srv, blocker.ID, time.Minute)
+	quiet := submit(t, srv, testSpec(801, 1, 0)) // stays queued: zero events
+
+	resp, err := srv.Client().Get(srv.URL + "/jobs/" + quiet.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	lines := make(chan lineOrErr, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- lineOrErr{line: sc.Text()}
+		}
+		lines <- lineOrErr{err: sc.Err()}
+	}()
+
+	readLine := func(within time.Duration) string {
+		t.Helper()
+		select {
+		case l := <-lines:
+			if l.err != nil {
+				t.Fatalf("stream error: %v", l.err)
+			}
+			return l.line
+		case <-time.After(within):
+			t.Fatalf("no stream line within %v", within)
+			return ""
+		}
+	}
+
+	// The connected comment arrives immediately, well before any event.
+	first := readLine(2 * time.Second)
+	if !strings.HasPrefix(first, ": connected") {
+		t.Fatalf("first stream line %q, want a : connected comment", first)
+	}
+
+	// With the job queued and silent, keepalives tick at the configured
+	// period. Collect a few.
+	keepalives := 0
+	deadline := time.Now().Add(3 * time.Second)
+	for keepalives < 3 && time.Now().Before(deadline) {
+		line := readLine(2 * time.Second)
+		if strings.HasPrefix(line, ": keepalive") {
+			keepalives++
+		} else if strings.HasPrefix(line, "event: iter") {
+			t.Fatalf("queued job emitted an iteration event")
+		}
+	}
+	if keepalives < 3 {
+		t.Fatalf("saw %d keepalive frames in 3s at a 50ms period, want >= 3", keepalives)
+	}
+
+	// Cancelling the queued job terminates the stream with `done`.
+	req, _ := http.NewRequest("POST", srv.URL+"/jobs/"+quiet.ID+"/cancel", nil)
+	cresp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	sawDone := false
+	deadline = time.Now().Add(10 * time.Second)
+	for !sawDone && time.Now().Before(deadline) {
+		if strings.HasPrefix(readLine(5*time.Second), "event: done") {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream did not close with a done event after cancel")
+	}
+}
+
+// TestSSEInjectedWriteFailure pins the SSEWrite hook point: an injected
+// stream-write fault drops the subscriber without disturbing the job.
+func TestSSEInjectedWriteFailure(t *testing.T) {
+	inj := faultinject.New().Add(faultinject.Rule{
+		Point: faultinject.SSEWrite,
+		Times: 1,
+	})
+	faultinject.Activate(inj)
+	t.Cleanup(faultinject.Deactivate)
+
+	srv, _ := startTestServer(t, t.TempDir(), 1)
+	j := submit(t, srv, testSpec(810, 1, 0))
+
+	resp, err := srv.Client().Get(srv.URL + "/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sawDone := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: done") {
+			sawDone = true
+		}
+	}
+	if sawDone {
+		t.Fatal("stream survived an injected write fault")
+	}
+	if inj.Fired(faultinject.SSEWrite) != 1 {
+		t.Fatalf("SSEWrite fired %d times, want 1", inj.Fired(faultinject.SSEWrite))
+	}
+	// The job itself is unharmed by the dropped subscriber.
+	if got := waitDone(t, srv, j.ID, 2*time.Minute); got.State != StateDone {
+		t.Fatalf("job after dropped stream: %s (%s)", got.State, got.Error)
+	}
+}

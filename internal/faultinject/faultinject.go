@@ -63,6 +63,21 @@ const (
 	// truncated temp file behind (internal/fsatomic). The detail string is
 	// the target path.
 	AtomicWriteShort Point = "fs.atomic_short_write"
+
+	// Daemon-level hook points compiled into cmd/complxd (DESIGN.md §15).
+	// The detail string is the job ID at all three sites.
+
+	// JobPersist fails a job-record persist (store.Save) before any bytes
+	// are written. Transition persists log-and-continue; the submit-time
+	// persist surfaces the error to the client.
+	JobPersist Point = "complxd.job_persist"
+	// SSEWrite aborts an SSE event or keepalive write on the job's
+	// /jobs/{id}/events stream, closing the stream mid-flight.
+	SSEWrite Point = "complxd.sse_write"
+	// WorkerStart fails a worker dispatch after the job is popped from the
+	// queue but before it transitions to running; the scheduler re-queues
+	// the job without consuming an attempt.
+	WorkerStart Point = "complxd.worker_start"
 )
 
 // ErrInjected is the default error returned by firing rules; test for it

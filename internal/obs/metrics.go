@@ -68,6 +68,20 @@ const (
 	// Portfolio search catalog (DESIGN.md §14). Per-member series are
 	// labeled with the member index, e.g.
 	// complx_portfolio_member_hpwl{member="2"}.
+	// Daemon-hardening catalog (DESIGN.md §15). Emitted by cmd/complxd's
+	// daemon-level observer: unlabeled, process-wide series on /metrics
+	// next to the job-labeled per-run series.
+	MetricJobsQuarantined   = "complx_jobs_quarantined_total"
+	MetricAdmissionRejected = "complx_admission_rejected_total"
+	MetricJobsShed          = "complx_jobs_shed_total"
+	MetricJobPanics         = "complx_job_panics_total"
+	MetricWatchdogCancels   = "complx_watchdog_cancels_total"
+	MetricWatchdogActive    = "complx_watchdog_active"
+	MetricRecoverCorrupt    = "complx_recover_corrupt_total"
+	MetricJobsGCed          = "complx_jobs_gced_total"
+	MetricQueueDepth        = "complx_queue_depth"
+	MetricIntakePaused      = "complx_intake_paused"
+
 	MetricPortfolioMembers       = "complx_portfolio_members"
 	MetricPortfolioRound         = "complx_portfolio_round"
 	MetricPortfolioMemberHPWL    = "complx_portfolio_member_hpwl"
@@ -142,6 +156,16 @@ var metricHelp = map[string]string{
 	MetricPortfolioCulls:         "Portfolio members culled at synchronization rounds.",
 	MetricPortfolioReseeds:       "Portfolio members reseeded from the leader's forked checkpoint.",
 	MetricPortfolioWinner:        "Member index of the portfolio winner.",
+	MetricJobsQuarantined:        "Jobs quarantined by the crash-loop breaker after exhausting their attempt cap.",
+	MetricAdmissionRejected:      "Job submissions rejected by admission control (queue full, intake paused, rate limited, body too large).",
+	MetricJobsShed:               "Queued jobs shed under memory pressure (heap above the watermark).",
+	MetricJobPanics:              "Worker panics converted to job failures instead of killing the daemon.",
+	MetricWatchdogCancels:        "Jobs cancelled by the progress watchdog after making no progress for the stall window.",
+	MetricWatchdogActive:         "Jobs currently watched by the progress watchdog.",
+	MetricRecoverCorrupt:         "Corrupt job records skipped (with a logged warning) during queue recovery.",
+	MetricJobsGCed:               "Terminal job directories removed by the retention janitor.",
+	MetricQueueDepth:             "Jobs currently queued for a placement worker.",
+	MetricIntakePaused:           "1 while the memory watermark has paused job intake, else 0.",
 }
 
 // bucketsFor returns histogram bucket bounds by metric name.

@@ -34,6 +34,14 @@ const (
 	StageCheckpoint = "checkpoint" // checkpoint persistence / resumption
 	StageRecover    = "recover"    // solver fallback ladder exhausted
 	StageOptions    = "options"    // caller-supplied option validation
+
+	// Service-hardening stages emitted by the complxd daemon (DESIGN.md
+	// §15): failures of the job, not of the placement numerics.
+	StagePanic      = "panic"      // worker panic converted to a job failure
+	StageWatchdog   = "watchdog"   // progress watchdog cancelled a stalled job
+	StageDeadline   = "deadline"   // per-job deadline exceeded
+	StageAdmission  = "admission"  // admission control rejected or shed work
+	StageQuarantine = "quarantine" // crash-loop breaker quarantined a poison job
 )
 
 // Error is a structured placement-pipeline error.

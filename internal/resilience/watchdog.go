@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog detects work that has stopped making progress. The owner calls
+// Touch on every unit of progress (the complxd daemon wires it to the
+// engine's per-iteration callback); a background monitor fires onStall —
+// exactly once — when no Touch arrives for a full window. The construction
+// instant counts as the first touch, so slow-starting work gets one whole
+// window before the first verdict.
+//
+// The watchdog is advisory: it never stops the work itself. onStall
+// typically cancels the work's context (with a cause naming the watchdog)
+// and the owner maps the resulting cancellation to a failure. Stop the
+// watchdog when the work finishes; Stop after a firing is a no-op, and the
+// monitor goroutine always exits by the later of Stop and the firing.
+type Watchdog struct {
+	window  time.Duration
+	onStall func()
+
+	start time.Time
+	last  atomic.Int64 // nanoseconds since start of the most recent Touch
+	fired atomic.Bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewWatchdog starts a monitor that calls onStall once if Touch stays
+// silent for window. A non-positive window disables the watchdog entirely
+// (nil is returned; Touch/Stop/Fired on a nil Watchdog are no-ops), so
+// callers can wire an optional config knob straight through.
+func NewWatchdog(window time.Duration, onStall func()) *Watchdog {
+	if window <= 0 {
+		return nil
+	}
+	w := &Watchdog{
+		window:  window,
+		onStall: onStall,
+		start:   time.Now(),
+		stop:    make(chan struct{}),
+	}
+	// Poll at a quarter window so a stall is flagged within ~1.25 windows
+	// of the last touch in the worst case.
+	tick := window / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	go w.monitor(tick)
+	return w
+}
+
+func (w *Watchdog) monitor(tick time.Duration) {
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			idle := time.Since(w.start).Nanoseconds() - w.last.Load()
+			if idle > w.window.Nanoseconds() {
+				if w.fired.CompareAndSwap(false, true) {
+					w.onStall()
+				}
+				return
+			}
+		}
+	}
+}
+
+// Touch records progress, resetting the stall window. Safe from any
+// goroutine, nil-safe, and wait-free (one atomic store).
+func (w *Watchdog) Touch() {
+	if w == nil {
+		return
+	}
+	w.last.Store(time.Since(w.start).Nanoseconds())
+}
+
+// Stop ends the monitor without firing. Idempotent and nil-safe.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
+// Fired reports whether the stall callback ran. Nil-safe.
+func (w *Watchdog) Fired() bool {
+	return w != nil && w.fired.Load()
+}
